@@ -1,0 +1,1 @@
+bench/figures.ml: Array Float Format Leakage_benchmarks Leakage_circuit Leakage_core Leakage_device Leakage_numeric Leakage_spice List Printf Sys Unix

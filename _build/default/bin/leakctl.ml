@@ -1,0 +1,617 @@
+(* leakctl: command-line front end for the loading-aware leakage estimator.
+
+   Subcommands: list, stats, generate, estimate, characterize, sweep, mc,
+   vectors. Run `leakctl --help` or `leakctl CMD --help`. *)
+
+open Cmdliner
+
+module Params = Leakage_device.Params
+module Physics = Leakage_device.Physics
+module Variation = Leakage_device.Variation
+module Logic = Leakage_circuit.Logic
+module Gate = Leakage_circuit.Gate
+module Netlist = Leakage_circuit.Netlist
+module Simulate = Leakage_circuit.Simulate
+module Bench_format = Leakage_circuit.Bench_format
+module Report = Leakage_spice.Leakage_report
+module Library = Leakage_core.Library
+module Estimator = Leakage_core.Estimator
+module Loading = Leakage_core.Loading
+module Monte_carlo = Leakage_core.Monte_carlo
+module Vector_control = Leakage_core.Vector_control
+module Characterize = Leakage_core.Characterize
+module Suite = Leakage_benchmarks.Suite
+module Iscas = Leakage_benchmarks.Iscas
+module Reporting = Leakage_core.Reporting
+module Verilog = Leakage_circuit.Verilog
+module Rng = Leakage_numeric.Rng
+module Stats = Leakage_numeric.Stats
+
+let na = Physics.amps_to_nanoamps
+
+(* ------------------------------------------------------- shared options *)
+
+let device_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "d25" -> Ok Params.d25
+    | "d50" -> Ok Params.d50
+    | "d25-s" | "d25s" -> Ok Params.d25_s
+    | "d25-g" | "d25g" -> Ok Params.d25_g
+    | "d25-jn" | "d25jn" -> Ok Params.d25_jn
+    | other -> Error (`Msg ("unknown device " ^ other))
+  in
+  let print ppf (d : Params.t) = Format.fprintf ppf "%s" d.Params.name in
+  Arg.conv (parse, print)
+
+let device_arg =
+  Arg.(value & opt device_conv Params.d25
+       & info [ "device" ] ~docv:"DEV"
+           ~doc:"Device corner: d25, d50, d25-s, d25-g, d25-jn.")
+
+let temp_arg =
+  Arg.(value & opt float 27.0
+       & info [ "temp" ] ~docv:"CELSIUS" ~doc:"Temperature in Celsius.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let circuit_arg =
+  Arg.(value & opt (some string) None
+       & info [ "circuit" ] ~docv:"NAME"
+           ~doc:"Benchmark circuit name (see `leakctl list`).")
+
+let bench_file_arg =
+  Arg.(value & opt (some file) None
+       & info [ "bench" ] ~docv:"FILE" ~doc:"ISCAS89 .bench netlist file.")
+
+let load_circuit circuit bench_file =
+  match circuit, bench_file with
+  | Some name, None -> (Suite.find name).Suite.build ()
+  | None, Some path -> Bench_format.parse_file path
+  | Some _, Some _ -> failwith "give either --circuit or --bench, not both"
+  | None, None -> failwith "a circuit is required: --circuit NAME or --bench FILE"
+
+let kelvin celsius = Physics.celsius_to_kelvin celsius
+
+let pp_components tag c =
+  Format.printf "  %-24s sub %10.1f  gate %10.1f  btbt %10.1f  total %10.1f nA@."
+    tag (na c.Report.isub) (na c.Report.igate) (na c.Report.ibtbt)
+    (na (Report.total c))
+
+(* ----------------------------------------------------------------- list *)
+
+let list_cmd =
+  let run () =
+    Format.printf "%-10s %8s %8s %8s %8s %8s@." "name" "gates" "nets" "PIs"
+      "POs" "xtors";
+    List.iter
+      (fun (e : Suite.entry) ->
+        let nl = e.Suite.build () in
+        let s = Netlist.stats nl in
+        Format.printf "%-10s %8d %8d %8d %8d %8d@." e.Suite.label
+          s.Netlist.n_gates s.Netlist.n_nets s.Netlist.n_inputs
+          s.Netlist.n_outputs s.Netlist.n_transistors)
+      Suite.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in benchmark circuits.")
+    Term.(const run $ const ())
+
+(* ---------------------------------------------------------------- stats *)
+
+let stats_cmd =
+  let run circuit bench_file =
+    let nl = load_circuit circuit bench_file in
+    Format.printf "%s:@.  %a@." (Netlist.name nl) Netlist.pp_stats
+      (Netlist.stats nl)
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Print structural statistics of a circuit.")
+    Term.(const run $ circuit_arg $ bench_file_arg)
+
+(* ------------------------------------------------------------- generate *)
+
+let generate_cmd =
+  let output_arg =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Output path (.bench, or .v with $(b,--verilog)).")
+  in
+  let verilog_arg =
+    Arg.(value & flag
+         & info [ "verilog" ] ~doc:"Emit structural Verilog instead of .bench.")
+  in
+  let run circuit seed output verilog =
+    let name =
+      match circuit with
+      | Some n -> n
+      | None -> failwith "--circuit required"
+    in
+    let nl =
+      match Iscas.profile name with
+      | profile -> Iscas.generate ~seed profile
+      | exception Not_found -> (Suite.find name).Suite.build ()
+    in
+    if verilog then Verilog.write_file output nl
+    else Bench_format.write_file output nl;
+    Format.printf "wrote %s (%d gates) to %s@." name (Netlist.gate_count nl)
+      output
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:"Write a benchmark circuit to an ISCAS89 .bench or Verilog file.")
+    Term.(const run $ circuit_arg $ seed_arg $ output_arg $ verilog_arg)
+
+(* ------------------------------------------------------------------ sim *)
+
+let sim_cmd =
+  let vector_arg =
+    Arg.(value & opt (some string) None
+         & info [ "input" ] ~docv:"BITS"
+             ~doc:"Input pattern (defaults to a random one).")
+  in
+  let run circuit bench_file vector seed =
+    let nl = load_circuit circuit bench_file in
+    let width = Array.length (Netlist.inputs nl) in
+    let pattern =
+      match vector with
+      | Some bits ->
+        if String.length bits <> width then
+          failwith (Printf.sprintf "pattern needs %d bits" width);
+        Logic.vector_of_string bits
+      | None ->
+        let rng = Rng.create seed in
+        Logic.random_vector rng width
+    in
+    let values = Simulate.run nl pattern in
+    Format.printf "inputs:  %s@." (Logic.vector_to_string pattern);
+    Format.printf "outputs: %s@."
+      (Logic.vector_to_string (Simulate.outputs nl values));
+    let ones =
+      Array.fold_left
+        (fun acc v -> if Logic.to_bool v then acc + 1 else acc)
+        0 values
+    in
+    Format.printf "net activity: %d of %d nets at '1'@." ones
+      (Netlist.net_count nl)
+  in
+  Cmd.v (Cmd.info "sim" ~doc:"Logic-simulate one input pattern.")
+    Term.(const run $ circuit_arg $ bench_file_arg $ vector_arg $ seed_arg)
+
+(* ------------------------------------------------------------- estimate *)
+
+let estimate_cmd =
+  let vectors_arg =
+    Arg.(value & opt int 10
+         & info [ "vectors" ] ~docv:"N" ~doc:"Number of random input vectors.")
+  in
+  let spice_arg =
+    Arg.(value & flag
+         & info [ "spice" ]
+             ~doc:"Also run the full transistor-level solve for comparison.")
+  in
+  let passes_arg =
+    Arg.(value & opt int 1
+         & info [ "passes" ] ~docv:"N"
+             ~doc:"Loading-propagation passes (1 = the paper's one-level model).")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE"
+             ~doc:"Write a per-gate CSV for the first vector.")
+  in
+  let top_arg =
+    Arg.(value & opt int 0
+         & info [ "top" ] ~docv:"N"
+             ~doc:"Print the N heaviest-leaking gates of the first vector.")
+  in
+  let run device celsius circuit bench_file vectors seed spice passes csv top =
+    let nl = load_circuit circuit bench_file in
+    let temp = kelvin celsius in
+    let lib = Library.create ~device ~temp () in
+    let rng = Rng.create seed in
+    let patterns = Simulate.random_patterns rng nl vectors in
+    Format.printf "%s on %s at %.0f C, %d random vectors@." (Netlist.name nl)
+      device.Params.name celsius vectors;
+    (match patterns with
+     | first :: _ ->
+       let detailed = Estimator.estimate ~passes lib nl first in
+       (match csv with
+        | Some path ->
+          Reporting.write_file path (Reporting.per_gate_csv nl detailed);
+          Format.printf "  per-gate CSV written to %s@." path
+        | None -> ());
+       if top > 0 then
+         Reporting.pp_per_gate ~limit:top Format.std_formatter nl detailed
+     | [] -> ());
+    let loaded, base = Estimator.average_over_vectors lib nl patterns in
+    pp_components "mean (loading-aware):" loaded;
+    pp_components "mean (no loading):" base;
+    Format.printf "  loading shift: %+.2f%% total, %+.2f%% subthreshold@."
+      ((Report.total loaded -. Report.total base) /. Report.total base *. 100.0)
+      ((loaded.Report.isub -. base.Report.isub) /. base.Report.isub *. 100.0);
+    if spice then begin
+      let sum =
+        List.fold_left
+          (fun acc p ->
+            let r, _, _ = Report.analyze ~device ~temp nl p in
+            Report.add acc r.Report.totals)
+          Report.zero patterns
+      in
+      let mean = Report.scale (1.0 /. float_of_int vectors) sum in
+      pp_components "mean (full solve):" mean;
+      Format.printf "  estimator vs solver: %+.3f%%@."
+        ((Report.total loaded -. Report.total mean)
+         /. Report.total mean *. 100.0)
+    end
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:"Estimate circuit leakage with the loading-aware Fig-13 algorithm.")
+    Term.(const run $ device_arg $ temp_arg $ circuit_arg $ bench_file_arg
+          $ vectors_arg $ seed_arg $ spice_arg $ passes_arg $ csv_arg
+          $ top_arg)
+
+(* --------------------------------------------------------- characterize *)
+
+let kind_conv =
+  let parse s =
+    match Gate.of_name s with
+    | k -> Ok k
+    | exception Invalid_argument m -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun ppf k -> Format.fprintf ppf "%s" (Gate.name k))
+
+let kind_arg =
+  Arg.(value & opt kind_conv Gate.Inv
+       & info [ "kind" ] ~docv:"CELL" ~doc:"Cell kind, e.g. INV, NAND2, XOR2.")
+
+let vector_arg =
+  Arg.(value & opt (some string) None
+       & info [ "vector" ] ~docv:"BITS" ~doc:"Input vector, e.g. 01.")
+
+let parse_vector kind = function
+  | Some s -> Logic.vector_of_string s
+  | None -> Array.make (Gate.arity kind) Logic.Zero
+
+let characterize_cmd =
+  let run device celsius kind vector =
+    let v = parse_vector kind vector in
+    let temp = kelvin celsius in
+    let e = Characterize.characterize ~device ~temp kind v in
+    Format.printf "%s @ %s, vector %s, %.0f C@." (Gate.name kind)
+      device.Params.name (Logic.vector_to_string v) celsius;
+    pp_components "nominal (isolated):" e.Characterize.nominal_isolated;
+    pp_components "nominal (driven):" e.Characterize.nominal_driven;
+    Array.iteri
+      (fun pin inj ->
+        Format.printf "  pin %d injects %+.1f nA into its net@." pin (na inj))
+      e.Characterize.pin_injection;
+    Format.printf "  delta tables at +1 uA input / -1 uA output:@.";
+    pp_components "    d_in(pin 0):"
+      (Characterize.eval_table e.Characterize.delta_in.(0) 1.0e-6);
+    pp_components "    d_out:"
+      (Characterize.eval_table e.Characterize.delta_out (-1.0e-6))
+  in
+  Cmd.v
+    (Cmd.info "characterize"
+       ~doc:"Characterize one cell/vector: nominal leakage, pin currents, \
+             loading-response tables.")
+    Term.(const run $ device_arg $ temp_arg $ kind_arg $ vector_arg)
+
+(* ---------------------------------------------------------------- sweep *)
+
+let sweep_cmd =
+  let output_arg =
+    Arg.(value & flag
+         & info [ "output" ] ~doc:"Sweep output loading instead of input.")
+  in
+  let pin_arg =
+    Arg.(value & opt int 0 & info [ "pin" ] ~docv:"PIN" ~doc:"Input pin index.")
+  in
+  let run device celsius kind vector output pin =
+    let v = parse_vector kind vector in
+    let temp = kelvin celsius in
+    let pts =
+      if output then Loading.output_sweep ~device ~temp kind v
+      else Loading.input_sweep ~device ~temp ~pin kind v
+    in
+    Format.printf "%s loading sweep, %s vector %s (%s):@."
+      (if output then "output" else "input")
+      (Gate.name kind) (Logic.vector_to_string v) device.Params.name;
+    Format.printf "%12s %10s %10s %10s %10s@." "I_L[nA]" "LD_sub%" "LD_gate%"
+      "LD_btbt%" "LD_tot%";
+    Array.iter
+      (fun (p : Loading.ld_point) ->
+        Format.printf "%12.0f %+10.3f %+10.3f %+10.3f %+10.3f@."
+          (na p.Loading.current) p.Loading.ld_sub p.Loading.ld_gate
+          p.Loading.ld_btbt p.Loading.ld_total)
+      pts
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Sweep loading current on one cell and print LD percentages \
+             (the Fig 5/7 experiment).")
+    Term.(const run $ device_arg $ temp_arg $ kind_arg $ vector_arg
+          $ output_arg $ pin_arg)
+
+(* ------------------------------------------------------------------- mc *)
+
+let mc_cmd =
+  let samples_arg =
+    Arg.(value & opt int 2000
+         & info [ "samples" ] ~docv:"N" ~doc:"Monte-Carlo sample count.")
+  in
+  let run device celsius samples seed =
+    let temp = kelvin celsius in
+    let config = { Monte_carlo.paper_config with Monte_carlo.n_samples = samples; seed } in
+    let samples_arr =
+      Monte_carlo.run ~config ~device ~temp ~sigmas:Variation.paper_sigmas ()
+    in
+    Format.printf "%d samples, 6+6 loading inverters, %s at %.0f C@."
+      config.Monte_carlo.n_samples device.Params.name celsius;
+    let show name pick =
+      let loaded, unloaded = Monte_carlo.component_arrays samples_arr ~pick in
+      Format.printf
+        "  %-13s mean %9.1f -> %9.1f nA (%+6.2f%%)   std %9.1f -> %9.1f nA (%+6.2f%%)@."
+        name
+        (na (Stats.mean unloaded)) (na (Stats.mean loaded))
+        ((Stats.mean loaded -. Stats.mean unloaded) /. Stats.mean unloaded *. 100.0)
+        (na (Stats.std unloaded)) (na (Stats.std loaded))
+        ((Stats.std loaded -. Stats.std unloaded) /. Stats.std unloaded *. 100.0)
+    in
+    show "subthreshold" (fun c -> c.Report.isub);
+    show "gate" (fun c -> c.Report.igate);
+    show "junction" (fun c -> c.Report.ibtbt);
+    show "total" Report.total
+  in
+  Cmd.v
+    (Cmd.info "mc"
+       ~doc:"Monte-Carlo variation analysis of an inverter with and without \
+             loading (the Fig 10/11 experiment).")
+    Term.(const run $ device_arg $ temp_arg $ samples_arg $ seed_arg)
+
+(* ----------------------------------------------------------------- stat *)
+
+let stat_cmd =
+  let samples_arg =
+    Arg.(value & opt int 1000
+         & info [ "samples" ] ~docv:"N" ~doc:"Monte-Carlo sample count.")
+  in
+  let run device celsius circuit bench_file samples seed =
+    let nl = load_circuit circuit bench_file in
+    let temp = kelvin celsius in
+    let lib = Library.create ~device ~temp () in
+    let rng = Rng.create seed in
+    let pattern = List.hd (Simulate.random_patterns rng nl 1) in
+    let r =
+      Leakage_core.Statistical.run ~n_samples:samples ~seed
+        ~sigmas:Variation.paper_sigmas lib nl pattern
+    in
+    let loaded, unloaded = Leakage_core.Statistical.summary r in
+    Format.printf
+      "%s: %d samples, one random vector, paper sigmas, %s at %.0f C@."
+      (Netlist.name nl) samples device.Params.name celsius;
+    let show tag (s : Stats.summary) =
+      Format.printf
+        "  %-14s mean %10.1f  std %10.1f  p05 %10.1f  p95 %10.1f nA@." tag
+        (na s.Stats.mean) (na s.Stats.std) (na s.Stats.p05) (na s.Stats.p95)
+    in
+    show "with loading" loaded;
+    show "no loading" unloaded;
+    Format.printf "  loading shift: mean %+.2f%%, std %+.2f%%@."
+      ((loaded.Stats.mean -. unloaded.Stats.mean) /. unloaded.Stats.mean *. 100.0)
+      ((loaded.Stats.std -. unloaded.Stats.std) /. unloaded.Stats.std *. 100.0)
+  in
+  Cmd.v
+    (Cmd.info "stat"
+       ~doc:"Statistical circuit leakage under process variation (fast              sensitivity-based Monte Carlo, no per-sample DC solves).")
+    Term.(const run $ device_arg $ temp_arg $ circuit_arg $ bench_file_arg
+          $ samples_arg $ seed_arg)
+
+(* --------------------------------------------------------------- mtcmos *)
+
+let mtcmos_cmd =
+  let width_arg =
+    Arg.(value & opt (some float) None
+         & info [ "width" ] ~docv:"UM"
+             ~doc:"Footer width in um (default: 1 um per gate).")
+  in
+  let run device celsius circuit bench_file seed width =
+    let nl = load_circuit circuit bench_file in
+    let temp = kelvin celsius in
+    let rng = Rng.create seed in
+    let pattern = List.hd (Simulate.random_patterns rng nl 1) in
+    let r = Leakage_core.Mtcmos.analyze ?sleep_width:width ~device ~temp nl pattern in
+    Format.printf "%s with an MTCMOS footer:@." (Netlist.name nl);
+    pp_components "ungated:" r.Leakage_core.Mtcmos.ungated;
+    pp_components "active:" r.Leakage_core.Mtcmos.active.Leakage_core.Mtcmos.leakage;
+    Format.printf "  active virtual ground %.4f V, leakage overhead %+.2f%%                    (the footer's own gate tunneling)@."
+      r.Leakage_core.Mtcmos.active.Leakage_core.Mtcmos.virtual_ground
+      r.Leakage_core.Mtcmos.active_overhead_percent;
+    pp_components "standby:" r.Leakage_core.Mtcmos.standby.Leakage_core.Mtcmos.leakage;
+    Format.printf
+      "  standby virtual ground %.4f V, reduction %.1f%% vs ungated@."
+      r.Leakage_core.Mtcmos.standby.Leakage_core.Mtcmos.virtual_ground
+      r.Leakage_core.Mtcmos.standby_reduction_percent
+  in
+  Cmd.v
+    (Cmd.info "mtcmos"
+       ~doc:"Analyze sleep-transistor power gating: active overhead, standby              collapse, virtual-ground levels.")
+    Term.(const run $ device_arg $ temp_arg $ circuit_arg $ bench_file_arg
+          $ seed_arg $ width_arg)
+
+(* -------------------------------------------------------------- thermal *)
+
+let thermal_cmd =
+  let r_theta_arg =
+    Arg.(value & opt float 40.0
+         & info [ "r-theta" ] ~docv:"K_PER_W"
+             ~doc:"Junction-to-ambient thermal resistance.")
+  in
+  let power_arg =
+    Arg.(value & opt float 0.0
+         & info [ "power" ] ~docv:"WATTS" ~doc:"Non-leakage power dissipated.")
+  in
+  let run device celsius circuit bench_file seed r_theta power =
+    let nl = load_circuit circuit bench_file in
+    let rng = Rng.create seed in
+    let pattern = List.hd (Simulate.random_patterns rng nl 1) in
+    let config =
+      { Leakage_core.Thermal.default_config with
+        r_theta; other_power = power; ambient = kelvin celsius }
+    in
+    match Leakage_core.Thermal.solve ~config ~device nl pattern with
+    | Leakage_core.Thermal.Converged op ->
+      Format.printf
+        "self-consistent point: T = %.2f C (ambient %.0f C), leakage power %.3f uW (%d iterations)@."
+        (Physics.kelvin_to_celsius op.Leakage_core.Thermal.temperature)
+        celsius
+        (op.Leakage_core.Thermal.leakage_power *. 1e6)
+        op.Leakage_core.Thermal.iterations;
+      pp_components "leakage at that point:" op.Leakage_core.Thermal.leakage
+    | Leakage_core.Thermal.Runaway { last_temp; iterations } ->
+      Format.printf
+        "THERMAL RUNAWAY: temperature passed %.0f C after %d iterations —          this package cannot sustain the circuit's leakage@."
+        (Physics.kelvin_to_celsius last_temp)
+        iterations
+  in
+  Cmd.v
+    (Cmd.info "thermal"
+       ~doc:"Find the self-consistent junction temperature including              leakage-power feedback (detects thermal runaway).")
+    Term.(const run $ device_arg $ temp_arg $ circuit_arg $ bench_file_arg
+          $ seed_arg $ r_theta_arg $ power_arg)
+
+(* -------------------------------------------------------------- dualvth *)
+
+let dualvth_cmd =
+  let margin_arg =
+    Arg.(value & opt int 1
+         & info [ "margin" ] ~docv:"LEVELS"
+             ~doc:"Keep low threshold within this many levels of the                    critical path.")
+  in
+  let shift_arg =
+    Arg.(value & opt float 0.08
+         & info [ "shift" ] ~docv:"VOLTS" ~doc:"High-Vth threshold increase.")
+  in
+  let run device celsius circuit bench_file seed margin shift =
+    let nl = load_circuit circuit bench_file in
+    let temp = kelvin celsius in
+    let low_lib = Library.create ~device ~temp () in
+    let high_device = Leakage_core.Dual_vth.high_vth_device ~shift device in
+    let high_lib =
+      Library.create ~device:high_device ~temp ~vdd:device.Params.vdd ()
+    in
+    let assignment =
+      Leakage_core.Dual_vth.slack_assignment ~critical_margin:margin nl
+    in
+    let rng = Rng.create seed in
+    let pattern = List.hd (Simulate.random_patterns rng nl 1) in
+    let e =
+      Leakage_core.Dual_vth.evaluate ~low_lib ~high_lib assignment nl pattern
+    in
+    Format.printf "%s: %d of %d gates assigned high-Vth (+%.0f mV, margin %d)@."
+      (Netlist.name nl) e.Leakage_core.Dual_vth.n_high (Netlist.gate_count nl)
+      (shift *. 1000.0) margin;
+    pp_components "all low-Vth:" e.Leakage_core.Dual_vth.baseline;
+    pp_components "dual-Vth:" e.Leakage_core.Dual_vth.totals;
+    Format.printf "  leakage reduction: %.2f%%@."
+      e.Leakage_core.Dual_vth.reduction_percent
+  in
+  Cmd.v
+    (Cmd.info "dualvth"
+       ~doc:"Evaluate a slack-based dual-threshold assignment with the              loading-aware estimator.")
+    Term.(const run $ device_arg $ temp_arg $ circuit_arg $ bench_file_arg
+          $ seed_arg $ margin_arg $ shift_arg)
+
+(* ----------------------------------------------------------------- prob *)
+
+let prob_cmd =
+  let p_one_arg =
+    Arg.(value & opt float 0.5
+         & info [ "p1" ] ~docv:"PROB"
+             ~doc:"Probability of '1' on every primary input.")
+  in
+  let run device celsius circuit bench_file p_one =
+    let nl = load_circuit circuit bench_file in
+    let temp = kelvin celsius in
+    let lib = Library.create ~device ~temp () in
+    let input_probability =
+      Array.make (Array.length (Netlist.inputs nl)) p_one
+    in
+    let e = Leakage_core.Probabilistic.expected_leakage ~input_probability lib nl in
+    Format.printf "%s, expected leakage over the input distribution (p1 = %.2f):@."
+      (Netlist.name nl) p_one;
+    pp_components "E[leakage] (loading):" e.Leakage_core.Probabilistic.totals;
+    pp_components "E[leakage] (no loading):"
+      e.Leakage_core.Probabilistic.baseline_totals
+  in
+  Cmd.v
+    (Cmd.info "prob"
+       ~doc:"Closed-form average leakage from signal probabilities (instead              of sampling random vectors).")
+    Term.(const run $ device_arg $ temp_arg $ circuit_arg $ bench_file_arg
+          $ p_one_arg)
+
+(* -------------------------------------------------------------- corners *)
+
+let corners_cmd =
+  let run device celsius circuit bench_file =
+    let nl = load_circuit circuit bench_file in
+    let temp = kelvin celsius in
+    let sigmas = Variation.paper_sigmas in
+    let rng = Rng.create 7 in
+    let pattern = List.hd (Simulate.random_patterns rng nl 1) in
+    Format.printf "%s across 3-sigma corners (one random vector):@."
+      (Netlist.name nl);
+    List.iter
+      (fun (tag, corner) ->
+        let d = Variation.corner_device device sigmas corner in
+        let lib = Library.create ~device:d ~temp () in
+        let est = Estimator.estimate lib nl pattern in
+        pp_components (tag ^ ":") est.Estimator.totals)
+      [ ("slow", Variation.Slow); ("typical", Variation.Typical);
+        ("fast", Variation.Fast) ]
+  in
+  Cmd.v
+    (Cmd.info "corners"
+       ~doc:"Estimate leakage at the slow / typical / fast process corners.")
+    Term.(const run $ device_arg $ temp_arg $ circuit_arg $ bench_file_arg)
+
+(* -------------------------------------------------------------- vectors *)
+
+let vectors_cmd =
+  let run device celsius circuit bench_file seed =
+    let nl = load_circuit circuit bench_file in
+    let temp = kelvin celsius in
+    let lib = Library.create ~device ~temp () in
+    let c = Vector_control.compare_objectives ~seed lib nl in
+    let show tag (r : Vector_control.search_result) =
+      Format.printf "  %-26s %s (%.1f nA)@." tag
+        (Logic.vector_to_string r.Vector_control.vector)
+        (na r.Vector_control.total)
+    in
+    show "minimum (loading-aware):" c.Vector_control.with_loading;
+    show "minimum (traditional):" c.Vector_control.without_loading;
+    Format.printf "  traditional optimum under loading: %.1f nA@."
+      (na c.Vector_control.without_under_loading);
+    Format.printf "  minimum vector changed by loading: %b@."
+      c.Vector_control.changed
+  in
+  Cmd.v
+    (Cmd.info "vectors"
+       ~doc:"Search the minimum-leakage input vector with and without the \
+             loading effect (input-vector control, §6).")
+    Term.(const run $ device_arg $ temp_arg $ circuit_arg $ bench_file_arg
+          $ seed_arg)
+
+let () =
+  let doc =
+    "loading-aware leakage analysis for nano-scaled bulk-CMOS logic \
+     (Mukhopadhyay, Bhunia, Roy; DATE 2005)"
+  in
+  let info = Cmd.info "leakctl" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; stats_cmd; generate_cmd; sim_cmd; estimate_cmd; characterize_cmd;
+            sweep_cmd; mc_cmd; stat_cmd; mtcmos_cmd; thermal_cmd; dualvth_cmd;
+            prob_cmd; corners_cmd; vectors_cmd ]))

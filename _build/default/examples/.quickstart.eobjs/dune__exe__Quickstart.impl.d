@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Leakage_circuit Leakage_core Leakage_device Leakage_spice List

@@ -1,0 +1,1 @@
+examples/temperature_study.mli:

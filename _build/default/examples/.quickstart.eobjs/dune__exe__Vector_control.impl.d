@@ -1,0 +1,1 @@
+examples/vector_control.ml: Array Format Leakage_benchmarks Leakage_circuit Leakage_core Leakage_device Leakage_spice List Printf String

@@ -1,0 +1,70 @@
+(* Device-flavour study (§4): the relative strength of the leakage
+   mechanisms decides which input vector leaks least.
+
+   The paper notes that a subthreshold-dominated device has its NAND2
+   minimum-leakage vector at "00" (stacking kills the dominant component)
+   while a gate-tunneling-dominated device moves the minimum to "10" (the
+   on-transistor near the output sees a degenerated |Vgs| through the stack
+   node, throttling the dominant tunneling). This example solves a NAND2 at
+   its transistor-level operating point for every vector across the three
+   D25 flavours, and adds the 3-sigma process corners of the baseline.
+
+   Run with: dune exec examples/device_flavours.exe *)
+
+module Params = Leakage_device.Params
+module Variation = Leakage_device.Variation
+module Logic = Leakage_circuit.Logic
+module Gate = Leakage_circuit.Gate
+module Report = Leakage_spice.Leakage_report
+module Testbench = Leakage_core.Testbench
+
+let na = Leakage_device.Physics.amps_to_nanoamps
+
+let nand2_row device vector =
+  Testbench.isolated_components ~device ~temp:300.0 (Gate.Nand 2)
+    (Logic.vector_of_string vector)
+
+let vectors = [ "00"; "01"; "10"; "11" ]
+
+let study name device =
+  Format.printf "-- %s --@." name;
+  Format.printf "%8s %12s %12s %12s %12s@." "vector" "Isub[nA]" "Igate[nA]"
+    "Ibtbt[nA]" "total[nA]";
+  let best = ref ("", infinity) in
+  List.iter
+    (fun vector ->
+      let c = nand2_row device vector in
+      let total = Report.total c in
+      if total < snd !best then best := (vector, total);
+      Format.printf "%8s %12.1f %12.1f %12.1f %12.1f@." vector
+        (na c.Report.isub) (na c.Report.igate) (na c.Report.ibtbt) (na total))
+    vectors;
+  Format.printf "   minimum-leakage vector: %s@.@." (fst !best);
+  fst !best
+
+let () =
+  Format.printf
+    "NAND2 leakage by input vector across device flavours (isolated cell):@.@.";
+  let min_s = study "D25-S (subthreshold-dominated)" Params.d25_s in
+  let min_g = study "D25-G (gate-tunneling-dominated)" Params.d25_g in
+  let _ = study "D25-JN (junction-dominated)" Params.d25_jn in
+  Format.printf
+    "Paper's §4 claim — the minimum vector depends on the dominant \
+     mechanism: sub-dominated -> %s, gate-dominated -> %s (%s)@.@." min_s
+    min_g
+    (if min_s <> min_g then "reproduced: they differ"
+     else "not separated under this calibration");
+
+  (* Process corners of the baseline: the same table at Fast/Typical/Slow. *)
+  Format.printf "D25 NAND2 total leakage across 3-sigma corners [nA]:@.";
+  Format.printf "%8s %12s %12s %12s@." "vector" "slow" "typical" "fast";
+  let sigmas = Variation.paper_sigmas in
+  let corner c = Variation.corner_device Params.d25 sigmas c in
+  List.iter
+    (fun vector ->
+      let total c = na (Report.total (nand2_row c vector)) in
+      Format.printf "%8s %12.1f %12.1f %12.1f@." vector
+        (total (corner Variation.Slow))
+        (total (corner Variation.Typical))
+        (total (corner Variation.Fast)))
+    vectors

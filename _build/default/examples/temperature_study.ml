@@ -1,0 +1,57 @@
+(* Temperature study (§5.2): how the loading effect and the component
+   balance move between room temperature and burn-in conditions, for a
+   single inverter and for a full circuit.
+
+   Run with: dune exec examples/temperature_study.exe *)
+
+module Params = Leakage_device.Params
+module Physics = Leakage_device.Physics
+module Logic = Leakage_circuit.Logic
+module Gate = Leakage_circuit.Gate
+module Report = Leakage_spice.Leakage_report
+module Library = Leakage_core.Library
+module Estimator = Leakage_core.Estimator
+module Loading = Leakage_core.Loading
+module Suite = Leakage_benchmarks.Suite
+module Simulate = Leakage_circuit.Simulate
+module Rng = Leakage_numeric.Rng
+
+let na = Physics.amps_to_nanoamps
+
+let () =
+  let device = Params.d25 in
+
+  (* 1. Single-inverter loading effect vs temperature (the Fig 9 view). *)
+  Format.printf "Inverter LD_ALL vs temperature (input '0', 1 uA in & out):@.";
+  Format.printf "%8s %10s %10s %10s %10s@." "T[C]" "LD_sub%" "LD_gate%"
+    "LD_btbt%" "LD_total%";
+  let pts =
+    Loading.temperature_sweep ~device
+      ~temps_celsius:[| 0.; 25.; 50.; 75.; 100.; 125.; 150. |]
+      ~input_current:1.0e-6 ~output_current:1.0e-6 Gate.Inv [| Logic.Zero |]
+  in
+  Array.iter
+    (fun (c, (p : Loading.ld_point)) ->
+      Format.printf "%8.0f %+10.2f %+10.2f %+10.2f %+10.2f@." c p.Loading.ld_sub
+        p.Loading.ld_gate p.Loading.ld_btbt p.Loading.ld_total)
+    pts;
+
+  (* 2. Circuit components vs temperature: the subthreshold take-over. *)
+  let circuit = (Suite.find "s838").Suite.build () in
+  let rng = Rng.create 42 in
+  let pattern = List.hd (Simulate.random_patterns rng circuit 1) in
+  Format.printf "@.s838 totals vs temperature (one random vector):@.";
+  Format.printf "%8s %12s %12s %12s %12s %10s@." "T[C]" "Isub[nA]" "Igate[nA]"
+    "Ibtbt[nA]" "total[nA]" "load-shift";
+  List.iter
+    (fun celsius ->
+      let temp = Physics.celsius_to_kelvin celsius in
+      let lib = Library.create ~device ~temp () in
+      let est = Estimator.estimate lib circuit pattern in
+      let t = est.Estimator.totals in
+      let base = Report.total est.Estimator.baseline_totals in
+      Format.printf "%8.0f %12.0f %12.0f %12.0f %12.0f %+9.2f%%@." celsius
+        (na t.Report.isub) (na t.Report.igate) (na t.Report.ibtbt)
+        (na (Report.total t))
+        ((Report.total t -. base) /. base *. 100.0))
+    [ 25.0; 75.0; 125.0 ]

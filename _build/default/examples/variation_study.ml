@@ -1,0 +1,76 @@
+(* Process-variation study (§5.3 / Figs 10-11): Monte-Carlo leakage
+   distributions of an inverter with and without its 6+6 loading inverters,
+   and the growth of the loading-induced spread with inter-die threshold
+   sigma.
+
+   Run with: dune exec examples/variation_study.exe *)
+
+module Params = Leakage_device.Params
+module Variation = Leakage_device.Variation
+module Logic = Leakage_circuit.Logic
+module Report = Leakage_spice.Leakage_report
+module Monte_carlo = Leakage_core.Monte_carlo
+module Stats = Leakage_numeric.Stats
+
+let na = Leakage_device.Physics.amps_to_nanoamps
+
+let ascii_histogram ~label ~bins values =
+  let h = Stats.histogram ~bins values in
+  let peak = Array.fold_left Stdlib.max 1 h.Stats.counts in
+  Format.printf "%s@." label;
+  let centers = Stats.bin_centers h in
+  Array.iteri
+    (fun i c ->
+      let width = c * 48 / peak in
+      Format.printf "  %8.0f | %s %d@." (na centers.(i)) (String.make width '#') c)
+    h.Stats.counts
+
+let () =
+  let device = Params.d25 in
+  let temp = 300.0 in
+  let sigmas = Variation.paper_sigmas in
+  let config = { Monte_carlo.paper_config with Monte_carlo.n_samples = 1500 } in
+  Format.printf "Monte Carlo: %d samples, 6+6 loading inverters, input '0'@.@."
+    config.Monte_carlo.n_samples;
+  let samples = Monte_carlo.run ~config ~device ~temp ~sigmas () in
+
+  let show_component name pick =
+    let loaded, unloaded = Monte_carlo.component_arrays samples ~pick in
+    let sl = Stats.summarize loaded and su = Stats.summarize unloaded in
+    Format.printf
+      "%-14s no-loading: mean %8.1f nA  std %8.1f | with loading: mean %8.1f nA  std %8.1f (mean %+5.2f%%, std %+5.2f%%)@."
+      name (na su.Stats.mean) (na su.Stats.std) (na sl.Stats.mean)
+      (na sl.Stats.std)
+      ((sl.Stats.mean -. su.Stats.mean) /. su.Stats.mean *. 100.0)
+      ((sl.Stats.std -. su.Stats.std) /. su.Stats.std *. 100.0)
+  in
+  show_component "subthreshold" (fun c -> c.Report.isub);
+  show_component "gate" (fun c -> c.Report.igate);
+  show_component "junction" (fun c -> c.Report.ibtbt);
+  show_component "total" Report.total;
+
+  Format.printf "@.";
+  let loaded_total, unloaded_total =
+    Monte_carlo.component_arrays samples ~pick:Report.total
+  in
+  ascii_histogram ~label:"Total leakage, no loading [nA]:" ~bins:14
+    unloaded_total;
+  Format.printf "@.";
+  ascii_histogram ~label:"Total leakage, with loading [nA]:" ~bins:14
+    loaded_total;
+
+  (* Fig 11: spread growth with inter-die threshold sigma. *)
+  Format.printf "@.Loading shift of mean / sigma vs inter-die sigma(Vth):@.";
+  Format.printf "%12s %14s %14s@." "sigma[mV]" "mean shift[%]" "std shift[%]";
+  let shifts =
+    Monte_carlo.spread_vs_sigma
+      ~config:{ config with Monte_carlo.n_samples = 600 }
+      ~device ~temp ~base_sigmas:sigmas
+      ~sigma_vth_inter_values:[| 0.030; 0.040; 0.050 |] ()
+  in
+  Array.iter
+    (fun (s : Monte_carlo.spread_shift) ->
+      Format.printf "%12.0f %+14.2f %+14.2f@."
+        (s.Monte_carlo.sigma_vth_inter *. 1000.0)
+        s.Monte_carlo.mean_shift_percent s.Monte_carlo.std_shift_percent)
+    shifts

@@ -1,0 +1,1 @@
+lib/benchmarks/adders.ml: Array Leakage_circuit

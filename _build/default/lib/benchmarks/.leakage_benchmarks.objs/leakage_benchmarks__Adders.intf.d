@@ -1,0 +1,1 @@
+lib/benchmarks/adders.mli: Leakage_circuit

@@ -1,0 +1,1 @@
+lib/benchmarks/alu8.ml: Adders Array Leakage_circuit Printf

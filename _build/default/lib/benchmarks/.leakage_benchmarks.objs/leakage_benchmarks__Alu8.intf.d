@@ -1,0 +1,1 @@
+lib/benchmarks/alu8.mli: Leakage_circuit

@@ -1,0 +1,1 @@
+lib/benchmarks/iscas.ml: Array Char Hashtbl Leakage_circuit Leakage_numeric List Option Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/benchmarks/iscas.mli: Leakage_circuit

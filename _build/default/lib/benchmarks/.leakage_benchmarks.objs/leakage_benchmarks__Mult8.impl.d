@@ -1,0 +1,1 @@
+lib/benchmarks/mult8.ml: Adders Array Leakage_circuit List Printf

@@ -1,0 +1,1 @@
+lib/benchmarks/mult8.mli: Leakage_circuit

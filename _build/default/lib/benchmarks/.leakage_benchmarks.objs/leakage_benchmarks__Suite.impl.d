@@ -1,0 +1,1 @@
+lib/benchmarks/suite.ml: Alu8 Iscas Leakage_circuit List Mult8

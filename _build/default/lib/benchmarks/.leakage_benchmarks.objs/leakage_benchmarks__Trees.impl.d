@@ -1,0 +1,1 @@
+lib/benchmarks/trees.ml: Adders Array Leakage_circuit List Printf

@@ -1,0 +1,1 @@
+lib/benchmarks/trees.mli: Leakage_circuit

@@ -1,0 +1,34 @@
+module B = Leakage_circuit.Netlist.Builder
+module Gate = Leakage_circuit.Gate
+
+let half_adder b x y =
+  let sum = B.gate b Gate.Xor [| x; y |] in
+  let carry = B.gate b (Gate.And 2) [| x; y |] in
+  (sum, carry)
+
+let full_adder b x y cin =
+  let t = B.gate b Gate.Xor [| x; y |] in
+  let sum = B.gate b Gate.Xor [| t; cin |] in
+  let c1 = B.gate b (Gate.And 2) [| x; y |] in
+  let c2 = B.gate b (Gate.And 2) [| t; cin |] in
+  let carry = B.gate b (Gate.Or 2) [| c1; c2 |] in
+  (sum, carry)
+
+let ripple_adder b xs ys cin =
+  let width = Array.length xs in
+  if Array.length ys <> width then
+    invalid_arg "Adders.ripple_adder: operand width mismatch";
+  let carry = ref cin in
+  let sums =
+    Array.init width (fun i ->
+        let sum, carry' = full_adder b xs.(i) ys.(i) !carry in
+        carry := carry';
+        sum)
+  in
+  (sums, !carry)
+
+let mux2 b ~sel x y =
+  let nsel = B.gate b Gate.Inv [| sel |] in
+  let ax = B.gate b (Gate.And 2) [| x; nsel |] in
+  let ay = B.gate b (Gate.And 2) [| y; sel |] in
+  B.gate b (Gate.Or 2) [| ax; ay |]

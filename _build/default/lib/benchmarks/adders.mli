@@ -1,0 +1,17 @@
+(** Gate-level adder building blocks shared by the ALU and the multiplier. *)
+
+type net := Leakage_circuit.Netlist.net
+type builder := Leakage_circuit.Netlist.Builder.t
+
+val half_adder : builder -> net -> net -> net * net
+(** [(sum, carry)]. *)
+
+val full_adder : builder -> net -> net -> net -> net * net
+(** [full_adder b a b' cin] is [(sum, carry)] from the classic two-XOR /
+    two-AND / OR decomposition. *)
+
+val ripple_adder : builder -> net array -> net array -> net -> net array * net
+(** [(sums, carry_out)] of two equal-width little-endian operands. *)
+
+val mux2 : builder -> sel:net -> net -> net -> net
+(** [mux2 ~sel a b] is [a] when [sel] is 0, [b] when 1. *)

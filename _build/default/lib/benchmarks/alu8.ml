@@ -1,0 +1,41 @@
+module B = Leakage_circuit.Netlist.Builder
+module Gate = Leakage_circuit.Gate
+
+let build ?(width = 8) () =
+  if width < 1 then invalid_arg "Alu8.build: width must be positive";
+  let b = B.create (Printf.sprintf "alu%d%d" width width) in
+  let a = Array.init width (fun i -> B.input ~name:(Printf.sprintf "a%d" i) b) in
+  let ops = Array.init width (fun i -> B.input ~name:(Printf.sprintf "b%d" i) b) in
+  let op0 = B.input ~name:"op0" b in
+  let op1 = B.input ~name:"op1" b in
+  let cin = B.input ~name:"cin" b in
+  let and_bits = Array.init width (fun i -> B.gate b (Gate.And 2) [| a.(i); ops.(i) |]) in
+  let or_bits = Array.init width (fun i -> B.gate b (Gate.Or 2) [| a.(i); ops.(i) |]) in
+  let xor_bits = Array.init width (fun i -> B.gate b Gate.Xor [| a.(i); ops.(i) |]) in
+  let sums, carry_out = Adders.ripple_adder b a ops cin in
+  let result =
+    Array.init width (fun i ->
+        (* op1 selects between the logic pair and the arithmetic pair;
+           op0 picks within each pair: 00 AND, 01 OR, 10 XOR, 11 ADD. *)
+        let logic = Adders.mux2 b ~sel:op0 and_bits.(i) or_bits.(i) in
+        let arith = Adders.mux2 b ~sel:op0 xor_bits.(i) sums.(i) in
+        Adders.mux2 b ~sel:op1 logic arith)
+  in
+  Array.iter (fun n -> B.mark_output b n) result;
+  (* The carry flag is only meaningful for ADD (op = 11); gate it so the
+     output bus matches the architectural reference for every opcode. *)
+  let gated_carry = B.gate b (Gate.And 3) [| carry_out; op0; op1 |] in
+  B.mark_output b gated_carry;
+  B.finish b
+
+let reference ~width ~a ~b ~op ~cin =
+  let mask = (1 lsl width) - 1 in
+  let a = a land mask and b = b land mask in
+  match op with
+  | 0 -> (a land b, false)
+  | 1 -> (a lor b, false)
+  | 2 -> (a lxor b, false)
+  | 3 ->
+    let s = a + b + if cin then 1 else 0 in
+    (s land mask, s > mask)
+  | _ -> invalid_arg "Alu8.reference: op outside 0-3"

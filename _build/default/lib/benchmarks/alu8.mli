@@ -1,0 +1,13 @@
+(** Structural 8-bit ALU (the paper's "alu88" benchmark).
+
+    Inputs: two 8-bit operands, a carry-in, and a 2-bit opcode selecting
+    AND / OR / XOR / ADD per bit through a gate-level 4:1 mux. Outputs: the
+    8-bit result and the adder carry-out. *)
+
+val build : ?width:int -> unit -> Leakage_circuit.Netlist.t
+(** Default width 8. Input order: a0..a{w-1}, b0..b{w-1}, op0, op1, cin. *)
+
+val reference :
+  width:int -> a:int -> b:int -> op:int -> cin:bool -> int * bool
+(** Software model used by the tests: [(result, carry_out)]; ops 0=AND, 1=OR,
+    2=XOR, 3=ADD. *)

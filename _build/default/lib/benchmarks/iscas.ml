@@ -1,0 +1,141 @@
+module Rng = Leakage_numeric.Rng
+module B = Leakage_circuit.Netlist.Builder
+module Gate = Leakage_circuit.Gate
+
+type profile = {
+  profile_name : string;
+  n_pi : int;
+  n_po : int;
+  n_ff : int;
+  n_gates : int;
+}
+
+let profiles = [
+  { profile_name = "s838"; n_pi = 34; n_po = 1; n_ff = 32; n_gates = 390 };
+  { profile_name = "s1196"; n_pi = 14; n_po = 14; n_ff = 18; n_gates = 530 };
+  { profile_name = "s1423"; n_pi = 17; n_po = 5; n_ff = 74; n_gates = 660 };
+  { profile_name = "s5378"; n_pi = 35; n_po = 49; n_ff = 179; n_gates = 2780 };
+  { profile_name = "s9234"; n_pi = 36; n_po = 39; n_ff = 211; n_gates = 5600 };
+  { profile_name = "s13207"; n_pi = 62; n_po = 152; n_ff = 638; n_gates = 7950 };
+]
+
+let c_profiles = [
+  { profile_name = "c432"; n_pi = 36; n_po = 7; n_ff = 0; n_gates = 160 };
+  { profile_name = "c880"; n_pi = 60; n_po = 26; n_ff = 0; n_gates = 383 };
+  { profile_name = "c1355"; n_pi = 41; n_po = 32; n_ff = 0; n_gates = 546 };
+  { profile_name = "c1908"; n_pi = 33; n_po = 25; n_ff = 0; n_gates = 880 };
+  { profile_name = "c2670"; n_pi = 233; n_po = 140; n_ff = 0; n_gates = 1193 };
+  { profile_name = "c3540"; n_pi = 50; n_po = 22; n_ff = 0; n_gates = 1669 };
+  { profile_name = "c5315"; n_pi = 178; n_po = 123; n_ff = 0; n_gates = 2307 };
+  { profile_name = "c6288"; n_pi = 32; n_po = 32; n_ff = 0; n_gates = 2416 };
+  { profile_name = "c7552"; n_pi = 207; n_po = 108; n_ff = 0; n_gates = 3512 };
+]
+
+let profile name =
+  match
+    List.find_opt (fun p -> p.profile_name = name) (profiles @ c_profiles)
+  with
+  | Some p -> p
+  | None -> raise Not_found
+
+(* Cell mix loosely following technology-mapped ISCAS89 statistics: NAND/NOR
+   heavy, a sprinkle of wide gates, inverters and a little XOR. Weights are
+   per-mille. *)
+let cell_mix = [
+  (200, Gate.Inv);
+  (260, Gate.Nand 2);
+  (150, Gate.Nor 2);
+  (80, Gate.Nand 3);
+  (50, Gate.Nor 3);
+  (30, Gate.Nand 4);
+  (60, Gate.And 2);
+  (60, Gate.Or 2);
+  (30, Gate.Xor);
+  (20, Gate.Buf);
+  (10, Gate.Xnor);
+  (30, Gate.Aoi21);
+  (20, Gate.Oai21);
+]
+
+let mix_total = List.fold_left (fun acc (w, _) -> acc + w) 0 cell_mix
+
+let pick_kind rng =
+  let roll = Rng.int rng mix_total in
+  let rec go acc = function
+    | [] -> Gate.Inv
+    | (w, k) :: rest -> if roll < acc + w then k else go (acc + w) rest
+  in
+  go 0 cell_mix
+
+let default_seed name =
+  (* Stable small hash of the name so each profile gets its own stream. *)
+  let h = ref 5381 in
+  String.iter (fun c -> h := ((!h * 33) + Char.code c) land 0x3FFFFFFF) name;
+  !h
+
+let generate ?seed p =
+  let seed = Option.value seed ~default:(default_seed p.profile_name) in
+  let rng = Rng.create seed in
+  let b = B.create p.profile_name in
+  let capacity = p.n_pi + p.n_ff + p.n_gates in
+  let nets = Array.make capacity 0 in
+  let count = ref 0 in
+  let push n =
+    nets.(!count) <- n;
+    incr count
+  in
+  for i = 0 to p.n_pi - 1 do
+    push (B.input ~name:(Printf.sprintf "pi%d" i) b)
+  done;
+  for i = 0 to p.n_ff - 1 do
+    push (B.input ~name:(Printf.sprintf "ff%d" i) b)
+  done;
+  (* Fan-in selection biased toward recent nets, so depth grows and the
+     fanout distribution comes out long-tailed like mapped logic; a 15%
+     uniform tail creates reconvergence and high-fanout nets. *)
+  let pick_fanin () =
+    let n = !count in
+    if Rng.uniform rng < 0.15 then nets.(Rng.int rng n)
+    else begin
+      let u = Rng.uniform rng in
+      let back = int_of_float (u *. u *. float_of_int n) in
+      nets.(n - 1 - Stdlib.min back (n - 1))
+    end
+  in
+  (* Mapped netlists carry a spread of drive strengths; mirror a typical
+     60/30/10 split of X1/X2/X4 cells. *)
+  let pick_strength () =
+    let roll = Rng.int rng 10 in
+    if roll < 6 then 1.0 else if roll < 9 then 2.0 else 4.0
+  in
+  for _ = 1 to p.n_gates do
+    let kind = pick_kind rng in
+    let arity = Gate.arity kind in
+    let seen = Hashtbl.create 4 in
+    let fan_in =
+      Array.init arity (fun _ ->
+          let n = ref (pick_fanin ()) in
+          let tries = ref 0 in
+          while Hashtbl.mem seen !n && !tries < 8 do
+            n := pick_fanin ();
+            incr tries
+          done;
+          Hashtbl.replace seen !n ();
+          !n)
+    in
+    push (B.gate ~strength:(pick_strength ()) b kind fan_in)
+  done;
+  (* Sinks (true POs plus flip-flop D pins): the most recent nets are the
+     least likely to have been consumed, so take half from the top of the
+     creation order and half at random. *)
+  let n_sinks = p.n_po + p.n_ff in
+  for i = 0 to n_sinks - 1 do
+    let net =
+      if i < n_sinks / 2 && i < !count then nets.(!count - 1 - i)
+      else nets.(Rng.int rng !count)
+    in
+    B.mark_output b net
+  done;
+  B.finish b
+
+let generate_by_name ?seed name = generate ?seed (profile name)

@@ -1,0 +1,36 @@
+(** Synthetic ISCAS89-profile benchmark circuits.
+
+    The paper evaluates on six ISCAS89 circuits whose netlists are not
+    available in this environment; per the substitution policy (DESIGN.md
+    §2) we generate seeded random combinational circuits matched to each
+    circuit's published interface and size profile (primary I/O count,
+    flip-flop count — cut into pseudo-I/O — and gate count), with a
+    realistic cell mix and depth-biased fan-in selection. The circuit-level
+    loading statistics the paper reports depend on these aggregates, not on
+    the specific ISCAS logic functions. Real [.bench] files can be used
+    instead via [Leakage_circuit.Bench_format.parse_file]. *)
+
+type profile = {
+  profile_name : string;
+  n_pi : int;        (** true primary inputs *)
+  n_po : int;        (** true primary outputs *)
+  n_ff : int;        (** flip-flops, cut into pseudo PI/PO pairs *)
+  n_gates : int;     (** combinational gate target *)
+}
+
+val profiles : profile list
+(** s838, s1196, s1423, s5378, s9234, s13207 (the paper's table lists
+    "s5372"/"s9378", which we read as typos for the standard s5378/s9234). *)
+
+val c_profiles : profile list
+(** ISCAS85 combinational profiles (c432 … c7552, [n_ff = 0]) — not in the
+    paper's table, provided for wider benchmarking. *)
+
+val profile : string -> profile
+(** Lookup by name across both profile lists; raises [Not_found]. *)
+
+val generate : ?seed:int -> profile -> Leakage_circuit.Netlist.t
+(** Deterministic for a given (profile, seed); default seed derived from the
+    profile name. *)
+
+val generate_by_name : ?seed:int -> string -> Leakage_circuit.Netlist.t

@@ -1,0 +1,57 @@
+module B = Leakage_circuit.Netlist.Builder
+module Gate = Leakage_circuit.Gate
+
+(* One adder cell with optional second operand / carry-in (constant-zero
+   inputs are elided rather than modeled as nets). Returns (sum, carry). *)
+let add3 b x y_opt c_opt =
+  match y_opt, c_opt with
+  | Some y, Some c ->
+    let sum, carry = Adders.full_adder b x y c in
+    (sum, Some carry)
+  | Some y, None ->
+    let sum, carry = Adders.half_adder b x y in
+    (sum, Some carry)
+  | None, Some c ->
+    let sum, carry = Adders.half_adder b x c in
+    (sum, Some carry)
+  | None, None -> (x, None)
+
+(* Shift-add array: S_0 = pp_0, S_j = (S_{j-1} >> 1) + pp_j, emitting the
+   low bit of each S_j as product bit j. *)
+let build ?(width = 8) () =
+  if width < 2 then invalid_arg "Mult8.build: width must be at least 2";
+  let b = B.create (Printf.sprintf "mult%d%d" width width) in
+  let a = Array.init width (fun i -> B.input ~name:(Printf.sprintf "a%d" i) b) in
+  let y = Array.init width (fun j -> B.input ~name:(Printf.sprintf "b%d" j) b) in
+  let pp i j = B.gate b (Gate.And 2) [| a.(i); y.(j) |] in
+  let running = ref (Array.init width (fun i -> pp i 0)) in
+  let top = ref None in
+  let product = ref [ !running.(0) ] (* p0, collected in reverse *) in
+  for j = 1 to width - 1 do
+    let carry = ref None in
+    let next =
+      Array.init width (fun i ->
+          let shifted =
+            if i < width - 1 then Some !running.(i + 1) else !top
+          in
+          let sum, carry' = add3 b (pp i j) shifted !carry in
+          carry := carry';
+          sum)
+    in
+    top := !carry;
+    running := next;
+    product := next.(0) :: !product
+  done;
+  (* Remaining high bits: S_{w-1} shifted out, then the final carry. *)
+  for i = 1 to width - 1 do
+    product := !running.(i) :: !product
+  done;
+  (match !top with
+   | Some t -> product := t :: !product
+   | None -> assert false (* width >= 2 always produces a top carry net *));
+  List.iter (fun n -> B.mark_output b n) (List.rev !product);
+  B.finish b
+
+let reference ~width ~a ~b =
+  let mask = (1 lsl width) - 1 in
+  (a land mask) * (b land mask)

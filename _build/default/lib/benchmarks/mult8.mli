@@ -1,0 +1,10 @@
+(** Structural 8×8 array multiplier (the paper's "mult88" benchmark).
+
+    Classic carry-save array: an AND partial-product matrix reduced row by
+    row with half/full adders, with a final ripple chain for the top bits.
+    Inputs a0..a7, b0..b7 (little-endian); outputs p0..p15. *)
+
+val build : ?width:int -> unit -> Leakage_circuit.Netlist.t
+
+val reference : width:int -> a:int -> b:int -> int
+(** Software product model used by the tests. *)

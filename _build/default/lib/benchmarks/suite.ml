@@ -1,0 +1,22 @@
+type entry = {
+  label : string;
+  build : unit -> Leakage_circuit.Netlist.t;
+}
+
+let iscas name = { label = name; build = (fun () -> Iscas.generate_by_name name) }
+
+let all =
+  [
+    iscas "s838";
+    iscas "s1196";
+    iscas "s1423";
+    iscas "s5378";
+    iscas "s9234";
+    iscas "s13207";
+    { label = "alu88"; build = (fun () -> Alu8.build ()) };
+    { label = "mult88"; build = (fun () -> Mult8.build ()) };
+  ]
+
+let find label = List.find (fun e -> e.label = label) all
+
+let names = List.map (fun e -> e.label) all

@@ -1,0 +1,16 @@
+(** The paper's benchmark suite (§6 / Fig 12): six ISCAS89-profile circuits,
+    the 8-bit ALU and the 8×8 multiplier. *)
+
+type entry = {
+  label : string;        (** name used in Fig 12's x-axis *)
+  build : unit -> Leakage_circuit.Netlist.t;
+}
+
+val all : entry list
+(** s838, s1196, s1423, s5378, s9234, s13207, alu88, mult88 — in the
+    paper's plotting order. *)
+
+val find : string -> entry
+(** Raises [Not_found]. *)
+
+val names : string list

@@ -1,0 +1,1 @@
+lib/circuit/gate.ml: Array Fun List Logic Option Printf Stdlib String

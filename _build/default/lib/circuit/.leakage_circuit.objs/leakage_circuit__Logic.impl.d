@@ -1,0 +1,1 @@
+lib/circuit/logic.ml: Array Leakage_numeric List Printf String

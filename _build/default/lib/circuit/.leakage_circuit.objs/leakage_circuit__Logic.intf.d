@@ -1,0 +1,1 @@
+lib/circuit/logic.mli: Leakage_numeric

@@ -1,0 +1,1 @@
+lib/circuit/simulate.ml: Array Gate List Logic Netlist Printf Topo

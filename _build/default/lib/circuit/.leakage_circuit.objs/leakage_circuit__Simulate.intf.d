@@ -1,0 +1,1 @@
+lib/circuit/simulate.mli: Leakage_numeric Logic Netlist

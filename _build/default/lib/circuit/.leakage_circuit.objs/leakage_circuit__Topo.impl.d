@@ -1,0 +1,1 @@
+lib/circuit/topo.ml: Array Netlist Topo_check

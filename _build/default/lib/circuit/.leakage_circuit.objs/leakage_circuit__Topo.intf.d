@@ -1,0 +1,1 @@
+lib/circuit/topo.mli: Netlist

@@ -1,0 +1,1 @@
+lib/circuit/topo_check.ml: Array List Queue Stdlib

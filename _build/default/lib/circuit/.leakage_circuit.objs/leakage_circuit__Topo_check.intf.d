@@ -1,0 +1,1 @@
+lib/circuit/topo_check.mli:

@@ -1,0 +1,343 @@
+exception Parse_error of int * string
+
+type op =
+  | Op_and
+  | Op_or
+  | Op_nand
+  | Op_nor
+  | Op_not
+  | Op_buf
+  | Op_xor
+  | Op_xnor
+  | Op_dff
+
+let op_of_string line_no s =
+  match String.uppercase_ascii s with
+  | "AND" -> Op_and
+  | "OR" -> Op_or
+  | "NAND" -> Op_nand
+  | "NOR" -> Op_nor
+  | "NOT" | "INV" -> Op_not
+  | "BUF" | "BUFF" -> Op_buf
+  | "XOR" -> Op_xor
+  | "XNOR" -> Op_xnor
+  | "DFF" -> Op_dff
+  | other -> raise (Parse_error (line_no, "unknown operator " ^ other))
+
+type decl = {
+  line : int;
+  target : string;
+  op : op;
+  args : string list;
+  strength : float;
+}
+
+type parsed = {
+  p_inputs : string list;  (* in file order *)
+  p_outputs : string list;
+  p_decls : decl list;
+}
+
+let strip s = String.trim s
+
+let split_args s =
+  String.split_on_char ',' s
+  |> List.map strip
+  |> List.filter (fun a -> a <> "")
+
+(* Strength annotations ride in comments ("# strength=2") so sized netlists
+   round-trip while plain ISCAS89 files stay untouched. *)
+let strength_of_comment comment =
+  let marker = "strength=" in
+  let mlen = String.length marker in
+  let clen = String.length comment in
+  let rec find i =
+    if i + mlen > clen then None
+    else if String.sub comment i mlen = marker then begin
+      let j = ref (i + mlen) in
+      while
+        !j < clen
+        && (match comment.[!j] with '0' .. '9' | '.' | 'e' | '-' | '+' -> true | _ -> false)
+      do
+        incr j
+      done;
+      float_of_string_opt (String.sub comment (i + mlen) (!j - i - mlen))
+    end
+    else find (i + 1)
+  in
+  find 0
+
+(* Recognize "NAME = OP(arg, ...)" / "INPUT(x)" / "OUTPUT(x)". *)
+let parse_line line_no raw acc =
+  let line, strength =
+    match String.index_opt raw '#' with
+    | Some i ->
+      let comment = String.sub raw i (String.length raw - i) in
+      ( String.sub raw 0 i,
+        Option.value ~default:1.0 (strength_of_comment comment) )
+    | None -> (raw, 1.0)
+  in
+  let line = strip line in
+  if line = "" then acc
+  else begin
+    let paren_body prefix =
+      let plen = String.length prefix in
+      if String.length line > plen
+         && String.uppercase_ascii (String.sub line 0 plen) = prefix
+      then begin
+        let rest = strip (String.sub line plen (String.length line - plen)) in
+        if String.length rest >= 2 && rest.[0] = '(' && rest.[String.length rest - 1] = ')'
+        then Some (strip (String.sub rest 1 (String.length rest - 2)))
+        else raise (Parse_error (line_no, "malformed " ^ prefix ^ " line"))
+      end
+      else None
+    in
+    match paren_body "INPUT" with
+    | Some name -> { acc with p_inputs = name :: acc.p_inputs }
+    | None ->
+      match paren_body "OUTPUT" with
+      | Some name -> { acc with p_outputs = name :: acc.p_outputs }
+      | None ->
+        match String.index_opt line '=' with
+        | None -> raise (Parse_error (line_no, "expected assignment: " ^ line))
+        | Some eq ->
+          let target = strip (String.sub line 0 eq) in
+          let rhs = strip (String.sub line (eq + 1) (String.length line - eq - 1)) in
+          (match String.index_opt rhs '(' with
+           | None -> raise (Parse_error (line_no, "expected OP(...): " ^ rhs))
+           | Some lp ->
+             if rhs.[String.length rhs - 1] <> ')' then
+               raise (Parse_error (line_no, "missing ')': " ^ rhs));
+             let opname = strip (String.sub rhs 0 lp) in
+             let body = String.sub rhs (lp + 1) (String.length rhs - lp - 2) in
+             let args = split_args body in
+             if target = "" then raise (Parse_error (line_no, "empty target"));
+             if args = [] then raise (Parse_error (line_no, "no arguments"));
+             let d =
+               { line = line_no; target; op = op_of_string line_no opname;
+                 args; strength }
+             in
+             { acc with p_decls = d :: acc.p_decls })
+  end
+
+let parse_text text =
+  let lines = String.split_on_char '\n' text in
+  let acc = { p_inputs = []; p_outputs = []; p_decls = [] } in
+  let parsed, _ =
+    List.fold_left
+      (fun (acc, no) l -> (parse_line no l acc, no + 1))
+      (acc, 1) lines
+  in
+  {
+    p_inputs = List.rev parsed.p_inputs;
+    p_outputs = List.rev parsed.p_outputs;
+    p_decls = List.rev parsed.p_decls;
+  }
+
+(* Reduce a wide associative gate to a tree of <=4-input cells. The final
+   cell carries the output polarity; inner levels use the plain AND/OR. *)
+let rec reduce_tree b mk_inner (nets : Netlist.net list) =
+  if List.length nets <= 4 then Array.of_list nets
+  else begin
+    let rec chunk acc current = function
+      | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+      | x :: rest ->
+        if List.length current = 4 then chunk (List.rev current :: acc) [ x ] rest
+        else chunk acc (x :: current) rest
+    in
+    let groups = chunk [] [] nets in
+    let reduced =
+      List.map
+        (fun group ->
+          match group with
+          | [ single ] -> single
+          | group -> Netlist.Builder.gate b (mk_inner (List.length group)) (Array.of_list group))
+        groups
+    in
+    reduce_tree b mk_inner reduced
+  end
+
+let build_gate b op ~strength (args : Netlist.net list) =
+  let module B = Netlist.Builder in
+  let gate kind arr = B.gate ~strength b kind arr in
+  let n = List.length args in
+  let arr = Array.of_list args in
+  match op, n with
+  | Op_not, 1 -> gate Gate.Inv arr
+  | Op_buf, 1 -> gate Gate.Buf arr
+  | (Op_not | Op_buf), _ ->
+    invalid_arg "bench: NOT/BUFF takes exactly one argument"
+  | Op_and, 1 -> gate Gate.Buf arr
+  | Op_or, 1 -> gate Gate.Buf arr
+  | Op_nand, 1 -> gate Gate.Inv arr
+  | Op_nor, 1 -> gate Gate.Inv arr
+  | Op_and, n when n <= 4 -> gate (Gate.And n) arr
+  | Op_or, n when n <= 4 -> gate (Gate.Or n) arr
+  | Op_nand, n when n <= 4 -> gate (Gate.Nand n) arr
+  | Op_nor, n when n <= 4 -> gate (Gate.Nor n) arr
+  | Op_and, _ ->
+    let leaves = reduce_tree b (fun k -> Gate.And k) args in
+    gate (Gate.And (Array.length leaves)) leaves
+  | Op_or, _ ->
+    let leaves = reduce_tree b (fun k -> Gate.Or k) args in
+    gate (Gate.Or (Array.length leaves)) leaves
+  | Op_nand, _ ->
+    let leaves = reduce_tree b (fun k -> Gate.And k) args in
+    gate (Gate.Nand (Array.length leaves)) leaves
+  | Op_nor, _ ->
+    let leaves = reduce_tree b (fun k -> Gate.Or k) args in
+    gate (Gate.Nor (Array.length leaves)) leaves
+  | Op_xor, 2 -> gate Gate.Xor arr
+  | Op_xnor, 2 -> gate Gate.Xnor arr
+  | Op_xor, _ ->
+    (* left-fold XOR chain *)
+    (match args with
+     | [] | [ _ ] -> invalid_arg "bench: XOR needs >= 2 arguments"
+     | first :: rest ->
+       List.fold_left (fun acc a -> gate Gate.Xor [| acc; a |]) first rest)
+  | Op_xnor, _ ->
+    (match args with
+     | [] | [ _ ] -> invalid_arg "bench: XNOR needs >= 2 arguments"
+     | first :: rest ->
+       let x = List.fold_left (fun acc a -> gate Gate.Xor [| acc; a |]) first rest in
+       gate Gate.Inv [| x |])
+  | Op_dff, _ -> invalid_arg "bench: DFF handled separately"
+
+let parse_string ~name text =
+  let parsed = parse_text text in
+  let module B = Netlist.Builder in
+  let b = B.create name in
+  let net_of_name : (string, Netlist.net) Hashtbl.t = Hashtbl.create 256 in
+  let decl_of_target : (string, decl) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun d ->
+      if Hashtbl.mem decl_of_target d.target then
+        raise (Parse_error (d.line, "redefinition of " ^ d.target));
+      Hashtbl.replace decl_of_target d.target d)
+    parsed.p_decls;
+  (* Primary inputs, then flip-flop Q nets as pseudo-inputs (file order). *)
+  List.iter
+    (fun n -> Hashtbl.replace net_of_name n (B.input ~name:n b))
+    parsed.p_inputs;
+  List.iter
+    (fun d ->
+      if d.op = Op_dff then begin
+        if Hashtbl.mem net_of_name d.target then
+          raise (Parse_error (d.line, "DFF output clashes with input " ^ d.target));
+        Hashtbl.replace net_of_name d.target (B.input ~name:d.target b)
+      end)
+    parsed.p_decls;
+  (* Recursive elaboration in dependency order. *)
+  let in_progress = Hashtbl.create 16 in
+  let rec net_of line_no target =
+    match Hashtbl.find_opt net_of_name target with
+    | Some n -> n
+    | None ->
+      if Hashtbl.mem in_progress target then
+        raise (Parse_error (line_no, "combinational cycle through " ^ target));
+      (match Hashtbl.find_opt decl_of_target target with
+       | None -> raise (Parse_error (line_no, "undefined signal " ^ target))
+       | Some d ->
+         Hashtbl.replace in_progress target ();
+         let args = List.map (net_of d.line) d.args in
+         let net =
+           try build_gate b d.op ~strength:d.strength args
+           with Invalid_argument msg -> raise (Parse_error (d.line, msg))
+         in
+         Hashtbl.remove in_progress target;
+         Hashtbl.replace net_of_name target net;
+         net)
+  in
+  (* Elaborate everything reachable from outputs and DFF data pins, then any
+     remaining dangling definitions so validation sees a closed circuit. *)
+  List.iter (fun o -> ignore (net_of 0 o)) parsed.p_outputs;
+  List.iter
+    (fun d -> if d.op = Op_dff then
+        List.iter (fun a -> ignore (net_of d.line a)) d.args)
+    parsed.p_decls;
+  List.iter
+    (fun d -> if d.op <> Op_dff then ignore (net_of d.line d.target))
+    parsed.p_decls;
+  (* POs, plus DFF D pins as pseudo-outputs. *)
+  List.iter (fun o -> B.mark_output b (net_of 0 o)) parsed.p_outputs;
+  List.iter
+    (fun d ->
+      if d.op = Op_dff then
+        List.iter (fun a -> B.mark_output b (net_of d.line a)) d.args)
+    parsed.p_decls;
+  B.finish b
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let name = Filename.remove_extension (Filename.basename path) in
+  parse_string ~name text
+
+let op_name_of_kind = function
+  | Gate.Inv -> "NOT"
+  | Gate.Buf -> "BUFF"
+  | Gate.Nand _ -> "NAND"
+  | Gate.Nor _ -> "NOR"
+  | Gate.And _ -> "AND"
+  | Gate.Or _ -> "OR"
+  | Gate.Xor -> "XOR"
+  | Gate.Xnor -> "XNOR"
+  | Gate.Aoi21 | Gate.Aoi22 | Gate.Oai21 | Gate.Oai22 ->
+    invalid_arg "bench: complex cells are decomposed when written"
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" (Netlist.name t));
+  Array.iter
+    (fun n -> Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" (Netlist.net_name t n)))
+    (Netlist.inputs t);
+  Array.iter
+    (fun n -> Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" (Netlist.net_name t n)))
+    (Netlist.outputs t);
+  Buffer.add_char buf '\n';
+  let line ?(strength = 1.0) target op args =
+    let annotation =
+      if strength = 1.0 then ""
+      else Printf.sprintf "  # strength=%g" strength
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%s = %s(%s)%s\n" target op (String.concat ", " args)
+         annotation)
+  in
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      let pin i = Netlist.net_name t g.fan_in.(i) in
+      let args = List.init (Array.length g.fan_in) pin in
+      let out = Netlist.net_name t g.out in
+      (* .bench has no complex-gate ops: AOI/OAI are emitted as their
+         AND/OR + NOR/NAND decomposition through fresh helper nets. The
+         round trip preserves the logic function (not the cell count). *)
+      let tmp i = Printf.sprintf "__%s_t%d" out i in
+      let strength = g.strength in
+      match g.kind with
+      | Gate.Aoi21 ->
+        line ~strength (tmp 0) "AND" [ pin 0; pin 1 ];
+        line ~strength out "NOR" [ tmp 0; pin 2 ]
+      | Gate.Aoi22 ->
+        line ~strength (tmp 0) "AND" [ pin 0; pin 1 ];
+        line ~strength (tmp 1) "AND" [ pin 2; pin 3 ];
+        line ~strength out "NOR" [ tmp 0; tmp 1 ]
+      | Gate.Oai21 ->
+        line ~strength (tmp 0) "OR" [ pin 0; pin 1 ];
+        line ~strength out "NAND" [ tmp 0; pin 2 ]
+      | Gate.Oai22 ->
+        line ~strength (tmp 0) "OR" [ pin 0; pin 1 ];
+        line ~strength (tmp 1) "OR" [ pin 2; pin 3 ];
+        line ~strength out "NAND" [ tmp 0; tmp 1 ]
+      | Gate.Inv | Gate.Buf | Gate.Nand _ | Gate.Nor _ | Gate.And _
+      | Gate.Or _ | Gate.Xor | Gate.Xnor ->
+        line ~strength out (op_name_of_kind g.kind) args)
+    (Netlist.gates t);
+  Buffer.contents buf
+
+let write_file path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc

@@ -1,0 +1,34 @@
+(** ISCAS89 [.bench] netlist reader / writer.
+
+    The paper evaluates on ISCAS89 circuits; this module lets real [.bench]
+    files drop in when available (the repository itself ships synthetic
+    profile-matched circuits — see [Leakage_benchmarks.Iscas]).
+
+    Sequential elements ([DFF]) are cut: the flip-flop output becomes a
+    pseudo primary input and its data pin a pseudo primary output, which is
+    the standard combinational reduction for static leakage analysis.
+
+    Gates wider than the cell library's 4-input limit are decomposed into
+    balanced AND/OR trees feeding a final gate of the requested polarity.
+
+    Drive strengths are serialized as trailing comments
+    ("y = NAND(a, b)  # strength=2") — plain ISCAS89 files parse unchanged
+    (everything at strength 1), and files written here round-trip their
+    sizing. *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val parse_string : name:string -> string -> Netlist.t
+(** Parse [.bench] text. Raises {!Parse_error} on malformed input and
+    [Failure] if the described circuit fails validation. *)
+
+val parse_file : string -> Netlist.t
+(** Parse a file; the netlist is named after the basename. *)
+
+val to_string : Netlist.t -> string
+(** Render a netlist as [.bench] text (combinational: no DFF lines; pseudo
+    PIs/POs appear as INPUT/OUTPUT). Re-parsing yields an equivalent
+    circuit. *)
+
+val write_file : string -> Netlist.t -> unit

@@ -1,0 +1,34 @@
+type value = Zero | One
+
+let of_bool b = if b then One else Zero
+let to_bool = function Zero -> false | One -> true
+let lnot = function Zero -> One | One -> Zero
+let to_char = function Zero -> '0' | One -> '1'
+
+let of_char = function
+  | '0' -> Zero
+  | '1' -> One
+  | c -> invalid_arg (Printf.sprintf "Logic.of_char: %c" c)
+
+type vector = value array
+
+let vector_of_string s =
+  Array.init (String.length s) (fun i -> of_char s.[i])
+
+let vector_to_string v =
+  String.init (Array.length v) (fun i -> to_char v.(i))
+
+let vector_of_int ~width n =
+  if width < 0 then invalid_arg "Logic.vector_of_int: negative width";
+  Array.init width (fun i ->
+      of_bool (n land (1 lsl (width - 1 - i)) <> 0))
+
+let int_of_vector v =
+  Array.fold_left (fun acc b -> (acc lsl 1) lor (if to_bool b then 1 else 0)) 0 v
+
+let all_vectors arity =
+  if arity < 0 || arity > 16 then invalid_arg "Logic.all_vectors: arity outside [0,16]";
+  List.init (1 lsl arity) (fun n -> vector_of_int ~width:arity n)
+
+let random_vector rng n =
+  Array.init n (fun _ -> of_bool (Leakage_numeric.Rng.bool rng))

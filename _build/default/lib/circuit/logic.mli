@@ -1,0 +1,32 @@
+(** Two-valued logic for DC leakage analysis.
+
+    Leakage estimation always applies a fully specified input vector, so a
+    two-valued domain is sufficient (the paper's method propagates logic
+    values the same way). *)
+
+type value = Zero | One
+
+val of_bool : bool -> value
+val to_bool : value -> bool
+val lnot : value -> value
+val to_char : value -> char
+val of_char : char -> value
+(** ['0'|'1']; raises [Invalid_argument] otherwise. *)
+
+type vector = value array
+
+val vector_of_string : string -> vector
+(** ["010"] → [|Zero; One; Zero|]. *)
+
+val vector_to_string : vector -> string
+
+val all_vectors : int -> vector list
+(** Every vector of the given arity, in counting order ("00","01","10","11").
+    Arity must be at most 16. *)
+
+val random_vector : Leakage_numeric.Rng.t -> int -> vector
+
+val int_of_vector : vector -> int
+(** Big-endian: first element is the most significant bit. *)
+
+val vector_of_int : width:int -> int -> vector

@@ -1,0 +1,242 @@
+type net = int
+
+type gate = {
+  id : int;
+  kind : Gate.kind;
+  strength : float;
+  fan_in : net array;
+  out : net;
+}
+
+type t = {
+  nname : string;
+  ngates : gate array;
+  nnet_count : int;
+  ninputs : net array;
+  noutputs : net array;
+  nnet_names : string array;
+  is_input_flag : bool array;
+  is_output_flag : bool array;
+  mutable driver_cache : gate option array option;
+  mutable fanout_cache : gate list array option;
+}
+
+let name t = t.nname
+let gates t = t.ngates
+let net_count t = t.nnet_count
+let inputs t = t.ninputs
+let outputs t = t.noutputs
+
+let net_name t n =
+  if n < 0 || n >= t.nnet_count then invalid_arg "Netlist.net_name";
+  t.nnet_names.(n)
+
+let build_driver_cache t =
+  match t.driver_cache with
+  | Some c -> c
+  | None ->
+    let c = Array.make t.nnet_count None in
+    Array.iter (fun g -> c.(g.out) <- Some g) t.ngates;
+    t.driver_cache <- Some c;
+    c
+
+let build_fanout_cache t =
+  match t.fanout_cache with
+  | Some c -> c
+  | None ->
+    let c = Array.make t.nnet_count [] in
+    (* Iterate in reverse so each fanout list comes out in gate-id order;
+       a gate using one net on several pins appears once per pin. *)
+    for i = Array.length t.ngates - 1 downto 0 do
+      let g = t.ngates.(i) in
+      Array.iter (fun n -> c.(n) <- g :: c.(n)) g.fan_in
+    done;
+    t.fanout_cache <- Some c;
+    c
+
+let driver t n = (build_driver_cache t).(n)
+let fanout t n = (build_fanout_cache t).(n)
+
+let is_input t n = t.is_input_flag.(n)
+let is_output t n = t.is_output_flag.(n)
+
+let gate_count t = Array.length t.ngates
+
+let transistor_count t =
+  Array.fold_left (fun acc g -> acc + Gate.transistor_count g.kind) 0 t.ngates
+
+let gate_inputs_arr t = Array.map (fun g -> g.fan_in) t.ngates
+let gate_outputs_arr t = Array.map (fun g -> g.out) t.ngates
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let driver_count = Array.make t.nnet_count 0 in
+  Array.iter (fun g -> driver_count.(g.out) <- driver_count.(g.out) + 1) t.ngates;
+  Array.iter (fun n -> driver_count.(n) <- driver_count.(n) + 1) t.ninputs;
+  let problem = ref None in
+  let record p = if !problem = None then problem := Some p in
+  Array.iteri
+    (fun n c ->
+      if c = 0 then
+        record (Printf.sprintf "net %d (%s) has no driver" n t.nnet_names.(n))
+      else if c > 1 then
+        record (Printf.sprintf "net %d (%s) has %d drivers" n t.nnet_names.(n) c))
+    driver_count;
+  Array.iter
+    (fun g ->
+      if Array.length g.fan_in <> Gate.arity g.kind then
+        record
+          (Printf.sprintf "gate %d (%s) has %d pins, expects %d" g.id
+             (Gate.name g.kind) (Array.length g.fan_in) (Gate.arity g.kind)))
+    t.ngates;
+  match !problem with
+  | Some p -> err "%s: %s" t.nname p
+  | None ->
+    (match
+       Topo_check.sort ~net_count:t.nnet_count ~source_nets:t.ninputs
+         ~gate_inputs:(gate_inputs_arr t) ~gate_outputs:(gate_outputs_arr t)
+     with
+     | Some _ -> Ok ()
+     | None -> err "%s: combinational cycle" t.nname)
+
+type stats = {
+  n_gates : int;
+  n_nets : int;
+  n_inputs : int;
+  n_outputs : int;
+  n_transistors : int;
+  max_fanout : int;
+  avg_fanout : float;
+  levels : int;
+  kind_histogram : (string * int) list;
+}
+
+let stats t =
+  let fanouts = Array.map List.length (build_fanout_cache t) in
+  let max_fanout = Array.fold_left Stdlib.max 0 fanouts in
+  let total_fanout = Array.fold_left ( + ) 0 fanouts in
+  let histogram = Hashtbl.create 16 in
+  Array.iter
+    (fun g ->
+      let k = Gate.name g.kind in
+      Hashtbl.replace histogram k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt histogram k)))
+    t.ngates;
+  let kind_histogram =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) histogram []
+    |> List.sort compare
+  in
+  let levels =
+    match
+      Topo_check.levelize ~net_count:t.nnet_count ~source_nets:t.ninputs
+        ~gate_inputs:(gate_inputs_arr t) ~gate_outputs:(gate_outputs_arr t)
+    with
+    | Some l -> Array.fold_left Stdlib.max 0 l
+    | None -> -1
+  in
+  {
+    n_gates = gate_count t;
+    n_nets = t.nnet_count;
+    n_inputs = Array.length t.ninputs;
+    n_outputs = Array.length t.noutputs;
+    n_transistors = transistor_count t;
+    max_fanout;
+    avg_fanout =
+      (if t.nnet_count = 0 then 0.0
+       else float_of_int total_fanout /. float_of_int t.nnet_count);
+    levels;
+    kind_histogram;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "gates=%d nets=%d PI=%d PO=%d transistors=%d levels=%d maxFO=%d avgFO=%.2f@ "
+    s.n_gates s.n_nets s.n_inputs s.n_outputs s.n_transistors s.levels
+    s.max_fanout s.avg_fanout;
+  List.iter (fun (k, c) -> Format.fprintf ppf "%s:%d " k c) s.kind_histogram
+
+module Builder = struct
+  type builder = {
+    bname : string;
+    mutable nets : string list; (* reversed names *)
+    mutable bnet_count : int;
+    mutable bgates : gate list; (* reversed *)
+    mutable bgate_count : int;
+    mutable binputs : net list; (* reversed *)
+    mutable boutputs : net list; (* reversed *)
+  }
+
+  type t = builder
+
+  let create bname = {
+    bname;
+    nets = [];
+    bnet_count = 0;
+    bgates = [];
+    bgate_count = 0;
+    binputs = [];
+    boutputs = [];
+  }
+
+  let fresh_net b name_opt =
+    let id = b.bnet_count in
+    let net_name =
+      match name_opt with Some n -> n | None -> Printf.sprintf "n%d" id
+    in
+    b.nets <- net_name :: b.nets;
+    b.bnet_count <- id + 1;
+    id
+
+  let input ?name b =
+    let n = fresh_net b name in
+    b.binputs <- n :: b.binputs;
+    n
+
+  let gate ?name ?(strength = 1.0) b kind fan_in =
+    if strength <= 0.0 then
+      invalid_arg "Builder.gate: strength must be positive";
+    if Array.length fan_in <> Gate.arity kind then
+      invalid_arg
+        (Printf.sprintf "Builder.gate: %s expects %d inputs, got %d"
+           (Gate.name kind) (Gate.arity kind) (Array.length fan_in));
+    Array.iter
+      (fun n ->
+        if n < 0 || n >= b.bnet_count then
+          invalid_arg (Printf.sprintf "Builder.gate: unknown net %d" n))
+      fan_in;
+    let out = fresh_net b name in
+    let g =
+      { id = b.bgate_count; kind; strength; fan_in = Array.copy fan_in; out }
+    in
+    b.bgates <- g :: b.bgates;
+    b.bgate_count <- b.bgate_count + 1;
+    out
+
+  let mark_output b n =
+    if n < 0 || n >= b.bnet_count then
+      invalid_arg "Builder.mark_output: unknown net";
+    if not (List.exists (fun o -> o = n) b.boutputs) then
+      b.boutputs <- n :: b.boutputs
+
+  let finish b =
+    let flags which =
+      let f = Array.make b.bnet_count false in
+      List.iter (fun n -> f.(n) <- true) which;
+      f
+    in
+    let t = {
+      nname = b.bname;
+      ngates = Array.of_list (List.rev b.bgates);
+      nnet_count = b.bnet_count;
+      ninputs = Array.of_list (List.rev b.binputs);
+      noutputs = Array.of_list (List.rev b.boutputs);
+      nnet_names = Array.of_list (List.rev b.nets);
+      is_input_flag = flags b.binputs;
+      is_output_flag = flags b.boutputs;
+      driver_cache = None;
+      fanout_cache = None;
+    } in
+    match validate t with
+    | Ok () -> t
+    | Error e -> failwith ("Netlist.Builder.finish: " ^ e)
+end

@@ -1,0 +1,91 @@
+(** Gate-level netlists.
+
+    A netlist is a DAG of gate instances over single-driver nets. Primary
+    inputs drive nets directly; every other net is driven by exactly one
+    gate output. Flip-flops from sequential benchmarks are modeled as a
+    pseudo primary output (the D pin) plus a pseudo primary input (the Q
+    net) — the standard reduction for DC leakage analysis, which only sees
+    a combinational snapshot. *)
+
+type net = int
+(** Dense net identifier in [\[0, net_count)]. *)
+
+type gate = {
+  id : int;
+  kind : Gate.kind;
+  strength : float;
+  (** drive strength: every transistor width in the cell is scaled by this
+      factor (1.0 = minimum size). Leakage scales with it too, which is why
+      the paper characterizes per "gate type, size, loading". *)
+  fan_in : net array;
+  out : net;
+}
+
+type t
+(** Immutable netlist (internal lookup caches are built lazily). *)
+
+val name : t -> string
+val gates : t -> gate array
+(** Gate instances indexed by [gate.id]. Do not mutate. *)
+
+val net_count : t -> int
+val inputs : t -> net array
+val outputs : t -> net array
+val net_name : t -> net -> string
+
+val driver : t -> net -> gate option
+(** The gate driving a net, or [None] for a primary input. O(1) after the
+    first call. *)
+
+val fanout : t -> net -> gate list
+(** Gates with an input pin on this net, one entry per pin. O(1) after the
+    first call. *)
+
+val is_input : t -> net -> bool
+val is_output : t -> net -> bool
+
+val validate : t -> (unit, string) result
+(** Structural checks: single driver per net, arities match, no dangling
+    nets, acyclicity. Builders run this automatically. *)
+
+val gate_count : t -> int
+val transistor_count : t -> int
+
+type stats = {
+  n_gates : int;
+  n_nets : int;
+  n_inputs : int;
+  n_outputs : int;
+  n_transistors : int;
+  max_fanout : int;
+  avg_fanout : float;
+  levels : int;
+  kind_histogram : (string * int) list;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+(** {2 Construction} *)
+
+module Builder : sig
+  type netlist := t
+
+  type t
+
+  val create : string -> t
+
+  val input : ?name:string -> t -> net
+  (** Declare a primary input and return its net. *)
+
+  val gate : ?name:string -> ?strength:float -> t -> Gate.kind -> net array -> net
+  (** Instantiate a gate; returns its output net. [name] names the output
+      net; [strength] (default 1.0, must be positive) scales the cell's
+      transistor widths. Raises on arity mismatch or unknown input nets. *)
+
+  val mark_output : t -> net -> unit
+  (** Flag an existing net as a primary output. *)
+
+  val finish : t -> netlist
+  (** Freeze. Raises [Failure] if {!validate} fails. *)
+end

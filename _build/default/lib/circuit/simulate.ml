@@ -1,0 +1,26 @@
+type assignment = Logic.value array
+
+let run t pattern =
+  let pis = Netlist.inputs t in
+  if Array.length pattern <> Array.length pis then
+    invalid_arg
+      (Printf.sprintf "Simulate.run: %d inputs expected, pattern has %d"
+         (Array.length pis) (Array.length pattern));
+  let values = Array.make (Netlist.net_count t) Logic.Zero in
+  Array.iteri (fun i n -> values.(n) <- pattern.(i)) pis;
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      let ins = Array.map (fun n -> values.(n)) g.fan_in in
+      values.(g.out) <- Gate.eval_logic g.kind ins)
+    (Topo.order t);
+  values
+
+let outputs t assignment =
+  Array.map (fun n -> assignment.(n)) (Netlist.outputs t)
+
+let gate_input_vector _t assignment (g : Netlist.gate) =
+  Array.map (fun n -> assignment.(n)) g.fan_in
+
+let random_patterns rng t n =
+  let width = Array.length (Netlist.inputs t) in
+  List.init n (fun _ -> Logic.random_vector rng width)

@@ -1,0 +1,20 @@
+(** Zero-delay logic simulation (step 2 of the Fig-13 algorithm: "propagate
+    logic value from primary inputs to primary outputs"). *)
+
+type assignment = Logic.value array
+(** One logic value per net. *)
+
+val run : Netlist.t -> Logic.vector -> assignment
+(** [run t pattern] assigns [pattern] to the primary inputs (in the order of
+    [Netlist.inputs]) and propagates through the circuit. Raises
+    [Invalid_argument] on a pattern length mismatch. *)
+
+val outputs : Netlist.t -> assignment -> Logic.vector
+(** Read back the primary-output values of an assignment. *)
+
+val gate_input_vector : Netlist.t -> assignment -> Netlist.gate -> Logic.vector
+(** The logic vector seen at one gate's input pins. *)
+
+val random_patterns :
+  Leakage_numeric.Rng.t -> Netlist.t -> int -> Logic.vector list
+(** [random_patterns rng t n] draws [n] uniform input patterns. *)

@@ -1,0 +1,27 @@
+let raw_args t =
+  ( Netlist.net_count t,
+    Netlist.inputs t,
+    Array.map (fun (g : Netlist.gate) -> g.fan_in) (Netlist.gates t),
+    Array.map (fun (g : Netlist.gate) -> g.out) (Netlist.gates t) )
+
+let order t =
+  let net_count, source_nets, gate_inputs, gate_outputs = raw_args t in
+  match Topo_check.sort ~net_count ~source_nets ~gate_inputs ~gate_outputs with
+  | Some idx -> Array.map (fun i -> (Netlist.gates t).(i)) idx
+  | None -> failwith ("Topo.order: cycle in " ^ Netlist.name t)
+
+let levels t =
+  let net_count, source_nets, gate_inputs, gate_outputs = raw_args t in
+  match
+    Topo_check.levelize ~net_count ~source_nets ~gate_inputs ~gate_outputs
+  with
+  | Some l -> l
+  | None -> failwith ("Topo.levels: cycle in " ^ Netlist.name t)
+
+let net_levels t =
+  let gate_levels = levels t in
+  let nl = Array.make (Netlist.net_count t) 0 in
+  Array.iter
+    (fun (g : Netlist.gate) -> nl.(g.out) <- gate_levels.(g.id))
+    (Netlist.gates t);
+  nl

@@ -1,0 +1,13 @@
+(** Topological ordering of a netlist's gates (step 1 of the paper's Fig-13
+    algorithm). *)
+
+val order : Netlist.t -> Netlist.gate array
+(** Gates in topological order: every gate appears after all gates driving
+    its inputs. Raises [Failure] on a cyclic netlist (builders reject those,
+    so this only fires on hand-made structures). *)
+
+val levels : Netlist.t -> int array
+(** Logic depth per gate id (primary inputs at depth 0). *)
+
+val net_levels : Netlist.t -> int array
+(** Logic depth per net (depth of its driver; 0 for primary inputs). *)

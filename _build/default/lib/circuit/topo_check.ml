@@ -1,0 +1,66 @@
+(* Kahn's algorithm (CLRS topological sort, the paper's reference [11]). *)
+
+let prepare ~net_count ~source_nets ~gate_inputs ~gate_outputs =
+  let n_gates = Array.length gate_inputs in
+  let net_driver = Array.make net_count (-2) in
+  Array.iter (fun n -> net_driver.(n) <- -1) source_nets;
+  Array.iteri (fun g out -> net_driver.(out) <- g) gate_outputs;
+  (* consumers.(g) = gates reading g's output; indegree counts gate-feeding
+     pins only. *)
+  let consumers = Array.make n_gates [] in
+  let indegree = Array.make n_gates 0 in
+  let ok = ref true in
+  Array.iteri
+    (fun g ins ->
+      Array.iter
+        (fun net ->
+          if net < 0 || net >= net_count then ok := false
+          else
+            match net_driver.(net) with
+            | -2 -> ok := false (* undriven *)
+            | -1 -> ()          (* source *)
+            | d ->
+              consumers.(d) <- g :: consumers.(d);
+              indegree.(g) <- indegree.(g) + 1)
+        ins)
+    gate_inputs;
+  if !ok then Some (consumers, indegree) else None
+
+let sort ~net_count ~source_nets ~gate_inputs ~gate_outputs =
+  match prepare ~net_count ~source_nets ~gate_inputs ~gate_outputs with
+  | None -> None
+  | Some (consumers, indegree) ->
+    let n_gates = Array.length gate_inputs in
+    let queue = Queue.create () in
+    Array.iteri (fun g d -> if d = 0 then Queue.add g queue) indegree;
+    let order = Array.make n_gates 0 in
+    let filled = ref 0 in
+    while not (Queue.is_empty queue) do
+      let g = Queue.take queue in
+      order.(!filled) <- g;
+      incr filled;
+      List.iter
+        (fun c ->
+          indegree.(c) <- indegree.(c) - 1;
+          if indegree.(c) = 0 then Queue.add c queue)
+        consumers.(g)
+    done;
+    if !filled = n_gates then Some order else None
+
+let levelize ~net_count ~source_nets ~gate_inputs ~gate_outputs =
+  match sort ~net_count ~source_nets ~gate_inputs ~gate_outputs with
+  | None -> None
+  | Some order ->
+    let net_level = Array.make net_count 0 in
+    let gate_level = Array.make (Array.length gate_inputs) 0 in
+    Array.iter
+      (fun g ->
+        let lvl =
+          1 + Array.fold_left
+                (fun acc net -> Stdlib.max acc net_level.(net))
+                0 gate_inputs.(g)
+        in
+        gate_level.(g) <- lvl;
+        net_level.(gate_outputs.(g)) <- lvl)
+      order;
+    Some gate_level

@@ -1,0 +1,24 @@
+(** Low-level topological ordering over raw gate arrays.
+
+    Works on plain integer arrays so it can be used by [Netlist.validate]
+    without a dependency cycle; user code should prefer {!Topo}. *)
+
+val sort :
+  net_count:int ->
+  source_nets:int array ->
+  gate_inputs:int array array ->
+  gate_outputs:int array ->
+  int array option
+(** [sort ~net_count ~source_nets ~gate_inputs ~gate_outputs] returns gate
+    indices in topological order (every gate after all gates feeding it), or
+    [None] if the graph has a cycle or a gate input that is neither a source
+    net nor another gate's output. *)
+
+val levelize :
+  net_count:int ->
+  source_nets:int array ->
+  gate_inputs:int array array ->
+  gate_outputs:int array ->
+  int array option
+(** Logic depth per gate (sources at depth 0; a gate is 1 + max of its
+    fan-in depths). [None] on cycles. *)

@@ -1,0 +1,1 @@
+lib/core/characterize.ml: Array Float Leakage_circuit Leakage_device Leakage_numeric Leakage_spice Testbench

@@ -1,0 +1,1 @@
+lib/core/characterize.mli: Leakage_circuit Leakage_device Leakage_numeric Leakage_spice

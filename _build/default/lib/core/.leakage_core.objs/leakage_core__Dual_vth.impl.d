@@ -1,0 +1,1 @@
+lib/core/dual_vth.ml: Array Estimator Leakage_circuit Leakage_device Leakage_spice List Stdlib

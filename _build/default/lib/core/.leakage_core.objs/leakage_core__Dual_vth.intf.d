@@ -1,0 +1,1 @@
+lib/core/dual_vth.mli: Leakage_circuit Leakage_device Leakage_spice Library

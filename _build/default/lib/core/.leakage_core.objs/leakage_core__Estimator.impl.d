@@ -1,0 +1,1 @@
+lib/core/estimator.ml: Array Characterize Leakage_circuit Leakage_numeric Leakage_spice Library List

@@ -1,0 +1,1 @@
+lib/core/estimator.mli: Leakage_circuit Leakage_spice Library

@@ -1,0 +1,1 @@
+lib/core/library.ml: Characterize Float Hashtbl Leakage_circuit Leakage_device List Option Stdlib

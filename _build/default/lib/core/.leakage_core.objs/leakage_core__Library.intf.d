@@ -1,0 +1,1 @@
+lib/core/library.mli: Characterize Leakage_circuit Leakage_device

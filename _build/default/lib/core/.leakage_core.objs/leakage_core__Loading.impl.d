@@ -1,0 +1,1 @@
+lib/core/loading.ml: Array Leakage_circuit Leakage_device Leakage_spice Testbench

@@ -1,0 +1,1 @@
+lib/core/loading.mli: Leakage_circuit Leakage_device

@@ -1,0 +1,1 @@
+lib/core/monte_carlo.ml: Array Leakage_circuit Leakage_device Leakage_numeric Leakage_spice Printf

@@ -1,0 +1,1 @@
+lib/core/monte_carlo.mli: Leakage_circuit Leakage_device Leakage_spice

@@ -1,0 +1,1 @@
+lib/core/mtcmos.ml: Array Leakage_circuit Leakage_spice

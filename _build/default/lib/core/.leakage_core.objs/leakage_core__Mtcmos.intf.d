@@ -1,0 +1,1 @@
+lib/core/mtcmos.mli: Leakage_circuit Leakage_device Leakage_spice

@@ -1,0 +1,1 @@
+lib/core/probabilistic.ml: Array Characterize Leakage_circuit Leakage_spice Library List

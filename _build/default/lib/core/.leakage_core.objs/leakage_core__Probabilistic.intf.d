@@ -1,0 +1,1 @@
+lib/core/probabilistic.mli: Leakage_circuit Leakage_spice Library

@@ -1,0 +1,1 @@
+lib/core/reporting.ml: Array Buffer Estimator Format Leakage_circuit Leakage_device Leakage_spice List Loading Monte_carlo Printf String

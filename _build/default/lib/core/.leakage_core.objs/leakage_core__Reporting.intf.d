@@ -1,0 +1,1 @@
+lib/core/reporting.mli: Estimator Format Leakage_circuit Leakage_spice Loading Monte_carlo

@@ -1,0 +1,1 @@
+lib/core/statistical.ml: Array Characterize Estimator Leakage_circuit Leakage_device Leakage_numeric Leakage_spice Library Testbench

@@ -1,0 +1,1 @@
+lib/core/statistical.mli: Leakage_circuit Leakage_device Leakage_numeric Leakage_spice Library

@@ -1,0 +1,1 @@
+lib/core/testbench.ml: Array Leakage_circuit Leakage_spice List Printf

@@ -1,0 +1,1 @@
+lib/core/thermal.ml: Array Estimator Float Hashtbl Leakage_device Leakage_spice Library

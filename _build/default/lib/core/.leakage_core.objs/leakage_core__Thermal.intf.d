@@ -1,0 +1,1 @@
+lib/core/thermal.mli: Leakage_circuit Leakage_device Leakage_spice

@@ -1,0 +1,1 @@
+lib/core/vector_control.ml: Array Estimator Leakage_circuit Leakage_numeric Leakage_spice

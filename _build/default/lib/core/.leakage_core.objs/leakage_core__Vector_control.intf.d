@@ -1,0 +1,1 @@
+lib/core/vector_control.mli: Leakage_circuit Leakage_numeric Library

@@ -1,0 +1,168 @@
+module Interp = Leakage_numeric.Interp
+module Gate = Leakage_circuit.Gate
+module Logic = Leakage_circuit.Logic
+module Report = Leakage_spice.Leakage_report
+
+type table = {
+  d_isub : Interp.grid1d;
+  d_igate : Interp.grid1d;
+  d_ibtbt : Interp.grid1d;
+}
+
+type entry = {
+  kind : Gate.kind;
+  strength : float;
+  vector : Logic.vector;
+  nominal_isolated : Report.components;
+  nominal_driven : Report.components;
+  pin_injection : float array;
+  pin_response : Interp.grid1d array;
+  delta_in : table array;
+  delta_out : table;
+  vth_log_factor : table;
+}
+
+type grid_spec = {
+  max_current : float;
+  points : int;
+}
+
+let default_grid = { max_current = 3.0e-6; points = 21 }
+
+let table_of_samples xs samples base =
+  let pick f = Array.map (fun (c : Report.components) -> f c) samples in
+  let centered f base_v = Array.map (fun v -> v -. base_v) (pick f) in
+  {
+    d_isub =
+      Interp.grid1d ~xs ~ys:(centered (fun c -> c.Report.isub) base.Report.isub);
+    d_igate =
+      Interp.grid1d ~xs ~ys:(centered (fun c -> c.Report.igate) base.Report.igate);
+    d_ibtbt =
+      Interp.grid1d ~xs ~ys:(centered (fun c -> c.Report.ibtbt) base.Report.ibtbt);
+  }
+
+let characterize ?(grid = default_grid) ?(strength = 1.0) ~device ~temp ?vdd
+    kind vector =
+  if grid.points < 2 then invalid_arg "Characterize: grid needs >= 2 points";
+  if grid.max_current <= 0.0 then
+    invalid_arg "Characterize: max_current must be positive";
+  let tb = Testbench.make ~strength kind vector in
+  let solve_with injections =
+    Testbench.dut_components (Testbench.solve ~injections ~device ~temp ?vdd tb)
+  in
+  let nominal_solved = Testbench.solve ~device ~temp ?vdd tb in
+  let nominal_driven = Testbench.dut_components nominal_solved in
+  let nominal_isolated =
+    Testbench.isolated_components ~strength ~device ~temp ?vdd kind vector
+  in
+  let arity = Gate.arity kind in
+  let pin_injection =
+    Array.init arity (Testbench.dut_pin_injection nominal_solved)
+  in
+  let xs =
+    Interp.linspace (-.grid.max_current) grid.max_current grid.points
+  in
+  let sweep net =
+    Array.map (fun amps -> solve_with [ (net, amps) ]) xs
+  in
+  (* For input-pin sweeps also record the cell's own pin current at each
+     grid point: that is the pin's loading contribution as seen by its
+     neighbours, needed by the multi-pass estimator. *)
+  let pin_sweeps =
+    Array.init arity (fun pin ->
+        Array.map
+          (fun amps ->
+            let solved =
+              Testbench.solve
+                ~injections:[ (tb.Testbench.pin_nets.(pin), amps) ]
+                ~device ~temp ?vdd tb
+            in
+            ( Testbench.dut_components solved,
+              Testbench.dut_pin_injection solved pin ))
+          xs)
+  in
+  let delta_in =
+    Array.map
+      (fun samples -> table_of_samples xs (Array.map fst samples) nominal_driven)
+      pin_sweeps
+  in
+  let pin_response =
+    Array.map
+      (fun samples -> Interp.grid1d ~xs ~ys:(Array.map snd samples))
+      pin_sweeps
+  in
+  let delta_out =
+    table_of_samples xs (sweep tb.Testbench.out_net) nominal_driven
+  in
+  (* Threshold response of the driven nominal, tabulated: only the cell
+     under test is shifted (its drivers keep nominal thresholds), matching
+     how the statistical estimator perturbs gates one by one. Stored as
+     per-component log factors so interpolation happens in the exponent,
+     where the response is closest to linear. *)
+  let vth_log_factor =
+    let shifted dv =
+      let device_of_gate id =
+        if id = tb.Testbench.dut_gate then
+          Leakage_device.Params.with_vth_shift device dv
+        else device
+      in
+      let assignment =
+        Leakage_circuit.Simulate.run tb.Testbench.netlist tb.Testbench.pattern
+      in
+      let flat =
+        Leakage_spice.Flatten.flatten ~device_of_gate ~device ~temp ?vdd
+          tb.Testbench.netlist assignment
+      in
+      let solution = Leakage_spice.Dc_solver.solve flat in
+      (Leakage_spice.Leakage_report.of_solution flat
+         solution.Leakage_spice.Dc_solver.voltages)
+        .Leakage_spice.Leakage_report.per_gate.(tb.Testbench.dut_gate)
+    in
+    let dvs = Interp.linspace (-0.15) 0.15 9 in
+    let samples = Array.map shifted dvs in
+    let log_ratio pick =
+      let base = pick nominal_driven in
+      Array.map
+        (fun c ->
+          let v = pick c in
+          if v <= 0.0 || base <= 0.0 then 0.0 else log (v /. base))
+        samples
+    in
+    {
+      d_isub = Interp.grid1d ~xs:dvs ~ys:(log_ratio (fun c -> c.Report.isub));
+      d_igate = Interp.grid1d ~xs:dvs ~ys:(log_ratio (fun c -> c.Report.igate));
+      d_ibtbt = Interp.grid1d ~xs:dvs ~ys:(log_ratio (fun c -> c.Report.ibtbt));
+    }
+  in
+  { kind; strength; vector; nominal_isolated; nominal_driven; pin_injection;
+    pin_response; delta_in; delta_out; vth_log_factor }
+
+let vth_factor entry dv =
+  {
+    Report.isub = exp (Interp.eval1d entry.vth_log_factor.d_isub dv);
+    igate = exp (Interp.eval1d entry.vth_log_factor.d_igate dv);
+    ibtbt = exp (Interp.eval1d entry.vth_log_factor.d_ibtbt dv);
+  }
+
+let eval_table t amps =
+  {
+    Report.isub = Interp.eval1d t.d_isub amps;
+    igate = Interp.eval1d t.d_igate amps;
+    ibtbt = Interp.eval1d t.d_ibtbt amps;
+  }
+
+let apply entry ~loading_in ~loading_out =
+  if Array.length loading_in <> Array.length entry.delta_in then
+    invalid_arg "Characterize.apply: loading_in arity mismatch";
+  let acc = ref entry.nominal_driven in
+  Array.iteri
+    (fun pin amps -> acc := Report.add !acc (eval_table entry.delta_in.(pin) amps))
+    loading_in;
+  let withloading = Report.add !acc (eval_table entry.delta_out loading_out) in
+  (* Component shifts can be negative; clamp pathological extrapolation so a
+     leakage estimate never goes below zero. *)
+  {
+    Report.isub = Float.max 0.0 withloading.Report.isub;
+    igate = Float.max 0.0 withloading.Report.igate;
+    ibtbt = Float.max 0.0 withloading.Report.ibtbt;
+  }

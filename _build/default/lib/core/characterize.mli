@@ -1,0 +1,85 @@
+(** Loading-aware gate characterization: the lookup tables behind the Fig-13
+    estimator ("leakage components of different gate type, size, loading").
+
+    For every (cell kind, input vector) the characterizer records the
+    nominal leakage, the per-pin current the cell injects into its input
+    nets, and — per input pin and for the output — the leakage-component
+    shift as a function of signed injected loading current, sampled on a
+    regular grid and interpolated linearly at estimation time.
+
+    Positive injected current raises the net voltage. On a net at logic '0'
+    loading gates inject positive current (their on-PMOS tunneling), on a
+    net at '1' negative (their on-NMOS draws gate current), so each state
+    exercises one half of the signed axis. *)
+
+type table = {
+  d_isub : Leakage_numeric.Interp.grid1d;
+  d_igate : Leakage_numeric.Interp.grid1d;
+  d_ibtbt : Leakage_numeric.Interp.grid1d;
+}
+(** Component shifts (A) vs injected current (A), relative to the
+    zero-injection testbench solution. *)
+
+type entry = {
+  kind : Leakage_circuit.Gate.kind;
+  strength : float;  (** drive strength the entry was characterized at *)
+  vector : Leakage_circuit.Logic.vector;
+  nominal_isolated : Leakage_spice.Leakage_report.components;
+  (** cell alone with ideal inputs — the traditional no-loading model *)
+  nominal_driven : Leakage_spice.Leakage_report.components;
+  (** cell in the reference-driver testbench, zero injection — the base the
+      delta tables are relative to *)
+  pin_injection : float array;
+  (** per input pin: current (A) this cell injects into the attached net at
+      the nominal point; what fanout gates contribute to a net's loading *)
+  pin_response : Leakage_numeric.Interp.grid1d array;
+  (** per input pin: the same injected current as a function of the external
+      loading current on that pin's net. At zero loading it equals
+      [pin_injection]; the multi-pass estimator iterates this map to
+      propagate loading beyond one level (§6's "propagation of loading
+      effect", which the paper argues — and the ablation bench confirms —
+      converges after one level). *)
+  delta_in : table array;  (** one per input pin *)
+  delta_out : table;
+  vth_log_factor : table;
+  (** per component: ln(L(ΔVth)/L(0)) of the driven nominal, tabulated over a
+      rigid threshold shift of the cell (±150 mV grid — beyond ±3σ of the
+      paper's variation). The statistical estimator multiplies a gate's
+      estimate by exp of the interpolated value; the grid clamps at its
+      edges, which keeps extreme samples physical where an analytic
+      exponential extrapolation would explode (series stacks change regime
+      under large shifts). *)
+}
+
+val vth_factor :
+  entry -> float -> Leakage_spice.Leakage_report.components
+(** Per-component multiplicative factor at a threshold shift (V). *)
+
+type grid_spec = {
+  max_current : float;  (** grid spans [-max_current, +max_current], A *)
+  points : int;
+}
+
+val default_grid : grid_spec
+(** ±3 µA, 21 points — covering the paper's 0–3000 nA sweeps. *)
+
+val characterize :
+  ?grid:grid_spec ->
+  ?strength:float ->
+  device:Leakage_device.Params.t ->
+  temp:float ->
+  ?vdd:float ->
+  Leakage_circuit.Gate.kind ->
+  Leakage_circuit.Logic.vector ->
+  entry
+
+val eval_table :
+  table -> float -> Leakage_spice.Leakage_report.components
+(** Interpolated component shift at a signed injected current. *)
+
+val apply :
+  entry -> loading_in:float array -> loading_out:float ->
+  Leakage_spice.Leakage_report.components
+(** Estimated leakage under the given signed loading currents:
+    [nominal_driven + Σ_k delta_in_k(loading_in.(k)) + delta_out loading_out]
+    (per-pin superposition, the paper's eq. 5). *)

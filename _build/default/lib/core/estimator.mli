@@ -1,0 +1,56 @@
+(** Circuit-level leakage estimation with loading effect — the paper's Fig-13
+    algorithm.
+
+    One topological pass: simulate logic values, sum each net's loading
+    current from the precharacterized per-pin gate currents of its fanout
+    cells, then look each gate's leakage components up in the loading-aware
+    tables. Loading is taken one level deep (the paper's §6 observation that
+    propagation beyond one level is negligible), which is what removes the
+    need to solve the circuit-wide KCL system. *)
+
+type gate_estimate = {
+  gate : Leakage_circuit.Netlist.gate;
+  vector : Leakage_circuit.Logic.vector;    (** logic state at the pins *)
+  loading_in : float array;                 (** signed A, per pin (siblings only) *)
+  loading_out : float;                      (** signed A (all fanout pins) *)
+  with_loading : Leakage_spice.Leakage_report.components;
+  no_loading : Leakage_spice.Leakage_report.components;
+}
+
+type result = {
+  per_gate : gate_estimate array;           (** indexed by gate id *)
+  totals : Leakage_spice.Leakage_report.components;
+  (** loading-aware estimate *)
+  baseline_totals : Leakage_spice.Leakage_report.components;
+  (** traditional sum of isolated nominal leakages *)
+  assignment : Leakage_circuit.Simulate.assignment;
+  net_injection : float array;
+  (** signed loading current (A) each net receives from all fanout cell
+      pins (diagnostic; indexed by net) *)
+}
+
+val estimate :
+  ?passes:int ->
+  ?library_of_gate:(int -> Library.t) ->
+  Library.t -> Leakage_circuit.Netlist.t -> Leakage_circuit.Logic.vector ->
+  result
+(** Estimate under one input pattern. Cost: one logic simulation plus O(pins)
+    table lookups per pass; characterization solves are cached in the
+    library.
+
+    [passes] (default 1) controls how far loading propagates: pass 1 uses
+    each cell's nominal pin currents as its loading contribution (the
+    paper's one-level model); every further pass re-evaluates the pin
+    currents under the previous pass's net loading through the
+    characterized pin-response curves, propagating the effect one more
+    logic level — the "propagation of loading effect" the paper's §6
+    discusses and dismisses as negligible (see the ablation bench).
+
+    [library_of_gate] overrides the characterized library per gate id
+    (heterogeneous cells: dual-Vth assignments, per-region corners); all
+    libraries must share temperature and supply. *)
+
+val average_over_vectors :
+  Library.t -> Leakage_circuit.Netlist.t -> Leakage_circuit.Logic.vector list ->
+  Leakage_spice.Leakage_report.components * Leakage_spice.Leakage_report.components
+(** [(mean with-loading totals, mean baseline totals)] over a vector set. *)

@@ -1,0 +1,56 @@
+module Gate = Leakage_circuit.Gate
+module Logic = Leakage_circuit.Logic
+
+type t = {
+  grid : Characterize.grid_spec;
+  device : Leakage_device.Params.t;
+  temp : float;
+  vdd : float;
+  cache : (int, Characterize.entry) Hashtbl.t;
+}
+
+let create ?(grid = Characterize.default_grid) ~device ~temp ?vdd () =
+  {
+    grid;
+    device;
+    temp;
+    vdd = Option.value vdd ~default:device.Leakage_device.Params.vdd;
+    cache = Hashtbl.create 64;
+  }
+
+let device t = t.device
+let temp t = t.temp
+let vdd t = t.vdd
+
+(* kinds code below 64, strength buckets below 2^10, vectors below 2^16 *)
+let strength_bucket strength =
+  let q = int_of_float (Float.round (strength *. 4.0)) in
+  Stdlib.max 1 (Stdlib.min 1023 q)
+
+let key kind strength vector =
+  (Gate.code kind lsl 26)
+  lor (strength_bucket strength lsl 16)
+  lor Logic.int_of_vector vector
+
+let entry ?(strength = 1.0) t kind vector =
+  let k = key kind strength vector in
+  match Hashtbl.find_opt t.cache k with
+  | Some e -> e
+  | None ->
+    let quantized = float_of_int (strength_bucket strength) /. 4.0 in
+    let e =
+      Characterize.characterize ~grid:t.grid ~strength:quantized
+        ~device:t.device ~temp:t.temp ~vdd:t.vdd kind vector
+    in
+    Hashtbl.replace t.cache k e;
+    e
+
+let precharacterize ?(kinds = Gate.all_kinds) t =
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun vector -> ignore (entry t kind vector))
+        (Logic.all_vectors (Gate.arity kind)))
+    kinds
+
+let entry_count t = Hashtbl.length t.cache

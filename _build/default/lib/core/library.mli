@@ -1,0 +1,34 @@
+(** Characterized cell library with lazy caching.
+
+    One [Library.t] corresponds to one (device, temperature, supply)
+    operating corner. Entries are characterized on first use and cached, so
+    estimating a large circuit only pays for the (kind, vector) pairs that
+    actually occur. *)
+
+type t
+
+val create :
+  ?grid:Characterize.grid_spec ->
+  device:Leakage_device.Params.t ->
+  temp:float ->
+  ?vdd:float ->
+  unit ->
+  t
+
+val device : t -> Leakage_device.Params.t
+val temp : t -> float
+val vdd : t -> float
+
+val entry :
+  ?strength:float ->
+  t -> Leakage_circuit.Gate.kind -> Leakage_circuit.Logic.vector ->
+  Characterize.entry
+(** Characterize-on-demand lookup. [strength] (default 1.0) is quantized to
+    quarter steps — entries are shared within a bucket. *)
+
+val precharacterize : ?kinds:Leakage_circuit.Gate.kind list -> t -> unit
+(** Eagerly characterize every vector of the given kinds (default: the full
+    cell library). *)
+
+val entry_count : t -> int
+(** Number of cached entries (characterization cost visibility). *)

@@ -1,0 +1,58 @@
+(** Monte-Carlo analysis of loading under process variation (§5.3,
+    Figs 10–11).
+
+    Each sample draws a die-level shift (L, Tox, Vth, VDD) shared by every
+    gate plus an independent within-die threshold shift per gate, then
+    solves the full transistor-level testbench twice: once with the loading
+    inverters attached and once without. The paper's Fig 10/11 experiment
+    uses an inverter with 6 input-loading and 6 output-loading inverters. *)
+
+type sample = {
+  loaded : Leakage_spice.Leakage_report.components;
+  unloaded : Leakage_spice.Leakage_report.components;
+}
+(** Leakage of the observed inverter for one process draw. *)
+
+type config = {
+  n_samples : int;
+  seed : int;
+  n_load_in : int;   (** sibling inverters on the input net *)
+  n_load_out : int;  (** fanout inverters on the output net *)
+  input_value : Leakage_circuit.Logic.value;
+      (** logic state of the observed inverter's input *)
+}
+
+val paper_config : config
+(** 10,000 samples, 6+6 loading inverters, input '0'. *)
+
+val run :
+  ?config:config ->
+  device:Leakage_device.Params.t ->
+  temp:float ->
+  sigmas:Leakage_device.Variation.sigmas ->
+  unit ->
+  sample array
+
+type spread_shift = {
+  sigma_vth_inter : float;
+  mean_shift_percent : float;  (** loading shift of the mean total leakage *)
+  std_shift_percent : float;   (** loading shift of the total-leakage σ *)
+}
+
+val spread_vs_sigma :
+  ?config:config ->
+  device:Leakage_device.Params.t ->
+  temp:float ->
+  base_sigmas:Leakage_device.Variation.sigmas ->
+  sigma_vth_inter_values:float array ->
+  unit ->
+  spread_shift array
+(** Fig 11: how the loading-induced shift of the mean and standard deviation
+    of total leakage grows with inter-die threshold spread. *)
+
+val component_arrays :
+  sample array ->
+  pick:(Leakage_spice.Leakage_report.components -> float) ->
+  float array * float array
+(** [(loaded, unloaded)] series of one component across samples, in amperes
+    (feed to [Stats.histogram] for Fig 10). *)

@@ -1,0 +1,123 @@
+module Netlist = Leakage_circuit.Netlist
+module Gate = Leakage_circuit.Gate
+module Logic = Leakage_circuit.Logic
+module Topo = Leakage_circuit.Topo
+module Report = Leakage_spice.Leakage_report
+
+let gate_state_distribution kind pin_probs =
+  let arity = Gate.arity kind in
+  if Array.length pin_probs <> arity then
+    invalid_arg "Probabilistic.gate_state_distribution: arity mismatch";
+  List.map
+    (fun vector ->
+      let p = ref 1.0 in
+      Array.iteri
+        (fun i v ->
+          p := !p *. (match v with
+                      | Logic.One -> pin_probs.(i)
+                      | Logic.Zero -> 1.0 -. pin_probs.(i)))
+        vector;
+      (vector, !p))
+    (Logic.all_vectors arity)
+
+let propagate ?input_probability netlist =
+  let pis = Netlist.inputs netlist in
+  let input_probability =
+    match input_probability with
+    | Some p ->
+      if Array.length p <> Array.length pis then
+        invalid_arg "Probabilistic.propagate: input probability size mismatch";
+      Array.iter
+        (fun v ->
+          if v < 0.0 || v > 1.0 then
+            invalid_arg "Probabilistic.propagate: probability outside [0,1]")
+        p;
+      p
+    | None -> Array.make (Array.length pis) 0.5
+  in
+  let prob = Array.make (Netlist.net_count netlist) 0.0 in
+  Array.iteri (fun i net -> prob.(net) <- input_probability.(i)) pis;
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      let pin_probs = Array.map (fun net -> prob.(net)) g.fan_in in
+      let p_one =
+        List.fold_left
+          (fun acc (vector, p) ->
+            if Logic.to_bool (Gate.eval_logic g.kind vector) then acc +. p
+            else acc)
+          0.0
+          (gate_state_distribution g.kind pin_probs)
+      in
+      prob.(g.out) <- p_one)
+    (Topo.order netlist);
+  prob
+
+type expectation = {
+  totals : Report.components;
+  baseline_totals : Report.components;
+  net_probability : float array;
+  net_injection : float array;
+}
+
+let expected_leakage ?input_probability lib netlist =
+  let prob = propagate ?input_probability netlist in
+  let gates = Netlist.gates netlist in
+  (* per gate: the state distribution and its characterization entries *)
+  let distributions =
+    Array.map
+      (fun (g : Netlist.gate) ->
+        let pin_probs = Array.map (fun net -> prob.(net)) g.fan_in in
+        gate_state_distribution g.kind pin_probs
+        |> List.filter (fun (_, p) -> p > 1e-12)
+        |> List.map (fun (vector, p) ->
+               ( p,
+                 Library.entry ~strength:g.Netlist.strength lib g.Netlist.kind
+                   vector )))
+      gates
+  in
+  (* expected injection per net from the state-weighted pin currents *)
+  let net_injection = Array.make (Netlist.net_count netlist) 0.0 in
+  let expected_pin g_id pin =
+    List.fold_left
+      (fun acc (p, (e : Characterize.entry)) ->
+        acc +. (p *. e.Characterize.pin_injection.(pin)))
+      0.0 distributions.(g_id)
+  in
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      Array.iteri
+        (fun pin net ->
+          net_injection.(net) <- net_injection.(net) +. expected_pin g.id pin)
+        g.fan_in)
+    gates;
+  let is_pi_net =
+    let flags = Array.make (Netlist.net_count netlist) true in
+    Array.iter (fun (g : Netlist.gate) -> flags.(g.out) <- false) gates;
+    flags
+  in
+  let totals = ref Report.zero and baseline = ref Report.zero in
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      List.iter
+        (fun (p, (e : Characterize.entry)) ->
+          let loading_in =
+            Array.mapi
+              (fun pin net ->
+                if is_pi_net.(net) then -.e.Characterize.pin_injection.(pin)
+                else net_injection.(net) -. e.Characterize.pin_injection.(pin))
+              g.fan_in
+          in
+          let loading_out = net_injection.(g.out) in
+          let with_loading = Characterize.apply e ~loading_in ~loading_out in
+          totals := Report.add !totals (Report.scale p with_loading);
+          baseline :=
+            Report.add !baseline
+              (Report.scale p e.Characterize.nominal_isolated))
+        distributions.(g.id))
+    gates;
+  {
+    totals = !totals;
+    baseline_totals = !baseline;
+    net_probability = prob;
+    net_injection;
+  }

@@ -1,0 +1,96 @@
+module Rng = Leakage_numeric.Rng
+module Stats = Leakage_numeric.Stats
+module Variation = Leakage_device.Variation
+module Logic = Leakage_circuit.Logic
+module Gate = Leakage_circuit.Gate
+module Netlist = Leakage_circuit.Netlist
+module Report = Leakage_spice.Leakage_report
+
+type sample_totals = {
+  with_loading : Report.components;
+  no_loading : Report.components;
+}
+
+type result = {
+  samples : sample_totals array;
+  total_with_loading : float array;
+  total_no_loading : float array;
+}
+
+(* Component-wise ratio of a die-shifted reference inverter to the nominal
+   one, averaged over both input states. Captures how geometry and supply
+   shifts move each mechanism without touching the per-gate threshold story
+   (the die threshold shift is excluded here and folded into the per-gate
+   exponent instead). *)
+let die_scale lib (die : Variation.die) =
+  let device = Library.device lib in
+  let temp = Library.temp lib in
+  let geometry_only = { die with Variation.dvth = 0.0 } in
+  let shifted = Variation.apply_die device geometry_only in
+  let reference dev v =
+    Testbench.isolated_components ~device:dev ~temp Gate.Inv [| v |]
+  in
+  let ratio pick =
+    let r v =
+      let num = pick (reference shifted v) and den = pick (reference device v) in
+      if den <= 0.0 then 1.0 else num /. den
+    in
+    0.5 *. (r Logic.Zero +. r Logic.One)
+  in
+  {
+    Report.isub = ratio (fun c -> c.Report.isub);
+    igate = ratio (fun c -> c.Report.igate);
+    ibtbt = ratio (fun c -> c.Report.ibtbt);
+  }
+
+let scale_components (c : Report.components) (scale : Report.components)
+    (factor : Report.components) =
+  {
+    Report.isub = c.Report.isub *. scale.Report.isub *. factor.Report.isub;
+    igate = c.Report.igate *. scale.Report.igate *. factor.Report.igate;
+    ibtbt = c.Report.ibtbt *. scale.Report.ibtbt *. factor.Report.ibtbt;
+  }
+
+let run ?(n_samples = 1000) ?(seed = 1) ~sigmas lib netlist pattern =
+  if n_samples <= 0 then invalid_arg "Statistical.run: n_samples";
+  let est = Estimator.estimate lib netlist pattern in
+  (* per-gate nominal estimates and sensitivities, resolved once *)
+  let rows =
+    Array.map
+      (fun (ge : Estimator.gate_estimate) ->
+        let entry =
+          Library.entry ~strength:ge.Estimator.gate.Netlist.strength lib
+            ge.Estimator.gate.Netlist.kind ge.Estimator.vector
+        in
+        (ge.Estimator.with_loading, ge.Estimator.no_loading, entry))
+      est.Estimator.per_gate
+  in
+  let rng = Rng.create seed in
+  let samples =
+    Array.init n_samples (fun _ ->
+        let srng = Rng.split rng in
+        let die = Variation.sample_die srng sigmas in
+        let scale = die_scale lib die in
+        let acc_loaded = ref Report.zero and acc_base = ref Report.zero in
+        Array.iter
+          (fun (loaded, base, entry) ->
+            let dv =
+              die.Variation.dvth +. Variation.sample_gate_vth srng sigmas
+            in
+            let factor = Characterize.vth_factor entry dv in
+            acc_loaded :=
+              Report.add !acc_loaded (scale_components loaded scale factor);
+            acc_base :=
+              Report.add !acc_base (scale_components base scale factor))
+          rows;
+        { with_loading = !acc_loaded; no_loading = !acc_base })
+  in
+  {
+    samples;
+    total_with_loading =
+      Array.map (fun s -> Report.total s.with_loading) samples;
+    total_no_loading = Array.map (fun s -> Report.total s.no_loading) samples;
+  }
+
+let summary r =
+  (Stats.summarize r.total_with_loading, Stats.summarize r.total_no_loading)

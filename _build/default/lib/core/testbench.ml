@@ -1,0 +1,83 @@
+module Netlist = Leakage_circuit.Netlist
+module Gate = Leakage_circuit.Gate
+module Logic = Leakage_circuit.Logic
+module Simulate = Leakage_circuit.Simulate
+module Flatten = Leakage_spice.Flatten
+module Dc_solver = Leakage_spice.Dc_solver
+module Report = Leakage_spice.Leakage_report
+
+type t = {
+  netlist : Netlist.t;
+  dut_gate : int;
+  pin_nets : Netlist.net array;
+  out_net : Netlist.net;
+  pattern : Logic.vector;
+}
+
+let make ?strength kind vector =
+  let arity = Gate.arity kind in
+  if Array.length vector <> arity then
+    invalid_arg
+      (Printf.sprintf "Testbench.make: %s expects a %d-bit vector"
+         (Gate.name kind) arity);
+  let b = Netlist.Builder.create ("tb_" ^ Gate.name kind) in
+  let pin_nets =
+    Array.init arity (fun i ->
+        let pi = Netlist.Builder.input ~name:(Printf.sprintf "pi%d" i) b in
+        Netlist.Builder.gate ~name:(Printf.sprintf "pin%d" i) b Gate.Inv [| pi |])
+  in
+  let out_net = Netlist.Builder.gate ~name:"out" ?strength b kind pin_nets in
+  Netlist.Builder.mark_output b out_net;
+  let netlist = Netlist.Builder.finish b in
+  (* Drivers are gates 0..arity-1, the DUT is gate [arity]; drivers invert,
+     so the primary pattern is the complement of the requested pin vector. *)
+  { netlist;
+    dut_gate = arity;
+    pin_nets;
+    out_net;
+    pattern = Array.map Logic.lnot vector }
+
+type solved = {
+  tb : t;
+  flat : Flatten.t;
+  solution : Dc_solver.result;
+  report : Report.t;
+}
+
+let solve ?(injections = []) ~device ~temp ?vdd tb =
+  let assignment = Simulate.run tb.netlist tb.pattern in
+  let flat = Flatten.flatten ~device ~temp ?vdd tb.netlist assignment in
+  let unknown_injections =
+    List.map
+      (fun (net, amps) ->
+        match Flatten.unknown_of_net flat net with
+        | Some u -> (u, amps)
+        | None ->
+          invalid_arg "Testbench.solve: injection into a primary input net")
+      injections
+  in
+  let solution = Dc_solver.solve ~injections:unknown_injections flat in
+  let report = Report.of_solution flat solution.Dc_solver.voltages in
+  { tb; flat; solution; report }
+
+let dut_components s = s.report.Report.per_gate.(s.tb.dut_gate)
+
+let dut_pin_injection s pin =
+  -. Report.input_pin_current s.flat s.solution.Dc_solver.voltages
+       ~gate_id:s.tb.dut_gate ~pin
+
+let isolated_components ?strength ~device ~temp ?vdd kind vector =
+  let arity = Gate.arity kind in
+  if Array.length vector <> arity then
+    invalid_arg "Testbench.isolated_components: vector/arity mismatch";
+  let b = Netlist.Builder.create ("iso_" ^ Gate.name kind) in
+  let pins = Array.init arity (fun i ->
+      Netlist.Builder.input ~name:(Printf.sprintf "pi%d" i) b) in
+  let out = Netlist.Builder.gate ~name:"out" ?strength b kind pins in
+  Netlist.Builder.mark_output b out;
+  let netlist = Netlist.Builder.finish b in
+  let assignment = Simulate.run netlist vector in
+  let flat = Flatten.flatten ~device ~temp ?vdd netlist assignment in
+  let solution = Dc_solver.solve flat in
+  let report = Report.of_solution flat solution.Dc_solver.voltages in
+  report.Report.per_gate.(0)

@@ -1,0 +1,60 @@
+(** Single-cell characterization testbench.
+
+    The cell under test has each input pin driven by a reference inverter
+    (minimum size, ideal input), so the pin nets have the finite driving
+    impedance through which injected loading current becomes a voltage
+    shift — the mechanism of §4. The output net is left unloaded; loading on
+    any net is emulated by ideal current-source injection. *)
+
+type t = {
+  netlist : Leakage_circuit.Netlist.t;
+  dut_gate : int;  (** gate id of the cell under test *)
+  pin_nets : Leakage_circuit.Netlist.net array; (** DUT input nets *)
+  out_net : Leakage_circuit.Netlist.net;
+  pattern : Leakage_circuit.Logic.vector;
+      (** primary-input pattern that applies the requested vector at the
+          DUT pins (drivers invert) *)
+}
+
+val make :
+  ?strength:float ->
+  Leakage_circuit.Gate.kind -> Leakage_circuit.Logic.vector -> t
+(** Raises [Invalid_argument] on vector/arity mismatch. [strength] sizes the
+    cell under test (reference drivers stay minimum size). *)
+
+type solved = {
+  tb : t;
+  flat : Leakage_spice.Flatten.t;
+  solution : Leakage_spice.Dc_solver.result;
+  report : Leakage_spice.Leakage_report.t;
+}
+
+val solve :
+  ?injections:
+    (Leakage_circuit.Netlist.net * float) list ->
+  device:Leakage_device.Params.t ->
+  temp:float ->
+  ?vdd:float ->
+  t ->
+  solved
+(** DC-solve the bench with loading currents injected into the given nets
+    (amps, positive into the net). *)
+
+val dut_components : solved -> Leakage_spice.Leakage_report.components
+(** Leakage of the cell under test only (drivers excluded). *)
+
+val dut_pin_injection : solved -> int -> float
+(** Current the DUT injects into its input net through pin [i] (positive
+    raises the net) — the per-pin "gate leakage contribution" the Fig-13
+    algorithm sums over fanout gates. *)
+
+val isolated_components :
+  ?strength:float ->
+  device:Leakage_device.Params.t ->
+  temp:float ->
+  ?vdd:float ->
+  Leakage_circuit.Gate.kind ->
+  Leakage_circuit.Logic.vector ->
+  Leakage_spice.Leakage_report.components
+(** Leakage of the cell alone with ideal rail-connected inputs and an
+    unloaded output: the paper's L_NOM. *)

@@ -1,0 +1,80 @@
+module Report = Leakage_spice.Leakage_report
+
+type config = {
+  r_theta : float;
+  ambient : float;
+  other_power : float;
+  tol : float;
+  max_iter : int;
+}
+
+let default_config = {
+  r_theta = 40.0;
+  ambient = 300.0;
+  other_power = 0.0;
+  tol = 0.01;
+  max_iter = 60;
+}
+
+type outcome =
+  | Converged of operating_point
+  | Runaway of { last_temp : float; iterations : int }
+
+and operating_point = {
+  temperature : float;
+  leakage : Report.components;
+  leakage_power : float;
+  iterations : int;
+}
+
+let runaway_ceiling = 500.0
+
+(* Each distinct temperature costs a fresh characterization pass, so
+   evaluate leakage on a 0.25 K quantized axis and memoize per solve: near
+   the fixed point successive iterates collapse onto the same bucket. *)
+let make_leakage_cache ~device netlist pattern =
+  let cache : (int, Report.components) Hashtbl.t = Hashtbl.create 16 in
+  fun temp ->
+    let bucket = int_of_float (Float.round (temp *. 4.0)) in
+    match Hashtbl.find_opt cache bucket with
+    | Some c -> c
+    | None ->
+      let quantized = float_of_int bucket /. 4.0 in
+      let lib = Library.create ~device ~temp:quantized () in
+      let c = (Estimator.estimate lib netlist pattern).Estimator.totals in
+      Hashtbl.replace cache bucket c;
+      c
+
+let solve ?(config = default_config) ~device netlist pattern =
+  if config.r_theta < 0.0 then invalid_arg "Thermal.solve: negative r_theta";
+  let leakage_at = make_leakage_cache ~device netlist pattern in
+  let vdd = device.Leakage_device.Params.vdd in
+  (* Damped fixed-point: T' = T + alpha (f(T) - T). The map's slope is
+     R·dP/dT, which the subthreshold exponential makes large near runaway;
+     damping keeps the iteration stable on the convergent side. *)
+  let alpha = 0.5 in
+  let rec iterate temp iterations =
+    let leakage = leakage_at temp in
+    let leakage_power = vdd *. Report.total leakage in
+    let target =
+      config.ambient +. (config.r_theta *. (config.other_power +. leakage_power))
+    in
+    let next = temp +. (alpha *. (target -. temp)) in
+    if next > runaway_ceiling then Runaway { last_temp = next; iterations }
+    else if abs_float (next -. temp) < config.tol then
+      Converged { temperature = next; leakage; leakage_power; iterations }
+    else if iterations >= config.max_iter then
+      (* still drifting after the budget: treat as runaway-like failure if
+         the drift is upward and significant, otherwise accept the iterate *)
+      if next -. temp > 1.0 then Runaway { last_temp = next; iterations }
+      else Converged { temperature = next; leakage; leakage_power; iterations }
+    else iterate next (iterations + 1)
+  in
+  iterate config.ambient 0
+
+let temperature_profile ?(config = default_config) ~device ~r_theta_values
+    netlist pattern =
+  Array.map
+    (fun r_theta ->
+      (r_theta, solve ~config:{ config with r_theta } ~device netlist pattern))
+    r_theta_values

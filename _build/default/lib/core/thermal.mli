@@ -1,0 +1,56 @@
+(** Leakage–temperature self-consistency.
+
+    §5.2 shows leakage (and the loading effect) growing steeply with
+    temperature; in a real package the chip heats itself: junction
+    temperature is ambient plus thermal resistance times dissipated power,
+    and leakage power feeds back into temperature. This module finds the
+    self-consistent operating point
+
+      T = T_ambient + R_theta · (P_other + VDD · I_leak(T))
+
+    by damped fixed-point iteration, characterizing a fresh library at each
+    temperature iterate. Because the subthreshold component grows
+    exponentially in T, the loop can fail to converge — genuine thermal
+    runaway — which is reported rather than hidden. *)
+
+type config = {
+  r_theta : float;        (** junction-to-ambient thermal resistance, K/W *)
+  ambient : float;        (** ambient temperature, K *)
+  other_power : float;    (** non-leakage (switching) power, W *)
+  tol : float;            (** temperature convergence tolerance, K *)
+  max_iter : int;
+}
+
+val default_config : config
+(** 40 K/W, 300 K ambient, no switching power, 0.01 K tolerance. *)
+
+type outcome =
+  | Converged of operating_point
+  | Runaway of { last_temp : float; iterations : int }
+      (** iterates exceeded 500 K while still climbing *)
+
+and operating_point = {
+  temperature : float;          (** junction temperature, K *)
+  leakage : Leakage_spice.Leakage_report.components;
+  leakage_power : float;        (** W *)
+  iterations : int;
+}
+
+val solve :
+  ?config:config ->
+  device:Leakage_device.Params.t ->
+  Leakage_circuit.Netlist.t ->
+  Leakage_circuit.Logic.vector ->
+  outcome
+(** Self-consistent junction temperature and leakage for one input pattern,
+    using the loading-aware estimator at each temperature iterate. *)
+
+val temperature_profile :
+  ?config:config ->
+  device:Leakage_device.Params.t ->
+  r_theta_values:float array ->
+  Leakage_circuit.Netlist.t ->
+  Leakage_circuit.Logic.vector ->
+  (float * outcome) array
+(** [solve] across packaging options (thermal resistances): the knee where
+    convergence turns into runaway is the thermally sustainable limit. *)

@@ -1,0 +1,90 @@
+module Rng = Leakage_numeric.Rng
+module Logic = Leakage_circuit.Logic
+module Netlist = Leakage_circuit.Netlist
+module Report = Leakage_spice.Leakage_report
+
+type search_result = {
+  vector : Logic.vector;
+  total : float;
+}
+
+let objective ~use_loading lib netlist vector =
+  let r = Estimator.estimate lib netlist vector in
+  if use_loading then Report.total r.Estimator.totals
+  else Report.total r.Estimator.baseline_totals
+
+let better a b = if b.total < a.total then b else a
+
+let exhaustive ?(use_loading = true) lib netlist =
+  let width = Array.length (Netlist.inputs netlist) in
+  if width > 20 then
+    invalid_arg "Vector_control.exhaustive: too many inputs (> 20)";
+  let eval v = { vector = v; total = objective ~use_loading lib netlist v } in
+  let best = ref (eval (Logic.vector_of_int ~width 0)) in
+  for n = 1 to (1 lsl width) - 1 do
+    best := better !best (eval (Logic.vector_of_int ~width n))
+  done;
+  !best
+
+let random_search ?(use_loading = true) ~rng ~samples lib netlist =
+  if samples <= 0 then invalid_arg "Vector_control.random_search: samples";
+  let width = Array.length (Netlist.inputs netlist) in
+  let eval v = { vector = v; total = objective ~use_loading lib netlist v } in
+  let best = ref (eval (Logic.random_vector rng width)) in
+  for _ = 2 to samples do
+    best := better !best (eval (Logic.random_vector rng width))
+  done;
+  !best
+
+let greedy_descent ?(use_loading = true) ?(max_rounds = 64) lib netlist ~start =
+  let eval v = { vector = v; total = objective ~use_loading lib netlist v } in
+  let flip v i =
+    let v' = Array.copy v in
+    v'.(i) <- Logic.lnot v'.(i);
+    v'
+  in
+  let current = ref (eval (Array.copy start)) in
+  let improved = ref true in
+  let rounds = ref 0 in
+  while !improved && !rounds < max_rounds do
+    incr rounds;
+    improved := false;
+    let best_here = ref !current in
+    for i = 0 to Array.length start - 1 do
+      best_here := better !best_here (eval (flip !current.vector i))
+    done;
+    if !best_here.total < !current.total then begin
+      current := !best_here;
+      improved := true
+    end
+  done;
+  !current
+
+type comparison = {
+  with_loading : search_result;
+  without_loading : search_result;
+  without_under_loading : float;
+  changed : bool;
+}
+
+let compare_objectives ?(samples = 256) ?(seed = 7) lib netlist =
+  let width = Array.length (Netlist.inputs netlist) in
+  let search ~use_loading =
+    if width <= 14 then exhaustive ~use_loading lib netlist
+    else begin
+      let rng = Rng.create seed in
+      let r = random_search ~use_loading ~rng ~samples lib netlist in
+      greedy_descent ~use_loading lib netlist ~start:r.vector
+    end
+  in
+  let with_loading = search ~use_loading:true in
+  let without_loading = search ~use_loading:false in
+  let without_under_loading =
+    objective ~use_loading:true lib netlist without_loading.vector
+  in
+  {
+    with_loading;
+    without_loading;
+    without_under_loading;
+    changed = with_loading.vector <> without_loading.vector;
+  }

@@ -1,0 +1,1 @@
+lib/device/model.ml: Float Params Physics

@@ -1,0 +1,1 @@
+lib/device/params.mli: Format

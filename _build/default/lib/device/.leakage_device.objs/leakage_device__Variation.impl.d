@@ -1,0 +1,1 @@
+lib/device/variation.ml: Leakage_numeric Params

@@ -1,0 +1,1 @@
+lib/device/variation.mli: Leakage_numeric Params

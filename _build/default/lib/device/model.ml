@@ -1,0 +1,161 @@
+type bias = {
+  vg : float;
+  vd : float;
+  vs : float;
+  vb : float;
+}
+
+type components = {
+  ids : float;
+  igso : float;
+  igdo : float;
+  igcs : float;
+  igcd : float;
+  igb : float;
+  ibtbt_d : float;
+  ibtbt_s : float;
+}
+
+type terminals = {
+  into_gate : float;
+  into_drain : float;
+  into_source : float;
+  into_bulk : float;
+}
+
+(* Vth roll-off strength vs drawn length: ΔVth = -k_roll*(Lnom/L - 1). *)
+let k_roll = 0.12
+
+(* EKV interpolation function F(u) = ln²(1 + exp(u/2)), with the large-u
+   branch taken analytically to avoid overflow when the solver probes far
+   into strong inversion. *)
+let ekv_f u =
+  let half = u /. 2.0 in
+  let l = if half > 40.0 then half else log1p (exp half) in
+  l *. l
+
+let logistic x =
+  if x > 40.0 then 1.0
+  else if x < -40.0 then 0.0
+  else 1.0 /. (1.0 +. exp (-.x))
+
+(* All equations in the NMOS frame; PMOS is handled by reflecting terminal
+   voltages about 0 and negating the resulting currents. *)
+let nmos_components (d : Params.t) (f : Params.fet) ~w ~temp { vg; vd; vs; vb } =
+  let vt = Physics.thermal_voltage temp in
+  (* Short-channel severity grows with Tox and shrinking L; halo suppresses
+     it (§3 of the paper / Fig 4a-b). *)
+  let sce =
+    d.tox /. d.tox_nom *. ((d.length_nom /. d.length) ** 2.0) /. d.halo
+  in
+  let dibl_eff = f.dibl *. sce in
+  let vds = vd -. vs in
+  let vth =
+    f.vth0
+    +. (d.k_halo_vth *. (d.halo -. 1.0))
+    -. (k_roll *. ((d.length_nom /. d.length) -. 1.0))
+    +. (f.vth_tc *. (temp -. 300.0))
+    -. (dibl_eff *. abs_float vds)
+  in
+  (* Channel current: bulk-referenced EKV (body effect comes in through the
+     bulk reference and slope factor). *)
+  let vp = (vg -. vb -. vth) /. f.slope_n in
+  let i_f = ekv_f ((vp -. (vs -. vb)) /. vt) in
+  let i_r = ekv_f ((vp -. (vd -. vb)) /. vt) in
+  let ispec_w =
+    f.i_spec *. w *. (d.length_nom /. d.length) *. ((temp /. 300.0) ** 0.5)
+  in
+  let ids = ispec_w *. (i_f -. i_r) in
+  (* Gate tunneling density, signed with the oxide voltage; reverse-field
+     tunneling (gate low) is weaker by jg_reverse. *)
+  let jg_unit = f.jg_scale
+                *. exp (-.d.beta_tox *. (d.tox -. d.tox_nom))
+                *. (1.0 +. (d.tc_gate *. (temp -. 300.0)))
+  in
+  let jg v =
+    let mag x = jg_unit *. (x /. d.vref) *. exp (d.alpha_g *. (x -. d.vref)) in
+    if v >= 0.0 then mag v else -.(f.jg_reverse *. mag (-.v))
+  in
+  let a_ov = w *. d.lov and a_ch = w *. d.length in
+  let igso = a_ov *. f.jg_ov_mult *. jg (vg -. vs) in
+  let igdo = a_ov *. f.jg_ov_mult *. jg (vg -. vd) in
+  (* Channel tunneling needs an inverted channel; partition drifts toward the
+     source as Vds pinches the drain end. *)
+  let inv_frac = logistic ((vg -. vs -. vth) /. (3.0 *. vt)) in
+  let igc_total = a_ch *. jg (vg -. vs) *. inv_frac in
+  let pd = 0.5 /. (1.0 +. (abs_float vds /. 0.3)) in
+  let igcd = igc_total *. pd in
+  let igcs = igc_total -. igcd in
+  let igb = 0.02 *. a_ch *. jg (vg -. vb) in
+  (* Junction BTBT, exponential in reverse bias and halo dose; mild increase
+     with temperature through bandgap narrowing. A tiny forward-diode branch
+     keeps nodes from drifting below the body rail during solving. *)
+  let jb_unit =
+    f.jb_scale
+    *. exp (d.k_halo_btbt *. (d.halo -. 1.0))
+    *. exp (d.beta_btbt_temp
+            *. (Physics.bandgap 300.0 -. Physics.bandgap temp))
+  in
+  let jb v =
+    if v >= 0.0 then
+      w *. jb_unit *. (v /. d.vref) *. exp (d.alpha_b *. (v -. d.vref))
+    else begin
+      let u = Float.min 40.0 (-.v /. vt) in
+      -.(w *. 1e-12 *. (exp u -. 1.0))
+    end
+  in
+  let ibtbt_d = jb (vd -. vb) in
+  let ibtbt_s = jb (vs -. vb) in
+  { ids; igso; igdo; igcs; igcd; igb; ibtbt_d; ibtbt_s }
+
+let negate c = {
+  ids = -.c.ids;
+  igso = -.c.igso;
+  igdo = -.c.igdo;
+  igcs = -.c.igcs;
+  igcd = -.c.igcd;
+  igb = -.c.igb;
+  ibtbt_d = -.c.ibtbt_d;
+  ibtbt_s = -.c.ibtbt_s;
+}
+
+let components d pol ~w ~temp bias =
+  if w <= 0.0 then invalid_arg "Model.components: width must be positive";
+  let f = Params.fet d pol in
+  match pol with
+  | Params.Nmos -> nmos_components d f ~w ~temp bias
+  | Params.Pmos ->
+    let reflected = {
+      vg = -.bias.vg;
+      vd = -.bias.vd;
+      vs = -.bias.vs;
+      vb = -.bias.vb;
+    } in
+    negate (nmos_components d f ~w ~temp reflected)
+
+let terminals_of_components c = {
+  into_gate = c.igso +. c.igdo +. c.igcs +. c.igcd +. c.igb;
+  into_drain = c.ids -. c.igdo -. c.igcd +. c.ibtbt_d;
+  into_source = -.c.ids -. c.igso -. c.igcs +. c.ibtbt_s;
+  into_bulk = -.(c.igb +. c.ibtbt_d +. c.ibtbt_s);
+}
+
+let terminals d pol ~w ~temp bias =
+  terminals_of_components (components d pol ~w ~temp bias)
+
+let gate_leakage c =
+  abs_float c.igso +. abs_float c.igdo +. abs_float c.igcs
+  +. abs_float c.igcd +. abs_float c.igb
+
+let junction_leakage c = abs_float c.ibtbt_d +. abs_float c.ibtbt_s
+
+let channel_leakage c = abs_float c.ids
+
+let off_state_leakage d pol ~w ~temp ~vdd =
+  let bias =
+    match pol with
+    | Params.Nmos -> { vg = 0.0; vd = vdd; vs = 0.0; vb = 0.0 }
+    | Params.Pmos -> { vg = vdd; vd = 0.0; vs = vdd; vb = vdd }
+  in
+  let c = components d pol ~w ~temp bias in
+  (channel_leakage c, gate_leakage c, junction_leakage c)

@@ -1,0 +1,69 @@
+(** Compact transistor model: every leakage component as a voltage-controlled
+    current source (the paper's Fig 3).
+
+    The channel current uses an EKV-style interpolation that is valid from
+    deep subthreshold through strong inversion, so the same model both (a)
+    produces the subthreshold leakage of off devices and (b) gives on devices
+    the finite output conductance that turns injected fanout gate current
+    into the millivolt node shifts behind the loading effect. Gate tunneling
+    is exponential in oxide voltage and thickness and nearly
+    temperature-independent; junction BTBT is exponential in reverse bias and
+    halo dose with a weak bandgap-narrowing temperature dependence. *)
+
+type bias = {
+  vg : float;
+  vd : float;
+  vs : float;
+  vb : float;
+}
+(** Absolute terminal voltages in volts. *)
+
+type components = {
+  ids : float;      (** channel current, positive drain→source (NMOS frame) *)
+  igso : float;     (** gate to source-overlap tunneling *)
+  igdo : float;     (** gate to drain-overlap tunneling *)
+  igcs : float;     (** gate-to-channel, source-collected part *)
+  igcd : float;     (** gate-to-channel, drain-collected part *)
+  igb : float;      (** gate to substrate *)
+  ibtbt_d : float;  (** drain-body junction BTBT *)
+  ibtbt_s : float;  (** source-body junction BTBT *)
+}
+(** Signed current components in amperes. For a PMOS all signs are reflected;
+    use {!abs_components} for magnitude reporting. *)
+
+type terminals = {
+  into_gate : float;
+  into_drain : float;
+  into_source : float;
+  into_bulk : float;
+}
+(** Currents flowing from the external nets into each terminal; they sum to
+    zero (KCL inside the device), which is asserted by tests. *)
+
+val components :
+  Params.t -> Params.polarity -> w:float -> temp:float -> bias -> components
+(** Evaluate all current sources. [w] is the transistor width in µm, [temp]
+    the temperature in Kelvin. *)
+
+val terminals_of_components : components -> terminals
+
+val terminals :
+  Params.t -> Params.polarity -> w:float -> temp:float -> bias -> terminals
+(** [terminals p pol ~w ~temp b] = [terminals_of_components (components ...)]. *)
+
+val gate_leakage : components -> float
+(** Sum of gate-tunneling magnitudes: |Igso| + |Igdo| + |Igcs| + |Igcd| +
+    |Igb| (the paper's Igate for one device). *)
+
+val junction_leakage : components -> float
+(** |Ibtbt_d| + |Ibtbt_s|. *)
+
+val channel_leakage : components -> float
+(** |Ids|: reported as subthreshold leakage when the caller knows the device
+    is logically off. *)
+
+val off_state_leakage :
+  Params.t -> Params.polarity -> w:float -> temp:float -> vdd:float ->
+  float * float * float
+(** [(isub, igate, ibtbt)] of an isolated off transistor with its drain at
+    the rail — the standard single-device operating point used in Fig 4. *)

@@ -1,0 +1,68 @@
+module Rng = Leakage_numeric.Rng
+
+type sigmas = {
+  sigma_l : float;
+  sigma_tox : float;
+  sigma_vdd : float;
+  sigma_vth_inter : float;
+  sigma_vth_intra : float;
+}
+
+let paper_sigmas = {
+  sigma_l = 0.002;
+  sigma_tox = 0.067;
+  sigma_vdd = 0.0333;
+  sigma_vth_inter = 0.030;
+  sigma_vth_intra = 0.030;
+}
+
+let with_vth_inter s sigma_vth_inter = { s with sigma_vth_inter }
+
+type die = {
+  dl : float;
+  dtox : float;
+  dvth : float;
+  dvdd : float;
+}
+
+let nominal_die = { dl = 0.0; dtox = 0.0; dvth = 0.0; dvdd = 0.0 }
+
+let sample_die rng s = {
+  dl = Rng.normal rng ~mean:0.0 ~sigma:s.sigma_l;
+  dtox = Rng.normal rng ~mean:0.0 ~sigma:s.sigma_tox;
+  dvth = Rng.normal rng ~mean:0.0 ~sigma:s.sigma_vth_inter;
+  dvdd = Rng.normal rng ~mean:0.0 ~sigma:s.sigma_vdd;
+}
+
+let sample_gate_vth rng s = Rng.normal rng ~mean:0.0 ~sigma:s.sigma_vth_intra
+
+let clamp_min lo v = if v < lo then lo else v
+
+let apply_die (d : Params.t) die =
+  let d = Params.with_length d (clamp_min (0.5 *. d.length) (d.length +. die.dl)) in
+  let d = Params.with_tox d (clamp_min (0.5 *. d.tox) (d.tox +. die.dtox)) in
+  let d = Params.with_vth_shift d die.dvth in
+  Params.with_vdd d (clamp_min (0.5 *. d.vdd) (d.vdd +. die.dvdd))
+
+let apply_gate d dvth = Params.with_vth_shift d dvth
+
+type corner = Fast | Typical | Slow
+
+let corner_die s = function
+  | Typical -> nominal_die
+  | Fast ->
+    {
+      dl = -3.0 *. s.sigma_l;
+      dtox = -3.0 *. s.sigma_tox;
+      dvth = -3.0 *. s.sigma_vth_inter;
+      dvdd = 3.0 *. s.sigma_vdd;
+    }
+  | Slow ->
+    {
+      dl = 3.0 *. s.sigma_l;
+      dtox = 3.0 *. s.sigma_tox;
+      dvth = 3.0 *. s.sigma_vth_inter;
+      dvdd = -3.0 *. s.sigma_vdd;
+    }
+
+let corner_device d s c = apply_die d (corner_die s c)

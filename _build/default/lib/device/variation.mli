@@ -1,0 +1,58 @@
+(** Process-parameter variation sampling (§5.3 / Figs 10–11).
+
+    The paper applies random variation to channel length, oxide thickness and
+    threshold voltage of individual transistors (intra-die) plus die-to-die
+    (inter-die) threshold and supply variation. We sample a die-level shift
+    shared by every gate of a circuit instance, and a per-gate shift applied
+    on top (per-gate rather than per-transistor granularity; the loading
+    statistics only need gate-to-gate decorrelation). *)
+
+type sigmas = {
+  sigma_l : float;         (** channel length, µm *)
+  sigma_tox : float;       (** oxide thickness, nm *)
+  sigma_vdd : float;       (** supply, V *)
+  sigma_vth_inter : float; (** die-to-die threshold, V *)
+  sigma_vth_intra : float; (** within-die threshold, V *)
+}
+
+val paper_sigmas : sigmas
+(** Fig 11 legend values: σL = 2 nm, σTox = 0.67 Å, σVt-inter = 30 mV,
+    σVt-intra = 30 mV, σVDD = 33.3 mV (we read the legend's "333 mV" as a
+    typo for 1/27 of the rail; a third of the rail would not leave a working
+    die). *)
+
+val with_vth_inter : sigmas -> float -> sigmas
+(** Re-target the inter-die threshold sigma (the Fig 11 sweep variable). *)
+
+type die = {
+  dl : float;
+  dtox : float;
+  dvth : float;
+  dvdd : float;
+}
+(** One die's parameter shift. *)
+
+val sample_die : Leakage_numeric.Rng.t -> sigmas -> die
+
+val nominal_die : die
+(** All-zero shift. *)
+
+val sample_gate_vth : Leakage_numeric.Rng.t -> sigmas -> float
+(** Within-die threshold shift for one gate. *)
+
+val apply_die : Params.t -> die -> Params.t
+(** Shift a device's parameters by a die sample (supply shift included via
+    the device record's [vdd]). Geometry is clamped to stay physical. *)
+
+val apply_gate : Params.t -> float -> Params.t
+(** Apply a per-gate threshold shift on top. *)
+
+type corner = Fast | Typical | Slow
+(** 3-sigma process corners: [Fast] is the leaky corner (short channel, thin
+    oxide, low threshold, high supply), [Slow] its opposite. *)
+
+val corner_die : sigmas -> corner -> die
+(** The die shift of a 3-sigma corner. *)
+
+val corner_device : Params.t -> sigmas -> corner -> Params.t
+(** [apply_die] of the corner shift. *)

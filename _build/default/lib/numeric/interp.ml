@@ -1,0 +1,87 @@
+type grid1d = { xs : float array; ys : float array }
+
+let check_axis name xs =
+  if Array.length xs < 2 then invalid_arg (name ^ ": need at least 2 points");
+  for i = 0 to Array.length xs - 2 do
+    if xs.(i + 1) <= xs.(i) then
+      invalid_arg (name ^ ": axis must be strictly increasing")
+  done
+
+let grid1d ~xs ~ys =
+  check_axis "Interp.grid1d" xs;
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Interp.grid1d: xs/ys length mismatch";
+  { xs = Array.copy xs; ys = Array.copy ys }
+
+let grid1d_xs g = Array.copy g.xs
+let grid1d_ys g = Array.copy g.ys
+
+(* Index i such that xs.(i) <= x < xs.(i+1), clamped to valid segments. *)
+let segment xs x =
+  let n = Array.length xs in
+  if x <= xs.(0) then 0
+  else if x >= xs.(n - 1) then n - 2
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+let eval1d g x =
+  let n = Array.length g.xs in
+  if x <= g.xs.(0) then g.ys.(0)
+  else if x >= g.xs.(n - 1) then g.ys.(n - 1)
+  else begin
+    let i = segment g.xs x in
+    let t = (x -. g.xs.(i)) /. (g.xs.(i + 1) -. g.xs.(i)) in
+    (g.ys.(i) *. (1.0 -. t)) +. (g.ys.(i + 1) *. t)
+  end
+
+type grid2d = { gx : float array; gy : float array; v : float array array }
+
+let grid2d ~xs ~ys ~values =
+  check_axis "Interp.grid2d (xs)" xs;
+  check_axis "Interp.grid2d (ys)" ys;
+  if Array.length values <> Array.length xs then
+    invalid_arg "Interp.grid2d: values row count mismatch";
+  Array.iter
+    (fun row ->
+      if Array.length row <> Array.length ys then
+        invalid_arg "Interp.grid2d: values column count mismatch")
+    values;
+  { gx = Array.copy xs; gy = Array.copy ys; v = Array.map Array.copy values }
+
+let clamp lo hi x = if x < lo then lo else if x > hi then hi else x
+
+let eval2d g x y =
+  let nx = Array.length g.gx and ny = Array.length g.gy in
+  let x = clamp g.gx.(0) g.gx.(nx - 1) x in
+  let y = clamp g.gy.(0) g.gy.(ny - 1) y in
+  let i = segment g.gx x and j = segment g.gy y in
+  let tx = (x -. g.gx.(i)) /. (g.gx.(i + 1) -. g.gx.(i)) in
+  let ty = (y -. g.gy.(j)) /. (g.gy.(j + 1) -. g.gy.(j)) in
+  let v00 = g.v.(i).(j)
+  and v10 = g.v.(i + 1).(j)
+  and v01 = g.v.(i).(j + 1)
+  and v11 = g.v.(i + 1).(j + 1) in
+  (v00 *. (1.0 -. tx) *. (1.0 -. ty))
+  +. (v10 *. tx *. (1.0 -. ty))
+  +. (v01 *. (1.0 -. tx) *. ty)
+  +. (v11 *. tx *. ty)
+
+let linspace lo hi n =
+  if n < 2 then invalid_arg "Interp.linspace: need n >= 2";
+  let step = (hi -. lo) /. float_of_int (n - 1) in
+  Array.init n (fun i ->
+      if i = n - 1 then hi else lo +. (float_of_int i *. step))
+
+let tabulate1d ~xs ~f = grid1d ~xs ~ys:(Array.map f xs)
+
+let tabulate2d ~xs ~ys ~f =
+  let values =
+    Array.map (fun x -> Array.map (fun y -> f x y) ys) xs
+  in
+  grid2d ~xs ~ys ~values

@@ -1,0 +1,121 @@
+exception No_convergence of string
+
+let same_sign a b = (a >= 0.0 && b >= 0.0) || (a <= 0.0 && b <= 0.0)
+
+let brent ?(tol = 1e-12) ?(max_iter = 200) ~f a b =
+  let fa = f a and fb = f b in
+  if fa = 0.0 then a
+  else if fb = 0.0 then b
+  else begin
+    if same_sign fa fb then
+      invalid_arg "Rootfind.brent: root not bracketed";
+    (* Classic Brent: inverse quadratic / secant / bisection. *)
+    let a = ref a and b = ref b and fa = ref fa and fb = ref fb in
+    if abs_float !fa < abs_float !fb then begin
+      let t = !a in a := !b; b := t;
+      let t = !fa in fa := !fb; fb := t
+    end;
+    let c = ref !a and fc = ref !fa in
+    let d = ref (!b -. !a) and mflag = ref true in
+    let iter = ref 0 in
+    let result = ref None in
+    while !result = None do
+      if !fb = 0.0 || abs_float (!b -. !a) < tol then result := Some !b
+      else if !iter >= max_iter then
+        raise (No_convergence "brent: iteration budget exhausted")
+      else begin
+        incr iter;
+        let s =
+          if !fa <> !fc && !fb <> !fc then
+            (* inverse quadratic interpolation *)
+            (!a *. !fb *. !fc /. ((!fa -. !fb) *. (!fa -. !fc)))
+            +. (!b *. !fa *. !fc /. ((!fb -. !fa) *. (!fb -. !fc)))
+            +. (!c *. !fa *. !fb /. ((!fc -. !fa) *. (!fc -. !fb)))
+          else
+            (* secant *)
+            !b -. (!fb *. (!b -. !a) /. (!fb -. !fa))
+        in
+        let lo = ((3.0 *. !a) +. !b) /. 4.0 in
+        let use_bisect =
+          let between = (s > Float.min lo !b) && (s < Float.max lo !b) in
+          (not between)
+          || (!mflag && abs_float (s -. !b) >= abs_float (!b -. !c) /. 2.0)
+          || ((not !mflag) && abs_float (s -. !b) >= abs_float !d /. 2.0)
+        in
+        let s = if use_bisect then (!a +. !b) /. 2.0 else s in
+        mflag := use_bisect;
+        let fs = f s in
+        d := !c -. !b;
+        c := !b;
+        fc := !fb;
+        if same_sign !fa fs then begin
+          a := s; fa := fs
+        end else begin
+          b := s; fb := fs
+        end;
+        if abs_float !fa < abs_float !fb then begin
+          let t = !a in a := !b; b := t;
+          let t = !fa in fa := !fb; fb := t
+        end
+      end
+    done;
+    match !result with Some r -> r | None -> assert false
+  end
+
+let newton_bracketed ?(tol = 1e-12) ?(max_iter = 100) ~f ~df ~lo ~hi x0 =
+  let flo = f lo and fhi = f hi in
+  if flo = 0.0 then lo
+  else if fhi = 0.0 then hi
+  else begin
+    if same_sign flo fhi then
+      invalid_arg "Rootfind.newton_bracketed: root not bracketed";
+    let lo = ref lo and hi = ref hi and flo = ref flo in
+    let x = ref (Float.max !lo (Float.min !hi x0)) in
+    let result = ref None in
+    let iter = ref 0 in
+    while !result = None do
+      if !iter >= max_iter then
+        raise (No_convergence "newton_bracketed: iteration budget exhausted");
+      incr iter;
+      let fx = f !x in
+      if fx = 0.0 || (!hi -. !lo) < tol then result := Some !x
+      else begin
+        (* Shrink the bracket around the sign change. *)
+        if same_sign !flo fx then begin lo := !x; flo := fx end
+        else hi := !x;
+        let dfx = df !x in
+        let x_newton = if dfx = 0.0 then infinity else !x -. (fx /. dfx) in
+        let next =
+          if x_newton > !lo && x_newton < !hi then x_newton
+          else (!lo +. !hi) /. 2.0
+        in
+        if abs_float (next -. !x) < tol then result := Some next
+        else x := next
+      end
+    done;
+    match !result with Some r -> r | None -> assert false
+  end
+
+let newton_numeric ?tol ?max_iter ?(h = 1e-6) ~f ~lo ~hi x0 =
+  let df x = (f (x +. h) -. f (x -. h)) /. (2.0 *. h) in
+  newton_bracketed ?tol ?max_iter ~f ~df ~lo ~hi x0
+
+let expand_bracket ?(factor = 1.6) ?(max_expand = 60) ~f a b =
+  if a >= b then invalid_arg "Rootfind.expand_bracket: need a < b";
+  let a = ref a and b = ref b in
+  let fa = ref (f !a) and fb = ref (f !b) in
+  let tries = ref 0 in
+  while same_sign !fa !fb && !fa <> 0.0 && !fb <> 0.0 do
+    if !tries >= max_expand then
+      raise (No_convergence "expand_bracket: no sign change found");
+    incr tries;
+    let width = !b -. !a in
+    if abs_float !fa < abs_float !fb then begin
+      a := !a -. (factor *. width);
+      fa := f !a
+    end else begin
+      b := !b +. (factor *. width);
+      fb := f !b
+    end
+  done;
+  (!a, !b)

@@ -1,0 +1,47 @@
+(** Scalar root finding.
+
+    The per-node KCL equations solved during DC analysis are smooth,
+    monotone-dominated scalar functions of one node voltage; we solve them
+    with a safeguarded Newton iteration that falls back to bisection when the
+    Newton step leaves the bracket. *)
+
+exception No_convergence of string
+(** Raised when an iteration budget is exhausted without meeting tolerance. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float -> float
+(** [brent ~f a b] finds a root of [f] in the bracket [\[a, b\]].
+    Requires [f a] and [f b] to have opposite signs (or one of them to be
+    zero). Default [tol] 1e-12 on the argument, [max_iter] 200. *)
+
+val newton_bracketed :
+  ?tol:float ->
+  ?max_iter:int ->
+  f:(float -> float) ->
+  df:(float -> float) ->
+  lo:float ->
+  hi:float ->
+  float ->
+  float
+(** Safeguarded Newton on a bracket known to contain a root: Newton steps are
+    taken from the current iterate and clipped into the shrinking bracket;
+    bisection is used whenever Newton stalls. [f lo] and [f hi] must have
+    opposite signs. The last argument is the initial guess. *)
+
+val newton_numeric :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?h:float ->
+  f:(float -> float) ->
+  lo:float ->
+  hi:float ->
+  float ->
+  float
+(** [newton_bracketed] with a central finite-difference derivative
+    (step [h], default 1e-6). *)
+
+val expand_bracket :
+  ?factor:float -> ?max_expand:int -> f:(float -> float) ->
+  float -> float -> float * float
+(** Grow an initial interval geometrically until it brackets a sign change.
+    Raises [No_convergence] if none is found. *)

@@ -1,0 +1,95 @@
+type options = {
+  tol_residual : float;
+  tol_step : float;
+  max_iter : int;
+  fd_step : float;
+  max_damping : int;
+}
+
+let default_options = {
+  tol_residual = 1e-13;
+  tol_step = 1e-12;
+  max_iter = 80;
+  fd_step = 1e-7;
+  max_damping = 24;
+}
+
+type result = {
+  x : float array;
+  residual_norm : float;
+  iterations : int;
+  converged : bool;
+}
+
+let clamp_into ?lower ?upper x =
+  (match lower with
+   | None -> ()
+   | Some lo ->
+     Array.iteri (fun i v -> if x.(i) < v then x.(i) <- v) lo);
+  match upper with
+  | None -> ()
+  | Some hi -> Array.iteri (fun i v -> if x.(i) > v then x.(i) <- v) hi
+
+let jacobian ~fd_step ~f x fx =
+  let n = Array.length x in
+  let jac = Array.init n (fun _ -> Array.make n 0.0) in
+  for j = 0 to n - 1 do
+    let saved = x.(j) in
+    (* Scale the step with the variable magnitude to keep relative accuracy. *)
+    let h = fd_step *. Float.max 1.0 (abs_float saved) in
+    x.(j) <- saved +. h;
+    let fph = f x in
+    x.(j) <- saved;
+    for i = 0 to n - 1 do
+      jac.(i).(j) <- (fph.(i) -. fx.(i)) /. h
+    done
+  done;
+  jac
+
+let solve ?(options = default_options) ?lower ?upper ~f x0 =
+  let x = Array.copy x0 in
+  clamp_into ?lower ?upper x;
+  let fx = ref (f x) in
+  let res_norm = ref (Linalg.norm_inf !fx) in
+  let iterations = ref 0 in
+  let converged = ref (!res_norm <= options.tol_residual) in
+  let stalled = ref false in
+  while (not !converged) && (not !stalled) && !iterations < options.max_iter do
+    incr iterations;
+    let jac = jacobian ~fd_step:options.fd_step ~f x !fx in
+    let step =
+      match Linalg.lu_solve jac (Array.map (fun v -> -.v) !fx) with
+      | s -> Some s
+      | exception Linalg.Singular -> None
+    in
+    match step with
+    | None -> stalled := true
+    | Some dx ->
+      (* Damped line search: halve the step until the residual improves. *)
+      let rec try_step alpha attempts =
+        let candidate = Array.mapi (fun i xi -> xi +. (alpha *. dx.(i))) x in
+        clamp_into ?lower ?upper candidate;
+        let fc = f candidate in
+        let norm_c = Linalg.norm_inf fc in
+        if norm_c < !res_norm || attempts >= options.max_damping then
+          (candidate, fc, norm_c, alpha)
+        else try_step (alpha /. 2.0) (attempts + 1)
+      in
+      let candidate, fc, norm_c, alpha = try_step 1.0 0 in
+      let step_size = alpha *. Linalg.norm_inf dx in
+      if norm_c >= !res_norm && step_size < options.tol_step then
+        stalled := true
+      else begin
+        Array.blit candidate 0 x 0 (Array.length x);
+        fx := fc;
+        res_norm := norm_c;
+        if !res_norm <= options.tol_residual || step_size < options.tol_step
+        then converged := true
+      end
+  done;
+  {
+    x;
+    residual_norm = !res_norm;
+    iterations = !iterations;
+    converged = !converged || !res_norm <= options.tol_residual *. 100.0;
+  }

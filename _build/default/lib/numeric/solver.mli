@@ -1,0 +1,35 @@
+(** Damped Newton iteration for small nonlinear systems F(x) = 0.
+
+    Used by the dense DC operating-point path (single gates, characterization
+    cells, cross-checks of the Gauss–Seidel solver). The Jacobian is formed by
+    forward differences; steps are damped by halving until the residual norm
+    decreases (Armijo-style), and the iterate can be clamped into a box, which
+    keeps node voltages inside the rails where the device models are
+    well-behaved. *)
+
+type options = {
+  tol_residual : float;  (** stop when ||F||_inf falls below this *)
+  tol_step : float;      (** stop when ||dx||_inf falls below this *)
+  max_iter : int;
+  fd_step : float;       (** forward-difference step for the Jacobian *)
+  max_damping : int;     (** halvings per iteration before giving up *)
+}
+
+val default_options : options
+
+type result = {
+  x : float array;
+  residual_norm : float;
+  iterations : int;
+  converged : bool;
+}
+
+val solve :
+  ?options:options ->
+  ?lower:float array ->
+  ?upper:float array ->
+  f:(float array -> float array) ->
+  float array ->
+  result
+(** [solve ~f x0] iterates from [x0]. [lower]/[upper], when given, clamp every
+    iterate componentwise. The input array is not modified. *)

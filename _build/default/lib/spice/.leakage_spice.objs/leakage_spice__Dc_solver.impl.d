@@ -1,0 +1,1 @@
+lib/spice/dc_solver.ml: Array Flatten Float Leakage_device Leakage_numeric List Stdlib

@@ -1,0 +1,1 @@
+lib/spice/dc_solver.mli: Flatten Leakage_circuit

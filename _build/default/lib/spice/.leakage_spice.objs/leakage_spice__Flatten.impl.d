@@ -1,0 +1,1 @@
+lib/spice/flatten.ml: Array Leakage_circuit Leakage_device List Option Stdlib

@@ -1,0 +1,1 @@
+lib/spice/flatten.mli: Leakage_circuit Leakage_device

@@ -1,0 +1,1 @@
+lib/spice/leakage_report.ml: Array Dc_solver Flatten Format Leakage_circuit Leakage_device

@@ -1,0 +1,106 @@
+module Params = Leakage_device.Params
+module Model = Leakage_device.Model
+module Physics = Leakage_device.Physics
+module Netlist = Leakage_circuit.Netlist
+module Simulate = Leakage_circuit.Simulate
+
+type components = {
+  isub : float;
+  igate : float;
+  ibtbt : float;
+}
+
+let zero = { isub = 0.0; igate = 0.0; ibtbt = 0.0 }
+let total c = c.isub +. c.igate +. c.ibtbt
+
+let add a b = {
+  isub = a.isub +. b.isub;
+  igate = a.igate +. b.igate;
+  ibtbt = a.ibtbt +. b.ibtbt;
+}
+
+let scale k c = { isub = k *. c.isub; igate = k *. c.igate; ibtbt = k *. c.ibtbt }
+
+let pp_components ppf c =
+  Format.fprintf ppf "sub=%.2fnA gate=%.2fnA btbt=%.2fnA total=%.2fnA"
+    (Physics.amps_to_nanoamps c.isub)
+    (Physics.amps_to_nanoamps c.igate)
+    (Physics.amps_to_nanoamps c.ibtbt)
+    (Physics.amps_to_nanoamps (total c))
+
+type t = {
+  per_gate : components array;
+  footer : components;
+  totals : components;
+  vdd_current : float;
+  gnd_current : float;
+}
+
+let transistor_components (flat : Flatten.t) x (tr : Flatten.transistor) =
+  let v n = Flatten.node_voltage flat x n in
+  let bias = { Model.vg = v tr.g; vd = v tr.d; vs = v tr.s; vb = v tr.b } in
+  Model.components (flat.device_of_gate tr.owner) tr.pol ~w:tr.w
+    ~temp:flat.temp bias
+
+(* The pull network that should be non-conducting under the stage's logic
+   state: output high means the pull-down is off, and vice versa. *)
+let in_off_network (tr : Flatten.transistor) =
+  match tr.net_kind with
+  | Flatten.Pull_down -> tr.stage_out_logic
+  | Flatten.Pull_up -> not tr.stage_out_logic
+
+let of_solution (flat : Flatten.t) x =
+  let n_gates = Netlist.gate_count flat.netlist in
+  let per_gate = Array.make n_gates zero in
+  let footer = ref zero in
+  let vdd_current = ref 0.0 and gnd_current = ref 0.0 in
+  Array.iter
+    (fun (tr : Flatten.transistor) ->
+      let c = transistor_components flat x tr in
+      let isub =
+        if in_off_network tr && tr.at_output then Model.channel_leakage c
+        else 0.0
+      in
+      let contribution = {
+        isub;
+        igate = Model.gate_leakage c;
+        ibtbt = Model.junction_leakage c;
+      } in
+      if tr.owner >= 0 then
+        per_gate.(tr.owner) <- add per_gate.(tr.owner) contribution
+      else footer := add !footer contribution;
+      (* Rail currents for conservation checks. *)
+      let t = Model.terminals_of_components c in
+      let rail_contribution node current =
+        match node with
+        | Flatten.Rail -> vdd_current := !vdd_current +. current
+        | Flatten.Ground -> gnd_current := !gnd_current +. current
+        | Flatten.Fixed _ | Flatten.Unknown _ -> ()
+      in
+      rail_contribution tr.g t.Model.into_gate;
+      rail_contribution tr.d t.Model.into_drain;
+      rail_contribution tr.s t.Model.into_source;
+      rail_contribution tr.b t.Model.into_bulk)
+    flat.transistors;
+  let totals = add (Array.fold_left add zero per_gate) !footer in
+  (* "into terminal" currents at a rail node are exactly what that rail
+     supplies; the ground return is their negation on the ground side. *)
+  { per_gate; footer = !footer; totals; vdd_current = !vdd_current;
+    gnd_current = -. !gnd_current }
+
+let input_pin_current (flat : Flatten.t) x ~gate_id ~pin =
+  let acc = ref 0.0 in
+  Array.iter
+    (fun (tr : Flatten.transistor) ->
+      if tr.owner = gate_id && tr.gate_pin = pin then begin
+        let c = transistor_components flat x tr in
+        acc := !acc +. (Model.terminals_of_components c).Model.into_gate
+      end)
+    flat.transistors;
+  !acc
+
+let analyze ?device_of_gate ?options ~device ~temp ?vdd netlist pattern =
+  let assignment = Simulate.run netlist pattern in
+  let flat = Flatten.flatten ?device_of_gate ~device ~temp ?vdd netlist assignment in
+  let result = Dc_solver.solve ?options flat in
+  (of_solution flat result.Dc_solver.voltages, result, flat)

@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Array Leakage_benchmarks Leakage_circuit Leakage_numeric List Printf QCheck2 QCheck_alcotest

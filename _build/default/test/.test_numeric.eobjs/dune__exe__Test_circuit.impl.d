@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Fun Leakage_benchmarks Leakage_circuit Leakage_numeric List Printf QCheck2 QCheck_alcotest Stdlib String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Format Leakage_benchmarks Leakage_circuit Leakage_core Leakage_device Leakage_numeric Leakage_spice List Printf String

@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Array Leakage_device Leakage_numeric List QCheck2 QCheck_alcotest

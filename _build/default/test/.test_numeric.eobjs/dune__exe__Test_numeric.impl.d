@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Array Fun Leakage_numeric List QCheck2 QCheck_alcotest

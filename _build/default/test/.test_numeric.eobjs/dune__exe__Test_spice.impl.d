@@ -1,0 +1,1 @@
+test/test_spice.ml: Alcotest Array Leakage_circuit Leakage_device Leakage_numeric Leakage_spice List Option Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,450 @@
+(* Unit and property tests for the numeric substrate. *)
+
+module Rng = Leakage_numeric.Rng
+module Stats = Leakage_numeric.Stats
+module Interp = Leakage_numeric.Interp
+module Rootfind = Leakage_numeric.Rootfind
+module Linalg = Leakage_numeric.Linalg
+module Solver = Leakage_numeric.Solver
+
+let check_float ?(eps = 1e-12) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" false
+    (Rng.bits64 a = Rng.bits64 b)
+
+let test_rng_copy_independent () =
+  let a = Rng.create 7 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_split_diverges () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  let xs = Array.init 32 (fun _ -> Rng.bits64 a) in
+  let ys = Array.init 32 (fun _ -> Rng.bits64 b) in
+  Alcotest.(check bool) "split streams differ" false (xs = ys)
+
+let test_rng_uniform_range () =
+  let r = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let u = Rng.uniform r in
+    if u < 0.0 || u >= 1.0 then Alcotest.fail "uniform outside [0,1)"
+  done
+
+let test_rng_int_bounds () =
+  let r = Rng.create 4 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "int outside bounds"
+  done
+
+let test_rng_int_large_bound () =
+  (* regression: 63-bit truncation used to produce negative values *)
+  let r = Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r max_int in
+    if v < 0 then Alcotest.fail "negative draw"
+  done
+
+let test_rng_int_rejects_nonpositive () =
+  let r = Rng.create 6 in
+  Alcotest.check_raises "bound 0"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int r 0))
+
+let test_rng_gaussian_moments () =
+  let r = Rng.create 12 in
+  let n = 50_000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian r) in
+  Alcotest.(check (float 0.03)) "mean ~ 0" 0.0 (Stats.mean xs);
+  Alcotest.(check (float 0.03)) "std ~ 1" 1.0 (Stats.std xs)
+
+let test_rng_normal_scaling () =
+  let r = Rng.create 13 in
+  let xs = Array.init 50_000 (fun _ -> Rng.normal r ~mean:5.0 ~sigma:2.0) in
+  Alcotest.(check (float 0.06)) "mean" 5.0 (Stats.mean xs);
+  Alcotest.(check (float 0.06)) "sigma" 2.0 (Stats.std xs)
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 14 in
+  let a = Array.init 50 Fun.id in
+  let b = Array.copy a in
+  Rng.shuffle r b;
+  let sorted = Array.copy b in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "same multiset" true (sorted = a);
+  Alcotest.(check bool) "actually moved" false (b = a)
+
+let test_rng_pick () =
+  let r = Rng.create 15 in
+  let a = [| 1; 2; 3 |] in
+  for _ = 1 to 100 do
+    let v = Rng.pick r a in
+    if v < 1 || v > 3 then Alcotest.fail "pick outside array"
+  done
+
+(* ---------------------------------------------------------------- Stats *)
+
+let test_stats_mean () = check_float "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |])
+
+let test_stats_mean_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty array")
+    (fun () -> ignore (Stats.mean [||]))
+
+let test_stats_variance () =
+  check_float "variance of 1..5" 2.5 (Stats.variance [| 1.; 2.; 3.; 4.; 5. |])
+
+let test_stats_variance_singleton () =
+  check_float "singleton variance" 0.0 (Stats.variance [| 42.0 |])
+
+let test_stats_min_max () =
+  let lo, hi = Stats.min_max [| 3.; -1.; 7.; 2. |] in
+  check_float "min" (-1.) lo;
+  check_float "max" 7. hi
+
+let test_stats_percentile_endpoints () =
+  let a = [| 10.; 20.; 30.; 40. |] in
+  check_float "p0" 10. (Stats.percentile a 0.);
+  check_float "p100" 40. (Stats.percentile a 100.);
+  check_float "p50" 25. (Stats.percentile a 50.)
+
+let test_stats_percentile_unsorted_input () =
+  let a = [| 40.; 10.; 30.; 20. |] in
+  check_float "median of unsorted" 25. (Stats.median a);
+  Alcotest.(check bool) "input untouched" true (a = [| 40.; 10.; 30.; 20. |])
+
+let test_stats_summary () =
+  let s = Stats.summarize (Array.init 101 float_of_int) in
+  Alcotest.(check int) "n" 101 s.Stats.n;
+  check_float "mean" 50.0 s.Stats.mean;
+  check_float "median" 50.0 s.Stats.p50;
+  check_float "p05" 5.0 s.Stats.p05
+
+let test_stats_histogram_counts () =
+  let h = Stats.histogram ~bins:4 [| 0.; 1.; 2.; 3.; 4. |] in
+  Alcotest.(check int) "total count" 5 (Array.fold_left ( + ) 0 h.Stats.counts);
+  Alcotest.(check int) "bins" 4 (Array.length h.Stats.counts);
+  Alcotest.(check int) "last bin holds top value" 2 h.Stats.counts.(3)
+
+let test_stats_histogram_in_clamps () =
+  let h =
+    Stats.histogram_in ~lo:0.0 ~hi:1.0 ~bins:2 [| -5.0; 0.25; 0.75; 9.0 |]
+  in
+  Alcotest.(check int) "low clamp" 2 h.Stats.counts.(0);
+  Alcotest.(check int) "high clamp" 2 h.Stats.counts.(1)
+
+let test_stats_histogram_degenerate () =
+  let h = Stats.histogram ~bins:3 [| 2.0; 2.0; 2.0 |] in
+  Alcotest.(check int) "all in one bin" 3 h.Stats.counts.(0)
+
+let test_stats_bin_centers () =
+  let h = Stats.histogram_in ~lo:0.0 ~hi:4.0 ~bins:4 [| 1.0 |] in
+  let c = Stats.bin_centers h in
+  check_float "first center" 0.5 c.(0);
+  check_float "last center" 3.5 c.(3)
+
+let test_stats_correlation () =
+  let a = [| 1.; 2.; 3.; 4. |] in
+  check_float "self correlation" 1.0 (Stats.correlation a a);
+  check_float "anti correlation" (-1.0)
+    (Stats.correlation a (Array.map (fun x -> -.x) a));
+  check_float "constant gives 0" 0.0 (Stats.correlation a [| 5.; 5.; 5.; 5. |])
+
+let test_stats_relative_error () =
+  check_float "+10%" 0.1 (Stats.relative_error ~reference:10.0 11.0)
+
+(* --------------------------------------------------------------- Interp *)
+
+let test_interp_linspace () =
+  let xs = Interp.linspace 0.0 1.0 5 in
+  Alcotest.(check int) "count" 5 (Array.length xs);
+  check_float "first" 0.0 xs.(0);
+  check_float "last" 1.0 xs.(4);
+  check_float "step" 0.25 xs.(1)
+
+let test_interp_1d_exact_on_nodes () =
+  let g = Interp.grid1d ~xs:[| 0.; 1.; 3. |] ~ys:[| 5.; 7.; 1. |] in
+  check_float "node 0" 5. (Interp.eval1d g 0.);
+  check_float "node 1" 7. (Interp.eval1d g 1.);
+  check_float "node 2" 1. (Interp.eval1d g 3.)
+
+let test_interp_1d_linear_between () =
+  let g = Interp.grid1d ~xs:[| 0.; 2. |] ~ys:[| 0.; 4. |] in
+  check_float "midpoint" 2. (Interp.eval1d g 1.);
+  check_float "quarter" 1. (Interp.eval1d g 0.5)
+
+let test_interp_1d_clamps () =
+  let g = Interp.grid1d ~xs:[| 0.; 1. |] ~ys:[| 3.; 9. |] in
+  check_float "below" 3. (Interp.eval1d g (-5.));
+  check_float "above" 9. (Interp.eval1d g 100.)
+
+let test_interp_1d_rejects_bad_axis () =
+  Alcotest.check_raises "non increasing"
+    (Invalid_argument "Interp.grid1d: axis must be strictly increasing")
+    (fun () -> ignore (Interp.grid1d ~xs:[| 0.; 0. |] ~ys:[| 1.; 2. |]))
+
+let test_interp_2d_bilinear () =
+  let g =
+    Interp.grid2d ~xs:[| 0.; 1. |] ~ys:[| 0.; 1. |]
+      ~values:[| [| 0.; 1. |]; [| 2.; 3. |] |]
+  in
+  check_float "corner 00" 0. (Interp.eval2d g 0. 0.);
+  check_float "corner 11" 3. (Interp.eval2d g 1. 1.);
+  check_float "center" 1.5 (Interp.eval2d g 0.5 0.5);
+  check_float "x edge midpoint" 1.0 (Interp.eval2d g 0.5 0.0)
+
+let test_interp_2d_clamps () =
+  let g =
+    Interp.grid2d ~xs:[| 0.; 1. |] ~ys:[| 0.; 1. |]
+      ~values:[| [| 0.; 1. |]; [| 2.; 3. |] |]
+  in
+  check_float "clamped corner" 3. (Interp.eval2d g 10. 10.)
+
+let prop_interp_reproduces_linear =
+  qtest "interp1d is exact for affine functions"
+    QCheck2.Gen.(tup2 (float_range (-5.) 5.) (float_range (-5.) 5.))
+    (fun (a, b) ->
+      let f x = (a *. x) +. b in
+      let xs = Interp.linspace (-2.0) 2.0 9 in
+      let g = Interp.tabulate1d ~xs ~f in
+      List.for_all
+        (fun x -> abs_float (Interp.eval1d g x -. f x) < 1e-9)
+        [ -1.9; -0.3; 0.0; 0.7; 1.99 ])
+
+let prop_interp2d_matches_tabulated_bilinear =
+  qtest "interp2d is exact for bilinear functions"
+    QCheck2.Gen.(tup3 (float_range (-2.) 2.) (float_range (-2.) 2.)
+                   (float_range (-2.) 2.))
+    (fun (a, b, c) ->
+      let f x y = (a *. x) +. (b *. y) +. (c *. x *. y) in
+      let xs = Interp.linspace 0.0 1.0 4 in
+      let g = Interp.tabulate2d ~xs ~ys:xs ~f in
+      List.for_all
+        (fun (x, y) -> abs_float (Interp.eval2d g x y -. f x y) < 1e-9)
+        [ (0.1, 0.9); (0.5, 0.5); (0.99, 0.01) ])
+
+(* ------------------------------------------------------------- Rootfind *)
+
+let test_brent_sqrt2 () =
+  let f x = (x *. x) -. 2.0 in
+  check_float ~eps:1e-10 "sqrt 2" (sqrt 2.0) (Rootfind.brent ~f 0.0 2.0)
+
+let test_brent_endpoint_root () =
+  let f x = x -. 1.0 in
+  check_float "endpoint" 1.0 (Rootfind.brent ~f 1.0 2.0)
+
+let test_brent_rejects_unbracketed () =
+  Alcotest.check_raises "no bracket"
+    (Invalid_argument "Rootfind.brent: root not bracketed")
+    (fun () -> ignore (Rootfind.brent ~f:(fun x -> x +. 10.0) 0.0 1.0))
+
+let test_newton_bracketed_exp () =
+  let f x = exp x -. 3.0 in
+  let df x = exp x in
+  check_float ~eps:1e-9 "ln 3" (log 3.0)
+    (Rootfind.newton_bracketed ~f ~df ~lo:0.0 ~hi:2.0 0.5)
+
+let test_newton_numeric_stiff () =
+  (* strongly curved function mimicking a subthreshold I-V *)
+  let f v = (1e-9 *. (exp (v /. 0.026) -. 1.0)) -. 5e-7 in
+  let root = Rootfind.newton_numeric ~f ~lo:0.0 ~hi:1.0 0.5 in
+  check_float ~eps:1e-9 "residual ~ 0" 0.0 (f root /. 5e-7)
+
+let test_expand_bracket () =
+  let f x = x -. 100.0 in
+  let a, b = Rootfind.expand_bracket ~f 0.0 1.0 in
+  Alcotest.(check bool) "brackets" true (f a <= 0.0 && f b >= 0.0)
+
+let prop_brent_polynomial_roots =
+  qtest "brent finds the root of (x - r)(x + r + 3)"
+    QCheck2.Gen.(float_range 0.1 5.0)
+    (fun r ->
+      let f x = (x -. r) *. (x +. r +. 3.0) in
+      let root = Rootfind.brent ~f 0.0 10.0 in
+      abs_float (root -. r) < 1e-8)
+
+(* --------------------------------------------------------------- Linalg *)
+
+let test_linalg_identity_solve () =
+  let x = Linalg.lu_solve (Linalg.identity 3) [| 1.; 2.; 3. |] in
+  Alcotest.(check bool) "identity" true (x = [| 1.; 2.; 3. |])
+
+let test_linalg_known_system () =
+  (* [[2,1],[1,3]] x = [3,5] -> x = [4/5, 7/5] *)
+  let a = [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  let x = Linalg.lu_solve a [| 3.; 5. |] in
+  check_float ~eps:1e-12 "x0" 0.8 x.(0);
+  check_float ~eps:1e-12 "x1" 1.4 x.(1)
+
+let test_linalg_pivoting () =
+  let a = [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  let x = Linalg.lu_solve a [| 2.; 3. |] in
+  check_float "x0" 3. x.(0);
+  check_float "x1" 2. x.(1)
+
+let test_linalg_singular () =
+  let a = [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  Alcotest.check_raises "singular" Linalg.Singular (fun () ->
+      ignore (Linalg.lu_solve a [| 1.; 1. |]))
+
+let test_linalg_mat_vec () =
+  let y = Linalg.mat_vec [| [| 1.; 2. |]; [| 3.; 4. |] |] [| 1.; 1. |] in
+  Alcotest.(check bool) "product" true (y = [| 3.; 7. |])
+
+let test_linalg_mat_mul () =
+  let c = Linalg.mat_mul [| [| 1.; 2. |] |] [| [| 3. |]; [| 4. |] |] in
+  check_float "1x1 result" 11. c.(0).(0)
+
+let test_linalg_norms () =
+  check_float "inf" 3.0 (Linalg.norm_inf [| 1.; -3.; 2. |]);
+  check_float "l2" 5.0 (Linalg.norm2 [| 3.; 4. |])
+
+let test_linalg_solve_many () =
+  let a = [| [| 2.; 0. |]; [| 0.; 4. |] |] in
+  let xs = Linalg.solve_many a [| [| 2.; 4. |]; [| 4.; 8. |] |] in
+  Alcotest.(check bool) "rhs 0" true (xs.(0) = [| 1.; 1. |]);
+  Alcotest.(check bool) "rhs 1" true (xs.(1) = [| 2.; 2. |])
+
+let test_linalg_does_not_mutate () =
+  let a = [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  let b = [| 3.; 5. |] in
+  ignore (Linalg.lu_solve a b);
+  Alcotest.(check bool) "a intact" true (a = [| [| 2.; 1. |]; [| 1.; 3. |] |]);
+  Alcotest.(check bool) "b intact" true (b = [| 3.; 5. |])
+
+let prop_lu_solves_random_dd =
+  qtest ~count:100 "LU solves diagonally dominant random systems"
+    QCheck2.Gen.(array_size (return 9) (float_range (-1.0) 1.0))
+    (fun entries ->
+      let a =
+        Array.init 3 (fun i ->
+            Array.init 3 (fun j ->
+                let v = entries.((3 * i) + j) in
+                if i = j then 4.0 +. abs_float v else v))
+      in
+      let x_true = [| 1.0; -2.0; 0.5 |] in
+      let b = Linalg.mat_vec a x_true in
+      let x = Linalg.lu_solve a b in
+      Array.for_all2 (fun u v -> abs_float (u -. v) < 1e-9) x x_true)
+
+(* --------------------------------------------------------------- Solver *)
+
+let test_solver_linear_system () =
+  let f x = [| x.(0) +. x.(1) -. 3.0; x.(0) -. x.(1) -. 1.0 |] in
+  let r = Solver.solve ~f [| 0.0; 0.0 |] in
+  Alcotest.(check bool) "converged" true r.Solver.converged;
+  check_float ~eps:1e-8 "x0" 2.0 r.Solver.x.(0);
+  check_float ~eps:1e-8 "x1" 1.0 r.Solver.x.(1)
+
+let test_solver_nonlinear () =
+  let f x = [| (x.(0) *. x.(0)) -. 4.0; exp x.(1) -. 1.0 |] in
+  let r = Solver.solve ~f [| 3.0; 0.5 |] in
+  Alcotest.(check bool) "converged" true r.Solver.converged;
+  check_float ~eps:1e-6 "x0" 2.0 r.Solver.x.(0);
+  check_float ~eps:1e-6 "x1" 0.0 r.Solver.x.(1)
+
+let test_solver_respects_bounds () =
+  let f x = [| x.(0) +. 5.0 |] in
+  let r = Solver.solve ~lower:[| 0.0 |] ~upper:[| 10.0 |] ~f [| 5.0 |] in
+  check_float ~eps:1e-9 "clamped at lower bound" 0.0 r.Solver.x.(0)
+
+let test_solver_does_not_mutate_input () =
+  let x0 = [| 1.0; 1.0 |] in
+  let f x = [| x.(0) -. 2.0; x.(1) -. 3.0 |] in
+  ignore (Solver.solve ~f x0);
+  Alcotest.(check bool) "input intact" true (x0 = [| 1.0; 1.0 |])
+
+let () =
+  Alcotest.run "numeric"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_rng_copy_independent;
+          Alcotest.test_case "split diverges" `Quick test_rng_split_diverges;
+          Alcotest.test_case "uniform range" `Quick test_rng_uniform_range;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int large bound" `Quick test_rng_int_large_bound;
+          Alcotest.test_case "int rejects <= 0" `Quick test_rng_int_rejects_nonpositive;
+          Alcotest.test_case "gaussian moments" `Slow test_rng_gaussian_moments;
+          Alcotest.test_case "normal scaling" `Slow test_rng_normal_scaling;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "pick" `Quick test_rng_pick;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "mean empty" `Quick test_stats_mean_empty;
+          Alcotest.test_case "variance" `Quick test_stats_variance;
+          Alcotest.test_case "variance singleton" `Quick test_stats_variance_singleton;
+          Alcotest.test_case "min max" `Quick test_stats_min_max;
+          Alcotest.test_case "percentile endpoints" `Quick test_stats_percentile_endpoints;
+          Alcotest.test_case "percentile unsorted" `Quick test_stats_percentile_unsorted_input;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "histogram counts" `Quick test_stats_histogram_counts;
+          Alcotest.test_case "histogram clamps" `Quick test_stats_histogram_in_clamps;
+          Alcotest.test_case "histogram degenerate" `Quick test_stats_histogram_degenerate;
+          Alcotest.test_case "bin centers" `Quick test_stats_bin_centers;
+          Alcotest.test_case "correlation" `Quick test_stats_correlation;
+          Alcotest.test_case "relative error" `Quick test_stats_relative_error;
+        ] );
+      ( "interp",
+        [
+          Alcotest.test_case "linspace" `Quick test_interp_linspace;
+          Alcotest.test_case "1d exact nodes" `Quick test_interp_1d_exact_on_nodes;
+          Alcotest.test_case "1d linear" `Quick test_interp_1d_linear_between;
+          Alcotest.test_case "1d clamps" `Quick test_interp_1d_clamps;
+          Alcotest.test_case "1d bad axis" `Quick test_interp_1d_rejects_bad_axis;
+          Alcotest.test_case "2d bilinear" `Quick test_interp_2d_bilinear;
+          Alcotest.test_case "2d clamps" `Quick test_interp_2d_clamps;
+          prop_interp_reproduces_linear;
+          prop_interp2d_matches_tabulated_bilinear;
+        ] );
+      ( "rootfind",
+        [
+          Alcotest.test_case "brent sqrt2" `Quick test_brent_sqrt2;
+          Alcotest.test_case "brent endpoint" `Quick test_brent_endpoint_root;
+          Alcotest.test_case "brent unbracketed" `Quick test_brent_rejects_unbracketed;
+          Alcotest.test_case "newton exp" `Quick test_newton_bracketed_exp;
+          Alcotest.test_case "newton stiff" `Quick test_newton_numeric_stiff;
+          Alcotest.test_case "expand bracket" `Quick test_expand_bracket;
+          prop_brent_polynomial_roots;
+        ] );
+      ( "linalg",
+        [
+          Alcotest.test_case "identity" `Quick test_linalg_identity_solve;
+          Alcotest.test_case "known 2x2" `Quick test_linalg_known_system;
+          Alcotest.test_case "pivoting" `Quick test_linalg_pivoting;
+          Alcotest.test_case "singular" `Quick test_linalg_singular;
+          Alcotest.test_case "mat vec" `Quick test_linalg_mat_vec;
+          Alcotest.test_case "mat mul" `Quick test_linalg_mat_mul;
+          Alcotest.test_case "norms" `Quick test_linalg_norms;
+          Alcotest.test_case "solve many" `Quick test_linalg_solve_many;
+          Alcotest.test_case "no mutation" `Quick test_linalg_does_not_mutate;
+          prop_lu_solves_random_dd;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "linear" `Quick test_solver_linear_system;
+          Alcotest.test_case "nonlinear" `Quick test_solver_nonlinear;
+          Alcotest.test_case "bounds" `Quick test_solver_respects_bounds;
+          Alcotest.test_case "input untouched" `Quick test_solver_does_not_mutate_input;
+        ] );
+    ]
