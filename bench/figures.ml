@@ -21,7 +21,7 @@ module Loading = Leakage_core.Loading
 module Monte_carlo = Leakage_core.Monte_carlo
 module Characterize = Leakage_core.Characterize
 module Testbench = Leakage_core.Testbench
-module Vector_control = Leakage_core.Vector_control
+module Vector_control = Leakage_incremental.Vector_control
 module Suite = Leakage_benchmarks.Suite
 module Rng = Leakage_numeric.Rng
 module Stats = Leakage_numeric.Stats
@@ -620,7 +620,7 @@ let extension_dualvth () =
     "beyond the paper: timing-noncritical gates moved to +80 mV threshold,      evaluated with per-gate libraries in the loading-aware estimator";
   let device = Params.d25 in
   let low_lib = Library.create ~device ~temp:temp_room () in
-  let high_device = Leakage_core.Dual_vth.high_vth_device device in
+  let high_device = Leakage_incremental.Dual_vth.high_vth_device device in
   let high_lib =
     Library.create ~device:high_device ~temp:temp_room
       ~vdd:device.Params.vdd ()
@@ -631,17 +631,17 @@ let extension_dualvth () =
       let rng = Rng.create 17 in
       let pattern = List.hd (Simulate.random_patterns rng nl 1) in
       let assignment =
-        Leakage_core.Dual_vth.slack_assignment ~critical_margin:1 nl
+        Leakage_incremental.Dual_vth.slack_assignment ~critical_margin:1 nl
       in
       let e =
-        Leakage_core.Dual_vth.evaluate ~low_lib ~high_lib assignment nl pattern
+        Leakage_incremental.Dual_vth.evaluate ~low_lib ~high_lib assignment nl pattern
       in
       Format.printf
         "  %-8s %4d/%4d gates high-Vth -> leakage %8.1f -> %8.1f uA (-%.1f%%)@."
-        label e.Leakage_core.Dual_vth.n_high (Netlist.gate_count nl)
-        (Report.total e.Leakage_core.Dual_vth.baseline *. 1e6)
-        (Report.total e.Leakage_core.Dual_vth.totals *. 1e6)
-        e.Leakage_core.Dual_vth.reduction_percent)
+        label e.Leakage_incremental.Dual_vth.n_high (Netlist.gate_count nl)
+        (Report.total e.Leakage_incremental.Dual_vth.baseline *. 1e6)
+        (Report.total e.Leakage_incremental.Dual_vth.totals *. 1e6)
+        e.Leakage_incremental.Dual_vth.reduction_percent)
     [ "alu88"; "s838"; "s1423" ]
 
 let extension_thermal () =

@@ -1,0 +1,241 @@
+(* Incremental-vs-full re-estimation benchmark.
+
+   Applies a stream of random single-gate resize edits to Mult8 and Alu8
+   through an Incremental session and compares the per-edit cost against a
+   full Fig-13 estimate of the same state, emitting the result as
+   BENCH_incremental.json. A warm-up pass runs the same edit stream first so
+   first-touch cell characterizations (shared library cache) are excluded
+   from both sides of the comparison.
+
+     incremental.exe [-o FILE] [-edits N] [-seed N]   write the JSON
+     incremental.exe -check FILE                      validate a JSON file *)
+
+module Params = Leakage_device.Params
+module Netlist = Leakage_circuit.Netlist
+module Simulate = Leakage_circuit.Simulate
+module Report = Leakage_spice.Leakage_report
+module Library = Leakage_core.Library
+module Estimator = Leakage_core.Estimator
+module Incremental = Leakage_incremental.Incremental
+module Edit = Leakage_incremental.Edit
+module Suite = Leakage_benchmarks.Suite
+module Rng = Leakage_numeric.Rng
+
+let circuits = [ "mult88"; "alu88" ]
+
+type row = {
+  name : string;
+  gates : int;
+  full_us : float;
+  incr_us : float;
+  speedup : float;
+  rel_error : float;
+  logic_evals_per_edit : float;
+  lookups_per_edit : float;
+  refreshes : int;
+}
+
+let run_circuit ~edits ~seed name =
+  let nl = (Suite.find name).Suite.build () in
+  let lib = Library.create ~device:Params.d25 ~temp:300.0 () in
+  let rng = Rng.create seed in
+  let pattern = List.hd (Simulate.random_patterns rng nl 1) in
+  let stream = Array.init edits (fun _ -> Edit.random_resize rng nl) in
+  (* warm-up: populate the characterization cache along the edit stream *)
+  let warm = Incremental.create lib nl pattern in
+  Array.iter (Incremental.apply warm) stream;
+  (* timed incremental pass on a fresh session *)
+  let session = Incremental.create lib nl pattern in
+  let t0 = Unix.gettimeofday () in
+  Array.iter (Incremental.apply session) stream;
+  let incr_us = (Unix.gettimeofday () -. t0) /. float_of_int edits *. 1e6 in
+  (* timed full estimates of the same final state *)
+  let nl' = Incremental.current_netlist session in
+  let p' = Incremental.pattern session in
+  let reps = Stdlib.min edits 50 in
+  let t1 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (Estimator.estimate lib nl' p')
+  done;
+  let full_us = (Unix.gettimeofday () -. t1) /. float_of_int reps *. 1e6 in
+  let fresh = Estimator.estimate lib nl' p' in
+  let rel_error =
+    let a = Report.total (Incremental.totals session)
+    and b = Report.total fresh.Estimator.totals in
+    Float.abs (a -. b) /. Float.abs b
+  in
+  let st = Incremental.stats session in
+  {
+    name;
+    gates = Netlist.gate_count nl;
+    full_us;
+    incr_us;
+    speedup = full_us /. incr_us;
+    rel_error;
+    logic_evals_per_edit =
+      float_of_int st.Incremental.logic_evals /. float_of_int edits;
+    lookups_per_edit =
+      float_of_int st.Incremental.leakage_lookups /. float_of_int edits;
+    refreshes = st.Incremental.refreshes;
+  }
+
+(* ------------------------------------------------------------- JSON emit *)
+
+let emit oc ~edits ~seed rows =
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"benchmark\": \"incremental\",\n";
+  p "  \"edits\": %d,\n" edits;
+  p "  \"seed\": %d,\n" seed;
+  p "  \"circuits\": [\n";
+  List.iteri
+    (fun i r ->
+      p "    {\n";
+      p "      \"name\": \"%s\",\n" r.name;
+      p "      \"gates\": %d,\n" r.gates;
+      p "      \"full_us\": %.3f,\n" r.full_us;
+      p "      \"incr_us\": %.3f,\n" r.incr_us;
+      p "      \"speedup\": %.3f,\n" r.speedup;
+      p "      \"rel_error\": %.3e,\n" r.rel_error;
+      p "      \"logic_evals_per_edit\": %.3f,\n" r.logic_evals_per_edit;
+      p "      \"lookups_per_edit\": %.3f,\n" r.lookups_per_edit;
+      p "      \"refreshes\": %d\n" r.refreshes;
+      p "    }%s\n" (if i = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ]\n";
+  p "}\n"
+
+(* ------------------------------------------------------ minimal JSON read *)
+
+(* Just enough parsing to validate the file this program writes: find a key
+   inside a chunk and read the scalar after the colon. *)
+
+let find_key chunk key =
+  let needle = "\"" ^ key ^ "\":" in
+  let nl = String.length needle and cl = String.length chunk in
+  let rec scan i =
+    if i + nl > cl then None
+    else if String.sub chunk i nl = needle then Some (i + nl)
+    else scan (i + 1)
+  in
+  scan 0
+
+let scalar_after chunk pos =
+  let cl = String.length chunk in
+  let rec skip i = if i < cl && chunk.[i] = ' ' then skip (i + 1) else i in
+  let start = skip pos in
+  let rec stop i =
+    if i >= cl then i
+    else match chunk.[i] with ',' | '}' | ']' | '\n' -> i | _ -> stop (i + 1)
+  in
+  String.trim (String.sub chunk start (stop start - start))
+
+let num_field chunk key =
+  match find_key chunk key with
+  | None -> failwith (Printf.sprintf "missing numeric field %S" key)
+  | Some pos -> (
+    match float_of_string_opt (scalar_after chunk pos) with
+    | Some f -> f
+    | None -> failwith (Printf.sprintf "field %S is not a number" key))
+
+let str_field chunk key =
+  match find_key chunk key with
+  | None -> failwith (Printf.sprintf "missing string field %S" key)
+  | Some pos ->
+    let s = scalar_after chunk pos in
+    if String.length s >= 2 && s.[0] = '"' && s.[String.length s - 1] = '"'
+    then String.sub s 1 (String.length s - 2)
+    else failwith (Printf.sprintf "field %S is not a string" key)
+
+(* split the circuits array into one chunk per "{ ... }" object *)
+let circuit_chunks s =
+  match find_key s "circuits" with
+  | None -> failwith "missing \"circuits\" array"
+  | Some pos ->
+    let cl = String.length s in
+    let chunks = ref [] in
+    let depth = ref 0 and start = ref (-1) and i = ref pos in
+    while !i < cl do
+      (match s.[!i] with
+       | '{' ->
+         if !depth = 0 then start := !i;
+         incr depth
+       | '}' ->
+         decr depth;
+         if !depth = 0 && !start >= 0 then
+           chunks := String.sub s !start (!i - !start + 1) :: !chunks
+       | _ -> ());
+      incr i
+    done;
+    List.rev !chunks
+
+let check path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  if str_field s "benchmark" <> "incremental" then
+    failwith "benchmark field is not \"incremental\"";
+  if num_field s "edits" <= 0.0 then failwith "edits must be positive";
+  let chunks = circuit_chunks s in
+  let seen =
+    List.map
+      (fun chunk ->
+        let name = str_field chunk "name" in
+        let ok_positive key =
+          if num_field chunk key <= 0.0 then
+            failwith (Printf.sprintf "%s: %S must be positive" name key)
+        in
+        ok_positive "gates";
+        ok_positive "full_us";
+        ok_positive "incr_us";
+        ok_positive "speedup";
+        let rel = num_field chunk "rel_error" in
+        if not (rel >= 0.0 && rel < 1e-9) then
+          failwith
+            (Printf.sprintf "%s: rel_error %.3e out of bounds [0, 1e-9)" name
+               rel);
+        ignore (num_field chunk "logic_evals_per_edit");
+        ignore (num_field chunk "lookups_per_edit");
+        name)
+      chunks
+  in
+  List.iter
+    (fun c ->
+      if not (List.mem c seen) then
+        failwith (Printf.sprintf "circuit %S missing from results" c))
+    circuits;
+  Printf.printf "%s OK (%d circuits)\n" path (List.length seen)
+
+let () =
+  let out = ref "BENCH_incremental.json" in
+  let edits = ref 1000 in
+  let seed = ref 1 in
+  let check_path = ref "" in
+  Arg.parse
+    [
+      ("-o", Arg.Set_string out, "FILE output path (default BENCH_incremental.json)");
+      ("-edits", Arg.Set_int edits, "N random resize edits per circuit (default 1000)");
+      ("-seed", Arg.Set_int seed, "N PRNG seed (default 1)");
+      ("-check", Arg.Set_string check_path, "FILE validate an existing JSON file and exit");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "incremental re-estimation benchmark";
+  if !check_path <> "" then
+    match check !check_path with
+    | () -> ()
+    | exception Failure m ->
+      Printf.eprintf "%s: INVALID: %s\n" !check_path m;
+      exit 1
+  else begin
+    let rows = List.map (run_circuit ~edits:!edits ~seed:!seed) circuits in
+    let oc = open_out !out in
+    emit oc ~edits:!edits ~seed:!seed rows;
+    close_out oc;
+    List.iter
+      (fun r ->
+        Printf.printf
+          "%-8s %4d gates  full %8.1f us  incr %7.1f us  speedup %6.1fx  rel %.1e\n"
+          r.name r.gates r.full_us r.incr_us r.speedup r.rel_error)
+      rows
+  end

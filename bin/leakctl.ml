@@ -18,7 +18,9 @@ module Library = Leakage_core.Library
 module Estimator = Leakage_core.Estimator
 module Loading = Leakage_core.Loading
 module Monte_carlo = Leakage_core.Monte_carlo
-module Vector_control = Leakage_core.Vector_control
+module Vector_control = Leakage_incremental.Vector_control
+module Incremental = Leakage_incremental.Incremental
+module Edit = Leakage_incremental.Edit
 module Characterize = Leakage_core.Characterize
 module Suite = Leakage_benchmarks.Suite
 module Iscas = Leakage_benchmarks.Iscas
@@ -497,25 +499,25 @@ let dualvth_cmd =
     let nl = load_circuit circuit bench_file in
     let temp = kelvin celsius in
     let low_lib = Library.create ~device ~temp () in
-    let high_device = Leakage_core.Dual_vth.high_vth_device ~shift device in
+    let high_device = Leakage_incremental.Dual_vth.high_vth_device ~shift device in
     let high_lib =
       Library.create ~device:high_device ~temp ~vdd:device.Params.vdd ()
     in
     let assignment =
-      Leakage_core.Dual_vth.slack_assignment ~critical_margin:margin nl
+      Leakage_incremental.Dual_vth.slack_assignment ~critical_margin:margin nl
     in
     let rng = Rng.create seed in
     let pattern = List.hd (Simulate.random_patterns rng nl 1) in
     let e =
-      Leakage_core.Dual_vth.evaluate ~low_lib ~high_lib assignment nl pattern
+      Leakage_incremental.Dual_vth.evaluate ~low_lib ~high_lib assignment nl pattern
     in
     Format.printf "%s: %d of %d gates assigned high-Vth (+%.0f mV, margin %d)@."
-      (Netlist.name nl) e.Leakage_core.Dual_vth.n_high (Netlist.gate_count nl)
+      (Netlist.name nl) e.Leakage_incremental.Dual_vth.n_high (Netlist.gate_count nl)
       (shift *. 1000.0) margin;
-    pp_components "all low-Vth:" e.Leakage_core.Dual_vth.baseline;
-    pp_components "dual-Vth:" e.Leakage_core.Dual_vth.totals;
+    pp_components "all low-Vth:" e.Leakage_incremental.Dual_vth.baseline;
+    pp_components "dual-Vth:" e.Leakage_incremental.Dual_vth.totals;
     Format.printf "  leakage reduction: %.2f%%@."
-      e.Leakage_core.Dual_vth.reduction_percent
+      e.Leakage_incremental.Dual_vth.reduction_percent
   in
   Cmd.v
     (Cmd.info "dualvth"
@@ -603,6 +605,99 @@ let vectors_cmd =
     Term.(const run $ device_arg $ temp_arg $ circuit_arg $ bench_file_arg
           $ seed_arg)
 
+(* ----------------------------------------------------------------- incr *)
+
+let incr_cmd =
+  let edits_arg =
+    Arg.(value & opt int 1000
+         & info [ "edits" ] ~docv:"N" ~doc:"Number of random edits to apply.")
+  in
+  let refresh_arg =
+    Arg.(value & opt int 64
+         & info [ "refresh" ] ~docv:"N"
+             ~doc:"Full-refresh period of the session (0 disables).")
+  in
+  let flip_arg =
+    Arg.(value & flag
+         & info [ "flip-inputs" ]
+             ~doc:"Mix random primary-input flips into the edit stream \
+                   (default: gate resizes only).")
+  in
+  let run device celsius circuit bench_file seed edits refresh flip_inputs =
+    if edits <= 0 then failwith "--edits must be positive";
+    let nl = load_circuit circuit bench_file in
+    let temp = kelvin celsius in
+    let lib = Library.create ~device ~temp () in
+    let rng = Rng.create seed in
+    let pattern = List.hd (Simulate.random_patterns rng nl 1) in
+    let edit_stream =
+      Array.init edits (fun _ ->
+          if flip_inputs && Rng.bool rng then Edit.random_set_input rng nl
+          else Edit.random_resize rng nl)
+    in
+    (* Warm-up pass: first-touch cell characterizations land in the shared
+       library cache, which both the session and the full estimator use. The
+       timed passes below then compare estimation work, not SPICE solves. *)
+    let warm = Incremental.create ~refresh_every:refresh lib nl pattern in
+    Array.iter (Incremental.apply warm) edit_stream;
+    let session = Incremental.create ~refresh_every:refresh lib nl pattern in
+    let per_edit = Array.make edits 0.0 in
+    let t0 = Sys.time () in
+    Array.iteri
+      (fun i e ->
+        let s = Sys.time () in
+        Incremental.apply session e;
+        per_edit.(i) <- Sys.time () -. s)
+      edit_stream;
+    let incr_total = Sys.time () -. t0 in
+    (* reference: full Fig-13 estimates of the same final state *)
+    let nl' = Incremental.current_netlist session in
+    let library_of_gate = Incremental.library_of_gate session in
+    let p' = Incremental.pattern session in
+    let reps = Stdlib.min edits 20 in
+    let tf = Sys.time () in
+    for _ = 1 to reps do
+      ignore (Estimator.estimate ~library_of_gate lib nl' p')
+    done;
+    let full_mean = (Sys.time () -. tf) /. float_of_int reps in
+    let fresh = Estimator.estimate ~library_of_gate lib nl' p' in
+    let rel_err =
+      let a = Report.total (Incremental.totals session)
+      and b = Report.total fresh.Estimator.totals in
+      Float.abs (a -. b) /. Float.abs b
+    in
+    let st = Incremental.stats session in
+    let us t = t *. 1e6 in
+    let s = Stats.summarize per_edit in
+    Format.printf "%s: %d gates, %d random %s edits (refresh every %d)@."
+      (Netlist.name nl) (Netlist.gate_count nl) edits
+      (if flip_inputs then "resize/input" else "resize")
+      refresh;
+    pp_components "session totals:" (Incremental.totals session);
+    Format.printf "  vs fresh estimate: %.2e relative error@." rel_err;
+    Format.printf
+      "  per-edit time: mean %.1f us, p50 %.1f, p95 %.1f, max %.1f us@."
+      (us s.Stats.mean) (us s.Stats.p50) (us s.Stats.p95) (us s.Stats.max);
+    Format.printf "  full estimate: %.1f us -> speedup %.1fx per edit@."
+      (us full_mean)
+      (full_mean /. (incr_total /. float_of_int edits));
+    Format.printf
+      "  mean cone: %.1f logic evals, %.1f entry updates, %.1f net updates, \
+       %.1f leakage lookups per edit (%d refreshes)@."
+      (float_of_int st.Incremental.logic_evals /. float_of_int edits)
+      (float_of_int st.Incremental.entry_updates /. float_of_int edits)
+      (float_of_int st.Incremental.net_updates /. float_of_int edits)
+      (float_of_int st.Incremental.leakage_lookups /. float_of_int edits)
+      st.Incremental.refreshes
+  in
+  Cmd.v
+    (Cmd.info "incr"
+       ~doc:"Apply a stream of random netlist edits through the incremental \
+             re-estimation session and report per-edit timing, cone sizes, \
+             and the speedup over full re-estimation.")
+    Term.(const run $ device_arg $ temp_arg $ circuit_arg $ bench_file_arg
+          $ seed_arg $ edits_arg $ refresh_arg $ flip_arg)
+
 let () =
   let doc =
     "loading-aware leakage analysis for nano-scaled bulk-CMOS logic \
@@ -614,4 +709,4 @@ let () =
        (Cmd.group info
           [ list_cmd; stats_cmd; generate_cmd; sim_cmd; estimate_cmd; characterize_cmd;
             sweep_cmd; mc_cmd; stat_cmd; mtcmos_cmd; thermal_cmd; dualvth_cmd;
-            prob_cmd; corners_cmd; vectors_cmd ]))
+            prob_cmd; corners_cmd; vectors_cmd; incr_cmd ]))

@@ -17,8 +17,8 @@ module Netlist = Leakage_circuit.Netlist
 module Report = Leakage_spice.Leakage_report
 module Library = Leakage_core.Library
 module Estimator = Leakage_core.Estimator
-module Vector_control = Leakage_core.Vector_control
-module Dual_vth = Leakage_core.Dual_vth
+module Vector_control = Leakage_incremental.Vector_control
+module Dual_vth = Leakage_incremental.Dual_vth
 module Thermal = Leakage_core.Thermal
 module Suite = Leakage_benchmarks.Suite
 

@@ -14,7 +14,7 @@ module Logic = Leakage_circuit.Logic
 module Netlist = Leakage_circuit.Netlist
 module Report = Leakage_spice.Leakage_report
 module Library = Leakage_core.Library
-module Vector_control = Leakage_core.Vector_control
+module Vector_control = Leakage_incremental.Vector_control
 module Suite = Leakage_benchmarks.Suite
 
 let na = Leakage_device.Physics.amps_to_nanoamps

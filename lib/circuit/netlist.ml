@@ -99,6 +99,30 @@ let validate t =
      | Some _ -> Ok ()
      | None -> err "%s: combinational cycle" t.nname)
 
+let with_gates t gates' =
+  if Array.length gates' <> Array.length t.ngates then
+    invalid_arg "Netlist.with_gates: gate count mismatch";
+  Array.iteri
+    (fun i (g : gate) ->
+      let orig = t.ngates.(i) in
+      if g.id <> i || g.out <> orig.out || g.fan_in <> orig.fan_in then
+        invalid_arg
+          (Printf.sprintf
+             "Netlist.with_gates: gate %d changes structure (only kind and \
+              strength may differ)" i);
+      if g.strength <= 0.0 then
+        invalid_arg "Netlist.with_gates: strength must be positive")
+    gates';
+  let t' =
+    { t with
+      ngates = Array.map (fun g -> { g with fan_in = Array.copy g.fan_in }) gates';
+      driver_cache = None;
+      fanout_cache = None }
+  in
+  match validate t' with
+  | Ok () -> t'
+  | Error e -> failwith ("Netlist.with_gates: " ^ e)
+
 type stats = {
   n_gates : int;
   n_nets : int;

@@ -48,6 +48,14 @@ val validate : t -> (unit, string) result
 (** Structural checks: single driver per net, arities match, no dangling
     nets, acyclicity. Builders run this automatically. *)
 
+val with_gates : t -> gate array -> t
+(** [with_gates t gates] is [t] with each gate's [kind] and [strength]
+    replaced; ids, pins and output nets must be unchanged (net numbering is
+    preserved, unlike a rebuild through {!Builder}). Used to materialize the
+    current state of an incremental edit session as a plain netlist. Raises
+    [Invalid_argument] on structural changes and [Failure] if the result
+    fails {!validate} (e.g. a retype to a different arity). *)
+
 val gate_count : t -> int
 val transistor_count : t -> int
 

@@ -1,18 +1,25 @@
 type assignment = Logic.value array
 
-let run t pattern =
+let run_into t pattern values =
   let pis = Netlist.inputs t in
   if Array.length pattern <> Array.length pis then
     invalid_arg
       (Printf.sprintf "Simulate.run: %d inputs expected, pattern has %d"
          (Array.length pis) (Array.length pattern));
-  let values = Array.make (Netlist.net_count t) Logic.Zero in
+  if Array.length values <> Netlist.net_count t then
+    invalid_arg
+      (Printf.sprintf "Simulate.run_into: %d nets expected, buffer has %d"
+         (Netlist.net_count t) (Array.length values));
   Array.iteri (fun i n -> values.(n) <- pattern.(i)) pis;
   Array.iter
     (fun (g : Netlist.gate) ->
       let ins = Array.map (fun n -> values.(n)) g.fan_in in
       values.(g.out) <- Gate.eval_logic g.kind ins)
-    (Topo.order t);
+    (Topo.order t)
+
+let run t pattern =
+  let values = Array.make (Netlist.net_count t) Logic.Zero in
+  run_into t pattern values;
   values
 
 let outputs t assignment =

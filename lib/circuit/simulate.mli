@@ -9,6 +9,12 @@ val run : Netlist.t -> Logic.vector -> assignment
     [Netlist.inputs]) and propagates through the circuit. Raises
     [Invalid_argument] on a pattern length mismatch. *)
 
+val run_into : Netlist.t -> Logic.vector -> assignment -> unit
+(** [run_into t pattern values] is [run] writing into a caller-provided
+    buffer of length [Netlist.net_count t] — callers evaluating many
+    patterns (vector averaging, incremental sessions) reuse one scratch
+    buffer instead of allocating per pattern. Every slot is overwritten. *)
+
 val outputs : Netlist.t -> assignment -> Logic.vector
 (** Read back the primary-output values of an assignment. *)
 

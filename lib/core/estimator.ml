@@ -20,9 +20,15 @@ type result = {
   net_injection : float array;
 }
 
-let estimate ?(passes = 1) ?library_of_gate lib netlist pattern =
+let estimate ?(passes = 1) ?library_of_gate ?scratch lib netlist pattern =
   if passes < 1 then invalid_arg "Estimator.estimate: passes must be >= 1";
-  let assignment = Simulate.run netlist pattern in
+  let assignment =
+    match scratch with
+    | None -> Simulate.run netlist pattern
+    | Some buf ->
+      Simulate.run_into netlist pattern buf;
+      buf
+  in
   let gates = Netlist.gates netlist in
   let vector_of (g : Netlist.gate) =
     Array.map (fun n -> assignment.(n)) g.fan_in
@@ -126,10 +132,15 @@ let estimate ?(passes = 1) ?library_of_gate lib netlist pattern =
 let average_over_vectors lib netlist patterns =
   if patterns = [] then invalid_arg "Estimator.average_over_vectors: no vectors";
   let n = float_of_int (List.length patterns) in
+  (* One logic-simulation buffer shared across all vectors: only the totals
+     of each per-vector result are kept, so aliasing the assignment is safe. *)
+  let scratch =
+    Array.make (Netlist.net_count netlist) Leakage_circuit.Logic.Zero
+  in
   let sum_loaded, sum_base =
     List.fold_left
       (fun (acc_l, acc_b) pattern ->
-        let r = estimate lib netlist pattern in
+        let r = estimate ~scratch lib netlist pattern in
         (Report.add acc_l r.totals, Report.add acc_b r.baseline_totals))
       (Report.zero, Report.zero) patterns
   in

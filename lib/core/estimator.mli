@@ -32,6 +32,7 @@ type result = {
 val estimate :
   ?passes:int ->
   ?library_of_gate:(int -> Library.t) ->
+  ?scratch:Leakage_circuit.Simulate.assignment ->
   Library.t -> Leakage_circuit.Netlist.t -> Leakage_circuit.Logic.vector ->
   result
 (** Estimate under one input pattern. Cost: one logic simulation plus O(pins)
@@ -48,7 +49,12 @@ val estimate :
 
     [library_of_gate] overrides the characterized library per gate id
     (heterogeneous cells: dual-Vth assignments, per-region corners); all
-    libraries must share temperature and supply. *)
+    libraries must share temperature and supply.
+
+    [scratch] reuses a caller-owned logic-simulation buffer of length
+    [Netlist.net_count] instead of allocating one; the returned
+    [result.assignment] then aliases it and is overwritten by the next
+    estimate sharing the buffer. *)
 
 val average_over_vectors :
   Library.t -> Leakage_circuit.Netlist.t -> Leakage_circuit.Logic.vector list ->

@@ -1,0 +1,417 @@
+module Gate = Leakage_circuit.Gate
+module Logic = Leakage_circuit.Logic
+module Netlist = Leakage_circuit.Netlist
+module Topo = Leakage_circuit.Topo
+module Report = Leakage_spice.Leakage_report
+module Library = Leakage_core.Library
+module Characterize = Leakage_core.Characterize
+
+type stats = {
+  edits : int;
+  undos : int;
+  refreshes : int;
+  logic_evals : int;
+  entry_updates : int;
+  net_updates : int;
+  leakage_lookups : int;
+}
+
+type t = {
+  netlist : Netlist.t;
+  gates : Netlist.gate array;          (* structural info; kind/strength overridden below *)
+  order : Netlist.gate array;          (* topological order *)
+  base_lib : Library.t;
+  refresh_every : int;
+  input_index : int array;             (* net -> primary-input position, -1 otherwise *)
+  is_pi_net : bool array;
+  (* current editable state *)
+  kind : Gate.kind array;
+  strength : float array;
+  libs : Library.t array;
+  pattern : Logic.vector;
+  (* cached estimate *)
+  values : Logic.value array;          (* per net *)
+  entries : Characterize.entry array;  (* per gate *)
+  net_injection : float array;         (* per net *)
+  loaded : Report.components array;    (* per gate, loading-aware *)
+  isolated : Report.components array;  (* per gate, no-loading nominal *)
+  mutable totals : Report.components;
+  mutable baseline : Report.components;
+  (* scheduling scratch *)
+  work : Cone.Worklist.t;
+  dirty_nets : Cone.Dirty_set.t;
+  dirty_gates : Cone.Dirty_set.t;
+  (* undo log *)
+  mutable log : Edit.t list;           (* inverse edits, most recent first *)
+  mutable depth : int;
+  mutable since_refresh : int;
+  (* counters *)
+  mutable n_edits : int;
+  mutable n_undos : int;
+  mutable n_refreshes : int;
+  mutable n_logic : int;
+  mutable n_entry : int;
+  mutable n_net : int;
+  mutable n_lookup : int;
+}
+
+let sub_c (a : Report.components) (b : Report.components) =
+  { Report.isub = a.Report.isub -. b.Report.isub;
+    igate = a.Report.igate -. b.Report.igate;
+    ibtbt = a.Report.ibtbt -. b.Report.ibtbt }
+
+let check_gate t g =
+  if g < 0 || g >= Array.length t.gates then
+    invalid_arg (Printf.sprintf "Incremental: unknown gate id %d" g)
+
+let entry_of t g_id vector =
+  Library.entry ~strength:t.strength.(g_id) t.libs.(g_id) t.kind.(g_id) vector
+
+let vector_of t (g : Netlist.gate) =
+  Array.map (fun n -> t.values.(n)) g.Netlist.fan_in
+
+(* Loading-aware lookup of one gate at the current injections; maintains the
+   running totals by subtract-old/add-new. *)
+let relookup t g_id =
+  let g = t.gates.(g_id) in
+  let e = t.entries.(g_id) in
+  let loading_in =
+    Array.mapi
+      (fun pin net ->
+        (* same I_L-IN bookkeeping as Estimator.estimate: siblings only on
+           driven nets, self-droop cancellation on ideal primary inputs *)
+        if t.is_pi_net.(net) then -.e.Characterize.pin_injection.(pin)
+        else t.net_injection.(net) -. e.Characterize.pin_injection.(pin))
+      g.Netlist.fan_in
+  in
+  let loading_out = t.net_injection.(g.Netlist.out) in
+  let c = Characterize.apply e ~loading_in ~loading_out in
+  t.totals <- Report.add (sub_c t.totals t.loaded.(g_id)) c;
+  t.loaded.(g_id) <- c;
+  t.n_lookup <- t.n_lookup + 1
+
+(* Full recomputation of the cached estimate from the current editable
+   state. Used at creation and periodically to squash float drift. *)
+let refresh t =
+  let inputs = Netlist.inputs t.netlist in
+  Array.iteri (fun i n -> t.values.(n) <- t.pattern.(i)) inputs;
+  (* logic + entries in topological order so every gate sees settled input
+     values (the netlist's gate-id order is not guaranteed topological) *)
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      let vec = vector_of t g in
+      t.values.(g.Netlist.out) <- Gate.eval_logic t.kind.(g.Netlist.id) vec;
+      t.entries.(g.Netlist.id) <- entry_of t g.Netlist.id vec;
+      t.isolated.(g.Netlist.id) <-
+        t.entries.(g.Netlist.id).Characterize.nominal_isolated)
+    t.order;
+  Array.fill t.net_injection 0 (Array.length t.net_injection) 0.0;
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      let e = t.entries.(g.Netlist.id) in
+      Array.iteri
+        (fun pin net ->
+          t.net_injection.(net) <-
+            t.net_injection.(net) +. e.Characterize.pin_injection.(pin))
+        g.Netlist.fan_in)
+    t.gates;
+  t.totals <- Report.zero;
+  t.baseline <- Report.zero;
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      let id = g.Netlist.id in
+      t.loaded.(id) <- Report.zero;
+      relookup t id;
+      t.baseline <- Report.add t.baseline t.isolated.(id))
+    t.gates;
+  t.n_refreshes <- t.n_refreshes + 1;
+  t.since_refresh <- 0
+
+(* Drain the worklist in topological order: refresh each popped gate's
+   characterization entry (vector/kind/strength/library key), push loading
+   deltas onto its input nets, and propagate logic flips downstream. Then
+   re-look-up leakage for every gate touching a dirtied net. *)
+let propagate t =
+  let rec drain () =
+    match Cone.Worklist.pop t.work with
+    | None -> ()
+    | Some g_id ->
+      t.n_logic <- t.n_logic + 1;
+      let g = t.gates.(g_id) in
+      let vec = vector_of t g in
+      let e' = entry_of t g_id vec in
+      let e = t.entries.(g_id) in
+      if e' != e then begin
+        t.n_entry <- t.n_entry + 1;
+        Array.iteri
+          (fun pin net ->
+            let d =
+              e'.Characterize.pin_injection.(pin)
+              -. e.Characterize.pin_injection.(pin)
+            in
+            if d <> 0.0 then begin
+              t.net_injection.(net) <- t.net_injection.(net) +. d;
+              Cone.Dirty_set.add t.dirty_nets net
+            end)
+          g.Netlist.fan_in;
+        t.entries.(g_id) <- e';
+        t.baseline <-
+          Report.add (sub_c t.baseline t.isolated.(g_id))
+            e'.Characterize.nominal_isolated;
+        t.isolated.(g_id) <- e'.Characterize.nominal_isolated;
+        Cone.Dirty_set.add t.dirty_gates g_id
+      end;
+      let out' = Gate.eval_logic t.kind.(g_id) vec in
+      if out' <> t.values.(g.Netlist.out) then begin
+        t.values.(g.Netlist.out) <- out';
+        List.iter
+          (fun (c : Netlist.gate) -> Cone.Worklist.push t.work c.Netlist.id)
+          (Netlist.fanout t.netlist g.Netlist.out)
+      end;
+      drain ()
+  in
+  drain ();
+  Cone.Dirty_set.iter
+    (fun net ->
+      t.n_net <- t.n_net + 1;
+      (match Netlist.driver t.netlist net with
+       | Some d -> Cone.Dirty_set.add t.dirty_gates d.Netlist.id
+       | None -> ());
+      List.iter
+        (fun (c : Netlist.gate) -> Cone.Dirty_set.add t.dirty_gates c.Netlist.id)
+        (Netlist.fanout t.netlist net))
+    t.dirty_nets;
+  Cone.Dirty_set.iter (fun g_id -> relookup t g_id) t.dirty_gates;
+  Cone.Dirty_set.clear t.dirty_nets;
+  Cone.Dirty_set.clear t.dirty_gates
+
+let floats_match a b = Float.equal a b
+
+(* Record the inverse, mutate the editable state, and seed the worklist.
+   Propagation happens once per apply/apply_batch. *)
+let stage t edit =
+  match (edit : Edit.t) with
+  | Edit.Resize (g, s) ->
+    check_gate t g;
+    if s <= 0.0 then invalid_arg "Incremental: Resize strength must be positive";
+    let inverse = Edit.Resize (g, t.strength.(g)) in
+    t.strength.(g) <- s;
+    Cone.Worklist.push t.work g;
+    inverse
+  | Edit.Retype (g, k) ->
+    check_gate t g;
+    if Gate.arity k <> Array.length t.gates.(g).Netlist.fan_in then
+      invalid_arg
+        (Printf.sprintf "Incremental: Retype g%d to %s changes arity" g
+           (Gate.name k));
+    let inverse = Edit.Retype (g, t.kind.(g)) in
+    t.kind.(g) <- k;
+    Cone.Worklist.push t.work g;
+    inverse
+  | Edit.Relib (g, l) ->
+    check_gate t g;
+    if
+      not
+        (floats_match (Library.temp l) (Library.temp t.base_lib)
+         && floats_match (Library.vdd l) (Library.vdd t.base_lib))
+    then
+      invalid_arg
+        "Incremental: Relib library must share temperature and supply with \
+         the session";
+    let inverse = Edit.Relib (g, t.libs.(g)) in
+    t.libs.(g) <- l;
+    Cone.Worklist.push t.work g;
+    inverse
+  | Edit.Set_input (n, b) ->
+    if n < 0 || n >= Array.length t.input_index || t.input_index.(n) < 0 then
+      invalid_arg
+        (Printf.sprintf "Incremental: Set_input on non-input net %d" n);
+    let old = Logic.to_bool t.values.(n) in
+    let inverse = Edit.Set_input (n, old) in
+    if old <> b then begin
+      let v = Logic.of_bool b in
+      t.values.(n) <- v;
+      t.pattern.(t.input_index.(n)) <- v;
+      List.iter
+        (fun (c : Netlist.gate) -> Cone.Worklist.push t.work c.Netlist.id)
+        (Netlist.fanout t.netlist n)
+    end;
+    inverse
+
+let maybe_refresh t =
+  if t.refresh_every > 0 && t.since_refresh >= t.refresh_every then refresh t
+
+let log_inverse t inverse =
+  t.log <- inverse :: t.log;
+  t.depth <- t.depth + 1
+
+let apply t edit =
+  let inverse = stage t edit in
+  propagate t;
+  log_inverse t inverse;
+  t.n_edits <- t.n_edits + 1;
+  t.since_refresh <- t.since_refresh + 1;
+  maybe_refresh t
+
+let apply_batch t edits =
+  let inverses = List.map (stage t) edits in
+  propagate t;
+  (* logged left to right, so the most recent edit's inverse pops first *)
+  List.iter (log_inverse t) inverses;
+  let n = List.length edits in
+  t.n_edits <- t.n_edits + n;
+  t.since_refresh <- t.since_refresh + n;
+  maybe_refresh t
+
+let set_vector t v =
+  let inputs = Netlist.inputs t.netlist in
+  if Array.length v <> Array.length inputs then
+    invalid_arg
+      (Printf.sprintf "Incremental.set_vector: %d inputs expected, got %d"
+         (Array.length inputs) (Array.length v));
+  let edits = ref [] in
+  Array.iteri
+    (fun i n ->
+      if t.pattern.(i) <> v.(i) then
+        edits := Edit.Set_input (n, Logic.to_bool v.(i)) :: !edits)
+    inputs;
+  apply_batch t !edits
+
+let undo t =
+  match t.log with
+  | [] -> invalid_arg "Incremental.undo: empty undo log"
+  | inverse :: rest ->
+    t.log <- rest;
+    t.depth <- t.depth - 1;
+    ignore (stage t inverse);
+    propagate t;
+    t.n_undos <- t.n_undos + 1;
+    (* undos accumulate the same float drift as edits *)
+    t.since_refresh <- t.since_refresh + 1;
+    maybe_refresh t
+
+type checkpoint = int
+
+let checkpoint t = t.depth
+
+let rollback t cp =
+  if cp < 0 || cp > t.depth then
+    invalid_arg "Incremental.rollback: checkpoint already undone past";
+  while t.depth > cp do
+    undo t
+  done
+
+let undo_depth t = t.depth
+
+let totals t = t.totals
+let baseline_totals t = t.baseline
+
+let gate_components t g =
+  check_gate t g;
+  t.loaded.(g)
+
+let pattern t = Array.copy t.pattern
+let assignment t = Array.copy t.values
+let net_injection t = Array.copy t.net_injection
+let netlist t = t.netlist
+
+let current_netlist t =
+  Netlist.with_gates t.netlist
+    (Array.map
+       (fun (g : Netlist.gate) ->
+         { g with
+           Netlist.kind = t.kind.(g.Netlist.id);
+           strength = t.strength.(g.Netlist.id) })
+       t.gates)
+
+let library_of_gate t g =
+  check_gate t g;
+  t.libs.(g)
+
+let stats t =
+  {
+    edits = t.n_edits;
+    undos = t.n_undos;
+    refreshes = t.n_refreshes;
+    logic_evals = t.n_logic;
+    entry_updates = t.n_entry;
+    net_updates = t.n_net;
+    leakage_lookups = t.n_lookup;
+  }
+
+let create ?(refresh_every = 64) ?library_of_gate base netlist pattern =
+  if refresh_every < 0 then
+    invalid_arg "Incremental.create: negative refresh_every";
+  let inputs = Netlist.inputs netlist in
+  if Array.length pattern <> Array.length inputs then
+    invalid_arg
+      (Printf.sprintf "Incremental.create: %d inputs expected, pattern has %d"
+         (Array.length inputs) (Array.length pattern));
+  let gates = Netlist.gates netlist in
+  let n_gates = Array.length gates in
+  let n_nets = Netlist.net_count netlist in
+  let order = Topo.order netlist in
+  let priority = Array.make n_gates 0 in
+  Array.iteri (fun pos (g : Netlist.gate) -> priority.(g.Netlist.id) <- pos) order;
+  let input_index = Array.make n_nets (-1) in
+  Array.iteri (fun i n -> input_index.(n) <- i) inputs;
+  let is_pi_net = Array.make n_nets true in
+  Array.iter (fun (g : Netlist.gate) -> is_pi_net.(g.Netlist.out) <- false) gates;
+  let libs =
+    match library_of_gate with
+    | Some f -> Array.init n_gates f
+    | None -> Array.make n_gates base
+  in
+  (* Seed values and entries eagerly (no edits are staged yet, so the
+     netlist's own kinds/strengths are current); [refresh] below recomputes
+     injections and totals from them. *)
+  let values = Array.make n_nets Logic.Zero in
+  Leakage_circuit.Simulate.run_into netlist pattern values;
+  let entries =
+    Array.map
+      (fun (g : Netlist.gate) ->
+        Library.entry ~strength:g.Netlist.strength libs.(g.Netlist.id)
+          g.Netlist.kind
+          (Array.map (fun n -> values.(n)) g.Netlist.fan_in))
+      gates
+  in
+  let t =
+    {
+      netlist;
+      gates;
+      order;
+      base_lib = base;
+      refresh_every;
+      input_index;
+      is_pi_net;
+      kind = Array.map (fun (g : Netlist.gate) -> g.Netlist.kind) gates;
+      strength = Array.map (fun (g : Netlist.gate) -> g.Netlist.strength) gates;
+      libs;
+      pattern = Array.copy pattern;
+      values;
+      entries;
+      net_injection = Array.make n_nets 0.0;
+      loaded = Array.make n_gates Report.zero;
+      isolated = Array.make n_gates Report.zero;
+      totals = Report.zero;
+      baseline = Report.zero;
+      work = Cone.Worklist.create ~priority;
+      dirty_nets = Cone.Dirty_set.create n_nets;
+      dirty_gates = Cone.Dirty_set.create n_gates;
+      log = [];
+      depth = 0;
+      since_refresh = 0;
+      n_edits = 0;
+      n_undos = 0;
+      n_refreshes = 0;
+      n_logic = 0;
+      n_entry = 0;
+      n_net = 0;
+      n_lookup = 0;
+    }
+  in
+  refresh t;
+  (* the construction pass is not a drift refresh *)
+  t.n_refreshes <- 0;
+  t.n_lookup <- 0;
+  t

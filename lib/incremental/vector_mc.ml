@@ -1,0 +1,58 @@
+module Rng = Leakage_numeric.Rng
+module Stats = Leakage_numeric.Stats
+module Logic = Leakage_circuit.Logic
+module Netlist = Leakage_circuit.Netlist
+module Report = Leakage_spice.Leakage_report
+
+type result = {
+  totals : float array;
+  baselines : float array;
+  summary : Stats.summary;
+  baseline_summary : Stats.summary;
+  mean_components : Report.components;
+  mean_shift_percent : float;
+}
+
+let resample ?(seed = 1) ~samples lib netlist =
+  if samples <= 0 then invalid_arg "Vector_mc.resample: samples must be positive";
+  let rng = Rng.create seed in
+  let width = Array.length (Netlist.inputs netlist) in
+  let totals = Array.make samples 0.0 in
+  let baselines = Array.make samples 0.0 in
+  let session = Incremental.create lib netlist (Logic.random_vector rng width) in
+  let acc = ref Report.zero in
+  let shift = ref 0.0 in
+  for i = 0 to samples - 1 do
+    if i > 0 then Incremental.set_vector session (Logic.random_vector rng width);
+    let c = Incremental.totals session in
+    let b = Report.total (Incremental.baseline_totals session) in
+    totals.(i) <- Report.total c;
+    baselines.(i) <- b;
+    acc := Report.add !acc c;
+    shift := !shift +. ((totals.(i) -. b) /. b *. 100.0)
+  done;
+  {
+    totals;
+    baselines;
+    summary = Stats.summarize totals;
+    baseline_summary = Stats.summarize baselines;
+    mean_components = Report.scale (1.0 /. float_of_int samples) !acc;
+    mean_shift_percent = !shift /. float_of_int samples;
+  }
+
+let over_vectors lib netlist vectors =
+  match vectors with
+  | [] -> invalid_arg "Vector_mc.over_vectors: empty vector list"
+  | first :: rest ->
+    let session = Incremental.create lib netlist first in
+    let n = List.length vectors in
+    let acc = ref (Incremental.totals session) in
+    let acc_base = ref (Incremental.baseline_totals session) in
+    List.iter
+      (fun v ->
+        Incremental.set_vector session v;
+        acc := Report.add !acc (Incremental.totals session);
+        acc_base := Report.add !acc_base (Incremental.baseline_totals session))
+      rest;
+    let k = 1.0 /. float_of_int n in
+    (Report.scale k !acc, Report.scale k !acc_base)

@@ -1,0 +1,45 @@
+(** Monte-Carlo leakage over random input vectors (vector resampling).
+
+    Standby leakage depends strongly on the input state (§6); when the
+    standby vector is unknown, the expected leakage and its spread come from
+    resampling random primary-input vectors. Each draw differs from the
+    previous one in about half the input bits, so running the whole sweep on
+    one {!Incremental} session via {!Incremental.set_vector} costs only the
+    changed cones per draw instead of a full estimate per draw. *)
+
+type result = {
+  totals : float array;
+  (** loading-aware total leakage per sampled vector, A *)
+  baselines : float array;
+  (** no-loading (sum-of-isolated) total per sampled vector, A *)
+  summary : Leakage_numeric.Stats.summary;
+  (** of [totals] *)
+  baseline_summary : Leakage_numeric.Stats.summary;
+  (** of [baselines] *)
+  mean_components : Leakage_spice.Leakage_report.components;
+  (** mean loading-aware component breakdown over the sample *)
+  mean_shift_percent : float;
+  (** mean per-vector loading shift, [(total - baseline)/baseline] in % *)
+}
+
+val resample :
+  ?seed:int ->
+  samples:int ->
+  Leakage_core.Library.t ->
+  Leakage_circuit.Netlist.t ->
+  result
+(** Estimate the leakage distribution over [samples] uniform random input
+    vectors (default [seed] 1). Raises [Invalid_argument] when [samples] is
+    not positive. Equivalent to mapping {!Leakage_core.Estimator.estimate}
+    over the vectors, but incremental between consecutive draws. *)
+
+val over_vectors :
+  Leakage_core.Library.t ->
+  Leakage_circuit.Netlist.t ->
+  Leakage_circuit.Logic.vector list ->
+  Leakage_spice.Leakage_report.components
+  * Leakage_spice.Leakage_report.components
+(** [(mean with-loading totals, mean baseline totals)] over an explicit
+    vector set — the session-backed counterpart of
+    {!Leakage_core.Estimator.average_over_vectors} for workloads that visit
+    similar vectors. Raises [Invalid_argument] on an empty list. *)

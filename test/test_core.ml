@@ -15,7 +15,7 @@ module Library = Leakage_core.Library
 module Estimator = Leakage_core.Estimator
 module Loading = Leakage_core.Loading
 module Monte_carlo = Leakage_core.Monte_carlo
-module Vector_control = Leakage_core.Vector_control
+module Vector_control = Leakage_incremental.Vector_control
 module Reporting = Leakage_core.Reporting
 module Rng = Leakage_numeric.Rng
 module Stats = Leakage_numeric.Stats
@@ -695,7 +695,7 @@ let chain_with_branch () =
 
 let test_dual_vth_slack_assignment () =
   let nl = chain_with_branch () in
-  let assignment = Leakage_core.Dual_vth.slack_assignment ~critical_margin:0 nl in
+  let assignment = Leakage_incremental.Dual_vth.slack_assignment ~critical_margin:0 nl in
   (* the six chain inverters lie on the longest path: low Vth *)
   let gates = Netlist.gates nl in
   Array.iter
@@ -710,30 +710,30 @@ let test_dual_vth_slack_assignment () =
 
 let test_dual_vth_reduces_leakage () =
   let nl = chain_with_branch () in
-  let high_device = Leakage_core.Dual_vth.high_vth_device device in
+  let high_device = Leakage_incremental.Dual_vth.high_vth_device device in
   let high_lib =
     Library.create ~grid:coarse_grid ~device:high_device ~temp
       ~vdd:device.Params.vdd ()
   in
-  let assignment = Leakage_core.Dual_vth.slack_assignment ~critical_margin:0 nl in
+  let assignment = Leakage_incremental.Dual_vth.slack_assignment ~critical_margin:0 nl in
   let e =
-    Leakage_core.Dual_vth.evaluate ~low_lib:lib ~high_lib assignment nl
+    Leakage_incremental.Dual_vth.evaluate ~low_lib:lib ~high_lib assignment nl
       (Logic.vector_of_string "01")
   in
-  Alcotest.(check bool) "some gates high" true (e.Leakage_core.Dual_vth.n_high > 0);
+  Alcotest.(check bool) "some gates high" true (e.Leakage_incremental.Dual_vth.n_high > 0);
   Alcotest.(check bool) "leakage reduced" true
-    (e.Leakage_core.Dual_vth.reduction_percent > 0.0);
+    (e.Leakage_incremental.Dual_vth.reduction_percent > 0.0);
   (* all-low assignment must reproduce the baseline exactly *)
   let none = Array.make (Netlist.gate_count nl) false in
   let e0 =
-    Leakage_core.Dual_vth.evaluate ~low_lib:lib ~high_lib none nl
+    Leakage_incremental.Dual_vth.evaluate ~low_lib:lib ~high_lib none nl
       (Logic.vector_of_string "01")
   in
   Alcotest.(check (float 1e-9)) "all-low is baseline" 0.0
-    e0.Leakage_core.Dual_vth.reduction_percent
+    e0.Leakage_incremental.Dual_vth.reduction_percent
 
 let test_dual_vth_high_device () =
-  let d = Leakage_core.Dual_vth.high_vth_device ~shift:0.1 device in
+  let d = Leakage_incremental.Dual_vth.high_vth_device ~shift:0.1 device in
   Alcotest.(check (float 1e-12)) "threshold raised"
     (device.Params.nmos.Params.vth0 +. 0.1)
     d.Params.nmos.Params.vth0
@@ -743,7 +743,7 @@ let test_dual_vth_guards () =
   Alcotest.check_raises "assignment size"
     (Invalid_argument "Dual_vth.evaluate: assignment size mismatch") (fun () ->
       ignore
-        (Leakage_core.Dual_vth.evaluate ~low_lib:lib ~high_lib:lib [| true |]
+        (Leakage_incremental.Dual_vth.evaluate ~low_lib:lib ~high_lib:lib [| true |]
            nl (Logic.vector_of_string "01")))
 
 (* -------------------------------------------------------- Probabilistic *)
