@@ -1,0 +1,252 @@
+(* Domain-parallel estimation benchmark.
+
+   Runs the vector-resampling Monte Carlo (Vector_mc.resample) on Alu8 and
+   Mult8 sequentially and on 2/4/8-domain pools, checks that every parallel
+   run is bit-identical to the sequential one, and emits the timings as
+   BENCH_parallel.json. Each configuration gets an untimed warm-up pass so
+   worker-domain characterization caches (Library uses per-domain caches)
+   are populated before the timed pass.
+
+   The host's core count is recorded as "host_cores": -check validates the
+   schema and bit-identity unconditionally, but only enforces speedup >= 1.0
+   for pool sizes the machine can actually run in parallel — a single-core
+   CI box cannot speed anything up, and timings there would only measure
+   scheduling overhead.
+
+     parallel.exe [-o FILE] [-samples N] [-seed N] [-domains N]  write JSON
+     parallel.exe -check FILE                        validate a JSON file *)
+
+module Params = Leakage_device.Params
+module Netlist = Leakage_circuit.Netlist
+module Library = Leakage_core.Library
+module Vector_mc = Leakage_incremental.Vector_mc
+module Suite = Leakage_benchmarks.Suite
+module Pool = Leakage_parallel.Pool
+
+let circuits = [ "alu88"; "mult88" ]
+let pool_sizes = [ 2; 4; 8 ]
+
+type row = {
+  name : string;
+  gates : int;
+  domains : int;
+  ms : float;
+  speedup : float;
+  bit_identical : bool;
+}
+
+let identical (a : Vector_mc.result) (b : Vector_mc.result) =
+  a.Vector_mc.totals = b.Vector_mc.totals
+  && a.Vector_mc.baselines = b.Vector_mc.baselines
+  && a.Vector_mc.mean_components = b.Vector_mc.mean_components
+  && a.Vector_mc.mean_shift_percent = b.Vector_mc.mean_shift_percent
+
+let timed_resample ?pool ~samples ~seed lib nl =
+  (* warm-up: populate (per-domain) characterization caches *)
+  ignore (Vector_mc.resample ?pool ~seed ~samples lib nl);
+  let t0 = Unix.gettimeofday () in
+  let r = Vector_mc.resample ?pool ~seed ~samples lib nl in
+  (r, (Unix.gettimeofday () -. t0) *. 1e3)
+
+let run_circuit ~samples ~seed ~max_domains name =
+  let nl = (Suite.find name).Suite.build () in
+  let lib = Library.create ~device:Params.d25 ~temp:300.0 () in
+  let seq, seq_ms = timed_resample ~samples ~seed lib nl in
+  let base =
+    { name; gates = Netlist.gate_count nl; domains = 1; ms = seq_ms;
+      speedup = 1.0; bit_identical = true }
+  in
+  let parallel_rows =
+    List.filter_map
+      (fun d ->
+        if d > max_domains then None
+        else
+          Some
+            (Pool.with_pool ~jobs:d (fun pool ->
+                 let r, ms = timed_resample ~pool ~samples ~seed lib nl in
+                 { base with domains = d; ms; speedup = seq_ms /. ms;
+                   bit_identical = identical seq r })))
+      pool_sizes
+  in
+  base :: parallel_rows
+
+(* ------------------------------------------------------------- JSON emit *)
+
+let emit oc ~samples ~seed ~host_cores rows =
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"benchmark\": \"parallel\",\n";
+  p "  \"samples\": %d,\n" samples;
+  p "  \"seed\": %d,\n" seed;
+  p "  \"host_cores\": %d,\n" host_cores;
+  p "  \"circuits\": [\n";
+  List.iteri
+    (fun i r ->
+      p "    {\n";
+      p "      \"name\": \"%s\",\n" r.name;
+      p "      \"gates\": %d,\n" r.gates;
+      p "      \"domains\": %d,\n" r.domains;
+      p "      \"ms\": %.3f,\n" r.ms;
+      p "      \"speedup\": %.3f,\n" r.speedup;
+      p "      \"bit_identical\": %b\n" r.bit_identical;
+      p "    }%s\n" (if i = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ]\n";
+  p "}\n"
+
+(* ------------------------------------------------------ minimal JSON read *)
+
+(* Just enough parsing to validate the file this program writes: find a key
+   inside a chunk and read the scalar after the colon. *)
+
+let find_key chunk key =
+  let needle = "\"" ^ key ^ "\":" in
+  let nl = String.length needle and cl = String.length chunk in
+  let rec scan i =
+    if i + nl > cl then None
+    else if String.sub chunk i nl = needle then Some (i + nl)
+    else scan (i + 1)
+  in
+  scan 0
+
+let scalar_after chunk pos =
+  let cl = String.length chunk in
+  let rec skip i = if i < cl && chunk.[i] = ' ' then skip (i + 1) else i in
+  let start = skip pos in
+  let rec stop i =
+    if i >= cl then i
+    else match chunk.[i] with ',' | '}' | ']' | '\n' -> i | _ -> stop (i + 1)
+  in
+  String.trim (String.sub chunk start (stop start - start))
+
+let num_field chunk key =
+  match find_key chunk key with
+  | None -> failwith (Printf.sprintf "missing numeric field %S" key)
+  | Some pos -> (
+    match float_of_string_opt (scalar_after chunk pos) with
+    | Some f -> f
+    | None -> failwith (Printf.sprintf "field %S is not a number" key))
+
+let str_field chunk key =
+  match find_key chunk key with
+  | None -> failwith (Printf.sprintf "missing string field %S" key)
+  | Some pos ->
+    let s = scalar_after chunk pos in
+    if String.length s >= 2 && s.[0] = '"' && s.[String.length s - 1] = '"'
+    then String.sub s 1 (String.length s - 2)
+    else failwith (Printf.sprintf "field %S is not a string" key)
+
+let bool_field chunk key =
+  match find_key chunk key with
+  | None -> failwith (Printf.sprintf "missing boolean field %S" key)
+  | Some pos -> (
+    match scalar_after chunk pos with
+    | "true" -> true
+    | "false" -> false
+    | other -> failwith (Printf.sprintf "field %S is not a boolean: %s" key other))
+
+(* split the circuits array into one chunk per "{ ... }" object *)
+let circuit_chunks s =
+  match find_key s "circuits" with
+  | None -> failwith "missing \"circuits\" array"
+  | Some pos ->
+    let cl = String.length s in
+    let chunks = ref [] in
+    let depth = ref 0 and start = ref (-1) and i = ref pos in
+    while !i < cl do
+      (match s.[!i] with
+       | '{' ->
+         if !depth = 0 then start := !i;
+         incr depth
+       | '}' ->
+         decr depth;
+         if !depth = 0 && !start >= 0 then
+           chunks := String.sub s !start (!i - !start + 1) :: !chunks
+       | _ -> ());
+      incr i
+    done;
+    List.rev !chunks
+
+let check path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  if str_field s "benchmark" <> "parallel" then
+    failwith "benchmark field is not \"parallel\"";
+  if num_field s "samples" <= 0.0 then failwith "samples must be positive";
+  let host_cores = int_of_float (num_field s "host_cores") in
+  if host_cores < 1 then failwith "host_cores must be >= 1";
+  let chunks = circuit_chunks s in
+  let seen =
+    List.map
+      (fun chunk ->
+        let name = str_field chunk "name" in
+        let domains = int_of_float (num_field chunk "domains") in
+        let tag = Printf.sprintf "%s@%dd" name domains in
+        if num_field chunk "gates" <= 0.0 then
+          failwith (tag ^ ": \"gates\" must be positive");
+        if domains < 1 then failwith (tag ^ ": \"domains\" must be >= 1");
+        if num_field chunk "ms" <= 0.0 then
+          failwith (tag ^ ": \"ms\" must be positive");
+        let speedup = num_field chunk "speedup" in
+        if speedup <= 0.0 then failwith (tag ^ ": \"speedup\" must be positive");
+        (* Determinism is unconditional; throughput only when the host has
+           the cores to run the pool in parallel at all. *)
+        if not (bool_field chunk "bit_identical") then
+          failwith (tag ^ ": parallel result differs from sequential");
+        if domains <= host_cores && speedup < 1.0 then
+          failwith
+            (Printf.sprintf "%s: speedup %.3f < 1.0 on a %d-core host" tag
+               speedup host_cores);
+        name)
+      chunks
+  in
+  List.iter
+    (fun c ->
+      if not (List.mem c seen) then
+        failwith (Printf.sprintf "circuit %S missing from results" c))
+    circuits;
+  Printf.printf "%s OK (%d rows)\n" path (List.length seen)
+
+let () =
+  let out = ref "BENCH_parallel.json" in
+  let samples = ref 160 in
+  let seed = ref 1 in
+  let max_domains = ref 8 in
+  let check_path = ref "" in
+  Arg.parse
+    [
+      ("-o", Arg.Set_string out, "FILE output path (default BENCH_parallel.json)");
+      ("-samples", Arg.Set_int samples, "N random vectors per MC run (default 160)");
+      ("-seed", Arg.Set_int seed, "N PRNG seed (default 1)");
+      ("-domains", Arg.Set_int max_domains,
+       "N largest pool size to measure, of 2/4/8 (default 8)");
+      ("-check", Arg.Set_string check_path, "FILE validate an existing JSON file and exit");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "domain-parallel estimation benchmark";
+  if !check_path <> "" then
+    match check !check_path with
+    | () -> ()
+    | exception Failure m ->
+      Printf.eprintf "%s: INVALID: %s\n" !check_path m;
+      exit 1
+  else begin
+    let host_cores = Domain.recommended_domain_count () in
+    let rows =
+      List.concat_map
+        (run_circuit ~samples:!samples ~seed:!seed ~max_domains:!max_domains)
+        circuits
+    in
+    let oc = open_out !out in
+    emit oc ~samples:!samples ~seed:!seed ~host_cores rows;
+    close_out oc;
+    List.iter
+      (fun r ->
+        Printf.printf
+          "%-8s %4d gates  %d domain%s  %8.1f ms  speedup %5.2fx  identical %b\n"
+          r.name r.gates r.domains (if r.domains = 1 then " " else "s")
+          r.ms r.speedup r.bit_identical)
+      rows
+  end

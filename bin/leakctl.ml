@@ -28,6 +28,7 @@ module Reporting = Leakage_core.Reporting
 module Verilog = Leakage_circuit.Verilog
 module Rng = Leakage_numeric.Rng
 module Stats = Leakage_numeric.Stats
+module Pool = Leakage_parallel.Pool
 
 let na = Physics.amps_to_nanoamps
 
@@ -66,6 +67,19 @@ let circuit_arg =
 let bench_file_arg =
   Arg.(value & opt (some file) None
        & info [ "bench" ] ~docv:"FILE" ~doc:"ISCAS89 .bench netlist file.")
+
+let jobs_arg =
+  Arg.(value & opt int 0
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for the parallel sections. 0 (the default) \
+                 means the $(b,LEAKCTL_JOBS) environment variable, or the \
+                 machine's recommended domain count.")
+
+(* Results are bit-identical at any job count, so -j only changes speed. *)
+let with_jobs jobs f =
+  let jobs = if jobs <= 0 then Pool.default_jobs () else jobs in
+  if jobs <= 1 then f None
+  else Pool.with_pool ~jobs (fun pool -> f (Some pool))
 
 let load_circuit circuit bench_file =
   match circuit, bench_file with
@@ -206,7 +220,8 @@ let estimate_cmd =
          & info [ "top" ] ~docv:"N"
              ~doc:"Print the N heaviest-leaking gates of the first vector.")
   in
-  let run device celsius circuit bench_file vectors seed spice passes csv top =
+  let run device celsius circuit bench_file vectors seed spice passes csv top
+      jobs =
     let nl = load_circuit circuit bench_file in
     let temp = kelvin celsius in
     let lib = Library.create ~device ~temp () in
@@ -225,7 +240,10 @@ let estimate_cmd =
        if top > 0 then
          Reporting.pp_per_gate ~limit:top Format.std_formatter nl detailed
      | [] -> ());
-    let loaded, base = Estimator.average_over_vectors lib nl patterns in
+    let loaded, base =
+      with_jobs jobs (fun pool ->
+          Estimator.average_over_vectors ?pool lib nl patterns)
+    in
     pp_components "mean (loading-aware):" loaded;
     pp_components "mean (no loading):" base;
     Format.printf "  loading shift: %+.2f%% total, %+.2f%% subthreshold@."
@@ -251,7 +269,7 @@ let estimate_cmd =
        ~doc:"Estimate circuit leakage with the loading-aware Fig-13 algorithm.")
     Term.(const run $ device_arg $ temp_arg $ circuit_arg $ bench_file_arg
           $ vectors_arg $ seed_arg $ spice_arg $ passes_arg $ csv_arg
-          $ top_arg)
+          $ top_arg $ jobs_arg)
 
 (* --------------------------------------------------------- characterize *)
 
@@ -343,11 +361,13 @@ let mc_cmd =
     Arg.(value & opt int 2000
          & info [ "samples" ] ~docv:"N" ~doc:"Monte-Carlo sample count.")
   in
-  let run device celsius samples seed =
+  let run device celsius samples seed jobs =
     let temp = kelvin celsius in
     let config = { Monte_carlo.paper_config with Monte_carlo.n_samples = samples; seed } in
     let samples_arr =
-      Monte_carlo.run ~config ~device ~temp ~sigmas:Variation.paper_sigmas ()
+      with_jobs jobs (fun pool ->
+          Monte_carlo.run ?pool ~config ~device ~temp
+            ~sigmas:Variation.paper_sigmas ())
     in
     Format.printf "%d samples, 6+6 loading inverters, %s at %.0f C@."
       config.Monte_carlo.n_samples device.Params.name celsius;
@@ -370,7 +390,43 @@ let mc_cmd =
     (Cmd.info "mc"
        ~doc:"Monte-Carlo variation analysis of an inverter with and without \
              loading (the Fig 10/11 experiment).")
-    Term.(const run $ device_arg $ temp_arg $ samples_arg $ seed_arg)
+    Term.(const run $ device_arg $ temp_arg $ samples_arg $ seed_arg
+          $ jobs_arg)
+
+(* ---------------------------------------------------------------- suite *)
+
+let suite_cmd =
+  let vectors_arg =
+    Arg.(value & opt int 10
+         & info [ "vectors" ] ~docv:"N"
+             ~doc:"Random input vectors per circuit.")
+  in
+  let run device celsius vectors seed jobs =
+    let temp = kelvin celsius in
+    let lib = Library.create ~device ~temp () in
+    let runs =
+      with_jobs jobs (fun pool ->
+          Suite.estimate_all ?pool ~vectors ~seed lib)
+    in
+    Format.printf "%s at %.0f C, %d random vectors per circuit@."
+      device.Params.name celsius vectors;
+    Format.printf "%-10s %8s %14s %14s %9s@." "name" "gates" "loaded[nA]"
+      "base[nA]" "shift%";
+    Array.iter
+      (fun (r : Suite.run) ->
+        Format.printf "%-10s %8d %14.1f %14.1f %+9.2f@." r.Suite.label
+          r.Suite.gates
+          (na (Report.total r.Suite.loaded))
+          (na (Report.total r.Suite.baseline))
+          r.Suite.shift_percent)
+      runs
+  in
+  Cmd.v
+    (Cmd.info "suite"
+       ~doc:"Estimate every built-in benchmark circuit (the Fig-12 sweep), \
+             fanning circuits out over -j worker domains.")
+    Term.(const run $ device_arg $ temp_arg $ vectors_arg $ seed_arg
+          $ jobs_arg)
 
 (* ----------------------------------------------------------------- stat *)
 
@@ -708,5 +764,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; stats_cmd; generate_cmd; sim_cmd; estimate_cmd; characterize_cmd;
-            sweep_cmd; mc_cmd; stat_cmd; mtcmos_cmd; thermal_cmd; dualvth_cmd;
-            prob_cmd; corners_cmd; vectors_cmd; incr_cmd ]))
+            sweep_cmd; mc_cmd; suite_cmd; stat_cmd; mtcmos_cmd; thermal_cmd;
+            dualvth_cmd; prob_cmd; corners_cmd; vectors_cmd; incr_cmd ]))

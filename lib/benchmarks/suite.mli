@@ -14,3 +14,28 @@ val find : string -> entry
 (** Raises [Not_found]. *)
 
 val names : string list
+
+type run = {
+  label : string;
+  gates : int;
+  loaded : Leakage_spice.Leakage_report.components;
+  (** mean loading-aware totals over the sampled vectors *)
+  baseline : Leakage_spice.Leakage_report.components;
+  (** mean sum-of-isolated totals *)
+  shift_percent : float;
+  (** loading shift of the mean total, % *)
+}
+
+val estimate_all :
+  ?pool:Leakage_parallel.Pool.t ->
+  ?entries:entry list ->
+  ?vectors:int ->
+  ?seed:int ->
+  Leakage_core.Library.t ->
+  run array
+(** Estimate every suite circuit (default {!all}) under [vectors] random
+    input vectors (default 10, [seed] default 7), one result per entry in
+    order. Circuits fan out across [pool] when given; each circuit draws its
+    vectors from its own pre-split RNG stream, so the results are
+    bit-identical at any pool size. Raises [Invalid_argument] when
+    [vectors] is not positive. *)

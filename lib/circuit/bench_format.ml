@@ -33,7 +33,7 @@ type decl = {
 }
 
 type parsed = {
-  p_inputs : string list;  (* in file order *)
+  p_inputs : (int * string) list;  (* (line, name), in file order *)
   p_outputs : string list;
   p_decls : decl list;
 }
@@ -93,7 +93,7 @@ let parse_line line_no raw acc =
       else None
     in
     match paren_body "INPUT" with
-    | Some name -> { acc with p_inputs = name :: acc.p_inputs }
+    | Some name -> { acc with p_inputs = (line_no, name) :: acc.p_inputs }
     | None ->
       match paren_body "OUTPUT" with
       | Some name -> { acc with p_outputs = name :: acc.p_outputs }
@@ -215,9 +215,21 @@ let parse_string ~name text =
         raise (Parse_error (d.line, "redefinition of " ^ d.target));
       Hashtbl.replace decl_of_target d.target d)
     parsed.p_decls;
-  (* Primary inputs, then flip-flop Q nets as pseudo-inputs (file order). *)
+  (* Primary inputs, then flip-flop Q nets as pseudo-inputs (file order).
+     A name may be declared as an input at most once, and never also appear
+     as a combinational gate target — Hashtbl.replace would otherwise drop
+     one of the two declarations silently. *)
   List.iter
-    (fun n -> Hashtbl.replace net_of_name n (B.input ~name:n b))
+    (fun (line_no, n) ->
+      if Hashtbl.mem net_of_name n then
+        raise (Parse_error (line_no, "duplicate INPUT declaration of " ^ n));
+      (match Hashtbl.find_opt decl_of_target n with
+       | Some d when d.op <> Op_dff ->
+         raise
+           (Parse_error
+              (d.line, "gate output " ^ n ^ " shadows an INPUT of the same name"))
+       | _ -> ());
+      Hashtbl.replace net_of_name n (B.input ~name:n b))
     parsed.p_inputs;
   List.iter
     (fun d ->

@@ -20,8 +20,10 @@ exception Parse_error of int * string
 (** Line number (1-based) and message. *)
 
 val parse_string : name:string -> string -> Netlist.t
-(** Parse [.bench] text. Raises {!Parse_error} on malformed input and
-    [Failure] if the described circuit fails validation. *)
+(** Parse [.bench] text. Raises {!Parse_error} on malformed input —
+    including conflicting declarations of one net name: a duplicated
+    [INPUT], a redefined gate target, or a gate target shadowing a declared
+    input — and [Failure] if the described circuit fails validation. *)
 
 val parse_file : string -> Netlist.t
 (** Parse a file; the netlist is named after the basename. *)

@@ -57,6 +57,10 @@ let build_fanout_cache t =
 let driver t n = (build_driver_cache t).(n)
 let fanout t n = (build_fanout_cache t).(n)
 
+let warm t =
+  ignore (build_driver_cache t);
+  ignore (build_fanout_cache t)
+
 let is_input t n = t.is_input_flag.(n)
 let is_output t n = t.is_output_flag.(n)
 

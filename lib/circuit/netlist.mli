@@ -41,6 +41,12 @@ val fanout : t -> net -> gate list
 (** Gates with an input pin on this net, one entry per pin. O(1) after the
     first call. *)
 
+val warm : t -> unit
+(** Force both lookup caches ({!driver} and {!fanout}) to be built now.
+    The caches are initialized lazily by a benign single-threaded race;
+    call this before handing the netlist to multiple domains so no
+    concurrent lazy initialization can occur. *)
+
 val is_input : t -> net -> bool
 val is_output : t -> net -> bool
 

@@ -2,6 +2,7 @@ module Netlist = Leakage_circuit.Netlist
 module Logic = Leakage_circuit.Logic
 module Simulate = Leakage_circuit.Simulate
 module Report = Leakage_spice.Leakage_report
+module Pool = Leakage_parallel.Pool
 
 type gate_estimate = {
   gate : Netlist.gate;
@@ -22,6 +23,7 @@ type result = {
 
 let estimate ?(passes = 1) ?library_of_gate ?scratch lib netlist pattern =
   if passes < 1 then invalid_arg "Estimator.estimate: passes must be >= 1";
+  let scratch_used = scratch <> None in
   let assignment =
     match scratch with
     | None -> Simulate.run netlist pattern
@@ -127,21 +129,41 @@ let estimate ?(passes = 1) ?library_of_gate ?scratch lib netlist pattern =
       (fun acc ge -> Report.add acc ge.no_loading)
       Report.zero per_gate
   in
+  (* A caller-owned scratch buffer will be overwritten by the next
+     [run_into]; hand back a snapshot so previously returned results stay
+     valid. Freshly allocated assignments are owned by the result already. *)
+  let assignment = if scratch_used then Array.copy assignment else assignment in
   { per_gate; totals; baseline_totals; assignment; net_injection }
 
-let average_over_vectors lib netlist patterns =
+(* Fixed chunk width for vector averaging. The chunk decomposition — and
+   therefore the float-summation tree — depends only on the vector count,
+   never on the pool size, so parallel and sequential means are
+   bit-identical. *)
+let avg_chunk = 16
+
+let average_over_vectors ?pool lib netlist patterns =
   if patterns = [] then invalid_arg "Estimator.average_over_vectors: no vectors";
-  let n = float_of_int (List.length patterns) in
-  (* One logic-simulation buffer shared across all vectors: only the totals
-     of each per-vector result are kept, so aliasing the assignment is safe. *)
-  let scratch =
-    Array.make (Netlist.net_count netlist) Leakage_circuit.Logic.Zero
+  let patterns = Array.of_list patterns in
+  let n = Array.length patterns in
+  Netlist.warm netlist;
+  let partials =
+    Pool.map_chunked ?pool ~chunk:avg_chunk n (fun ~lo ~hi ->
+        (* One logic-simulation buffer per chunk: only totals survive. *)
+        let scratch =
+          Array.make (Netlist.net_count netlist) Leakage_circuit.Logic.Zero
+        in
+        let acc_l = ref Report.zero and acc_b = ref Report.zero in
+        for i = lo to hi - 1 do
+          let r = estimate ~scratch lib netlist patterns.(i) in
+          acc_l := Report.add !acc_l r.totals;
+          acc_b := Report.add !acc_b r.baseline_totals
+        done;
+        (!acc_l, !acc_b))
   in
   let sum_loaded, sum_base =
-    List.fold_left
-      (fun (acc_l, acc_b) pattern ->
-        let r = estimate ~scratch lib netlist pattern in
-        (Report.add acc_l r.totals, Report.add acc_b r.baseline_totals))
-      (Report.zero, Report.zero) patterns
+    Array.fold_left
+      (fun (acc_l, acc_b) (l, b) -> (Report.add acc_l l, Report.add acc_b b))
+      (Report.zero, Report.zero) partials
   in
-  (Report.scale (1.0 /. n) sum_loaded, Report.scale (1.0 /. n) sum_base)
+  let inv = 1.0 /. float_of_int n in
+  (Report.scale inv sum_loaded, Report.scale inv sum_base)

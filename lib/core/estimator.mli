@@ -53,10 +53,15 @@ val estimate :
 
     [scratch] reuses a caller-owned logic-simulation buffer of length
     [Netlist.net_count] instead of allocating one; the returned
-    [result.assignment] then aliases it and is overwritten by the next
-    estimate sharing the buffer. *)
+    [result.assignment] is a snapshot copy, so later estimates sharing the
+    buffer never mutate previously returned results. *)
 
 val average_over_vectors :
+  ?pool:Leakage_parallel.Pool.t ->
   Library.t -> Leakage_circuit.Netlist.t -> Leakage_circuit.Logic.vector list ->
   Leakage_spice.Leakage_report.components * Leakage_spice.Leakage_report.components
-(** [(mean with-loading totals, mean baseline totals)] over a vector set. *)
+(** [(mean with-loading totals, mean baseline totals)] over a vector set.
+
+    Vectors are processed in fixed-width chunks whose partial sums are folded
+    in chunk order; the summation tree depends only on the vector count, so
+    the result is bit-identical with or without [pool], at any pool size. *)

@@ -1,12 +1,16 @@
 module Gate = Leakage_circuit.Gate
 module Logic = Leakage_circuit.Logic
+module Pool = Leakage_parallel.Pool
 
 type t = {
   grid : Characterize.grid_spec;
   device : Leakage_device.Params.t;
   temp : float;
   vdd : float;
-  cache : (int, Characterize.entry) Hashtbl.t;
+  cache : (int, Characterize.entry) Hashtbl.t Domain.DLS.key;
+      (* Per-domain caches: characterization is a pure function of the key,
+         so domains may characterize the same entry redundantly but never
+         disagree — and the hot lookup path stays lock-free. *)
 }
 
 let create ?(grid = Characterize.default_grid) ~device ~temp ?vdd () =
@@ -15,12 +19,13 @@ let create ?(grid = Characterize.default_grid) ~device ~temp ?vdd () =
     device;
     temp;
     vdd = Option.value vdd ~default:device.Leakage_device.Params.vdd;
-    cache = Hashtbl.create 64;
+    cache = Domain.DLS.new_key (fun () -> Hashtbl.create 64);
   }
 
 let device t = t.device
 let temp t = t.temp
 let vdd t = t.vdd
+let cache t = Domain.DLS.get t.cache
 
 (* kinds code below 64, strength buckets below 2^10, vectors below 2^16 *)
 let strength_bucket strength =
@@ -32,25 +37,40 @@ let key kind strength vector =
   lor (strength_bucket strength lsl 16)
   lor Logic.int_of_vector vector
 
+let characterize_key t kind strength vector =
+  let quantized = float_of_int (strength_bucket strength) /. 4.0 in
+  Characterize.characterize ~grid:t.grid ~strength:quantized ~device:t.device
+    ~temp:t.temp ~vdd:t.vdd kind vector
+
 let entry ?(strength = 1.0) t kind vector =
+  let cache = cache t in
   let k = key kind strength vector in
-  match Hashtbl.find_opt t.cache k with
+  match Hashtbl.find_opt cache k with
   | Some e -> e
   | None ->
-    let quantized = float_of_int (strength_bucket strength) /. 4.0 in
-    let e =
-      Characterize.characterize ~grid:t.grid ~strength:quantized
-        ~device:t.device ~temp:t.temp ~vdd:t.vdd kind vector
-    in
-    Hashtbl.replace t.cache k e;
+    let e = characterize_key t kind strength vector in
+    Hashtbl.replace cache k e;
     e
 
-let precharacterize ?(kinds = Gate.all_kinds) t =
-  List.iter
-    (fun kind ->
-      List.iter
-        (fun vector -> ignore (entry t kind vector))
-        (Logic.all_vectors (Gate.arity kind)))
-    kinds
+let precharacterize ?pool ?(kinds = Gate.all_kinds) t =
+  let work =
+    List.concat_map
+      (fun kind ->
+        List.map (fun vector -> (kind, vector))
+          (Logic.all_vectors (Gate.arity kind)))
+      kinds
+    |> Array.of_list
+  in
+  let entries =
+    Pool.map_array ?pool
+      (fun (kind, vector) -> (key kind 1.0 vector, entry t kind vector))
+      work
+  in
+  (* Workers filled their own domain caches; adopt every entry into the
+     calling domain's cache so sequential code that runs next hits too. *)
+  let cache = cache t in
+  Array.iter
+    (fun (k, e) -> if not (Hashtbl.mem cache k) then Hashtbl.replace cache k e)
+    entries
 
-let entry_count t = Hashtbl.length t.cache
+let entry_count t = Hashtbl.length (cache t)

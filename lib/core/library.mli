@@ -3,7 +3,13 @@
     One [Library.t] corresponds to one (device, temperature, supply)
     operating corner. Entries are characterized on first use and cached, so
     estimating a large circuit only pays for the (kind, vector) pairs that
-    actually occur. *)
+    actually occur.
+
+    The cache is {e per-domain} ([Domain.DLS]): characterization is a pure
+    function of the key, so domains may redundantly characterize the same
+    entry but can never observe a torn table — and lookups stay lock-free.
+    A library value can therefore be shared freely across a
+    {!Leakage_parallel.Pool}. *)
 
 type t
 
@@ -26,9 +32,14 @@ val entry :
 (** Characterize-on-demand lookup. [strength] (default 1.0) is quantized to
     quarter steps — entries are shared within a bucket. *)
 
-val precharacterize : ?kinds:Leakage_circuit.Gate.kind list -> t -> unit
+val precharacterize :
+  ?pool:Leakage_parallel.Pool.t ->
+  ?kinds:Leakage_circuit.Gate.kind list -> t -> unit
 (** Eagerly characterize every vector of the given kinds (default: the full
-    cell library). *)
+    cell library), fanning the (kind, vector) table out over [pool] when
+    given. All resulting entries are adopted into the calling domain's
+    cache. *)
 
 val entry_count : t -> int
-(** Number of cached entries (characterization cost visibility). *)
+(** Number of entries cached in the calling domain (characterization cost
+    visibility). *)

@@ -9,6 +9,7 @@ module Simulate = Leakage_circuit.Simulate
 module Flatten = Leakage_spice.Flatten
 module Dc_solver = Leakage_spice.Dc_solver
 module Report = Leakage_spice.Leakage_report
+module Pool = Leakage_parallel.Pool
 
 type sample = {
   loaded : Report.components;
@@ -60,19 +61,28 @@ let solve_components netlist pattern ~die_device ~gate_shifts ~temp =
   let report = Report.of_solution flat solution.Dc_solver.voltages in
   report.Report.per_gate.(observed_gate_id)
 
-let run ?(config = paper_config) ~device ~temp ~sigmas () =
+let run ?pool ?(config = paper_config) ~device ~temp ~sigmas () =
   if config.n_samples <= 0 then invalid_arg "Monte_carlo.run: n_samples";
   let loaded_bench =
     bench ~n_load_in:config.n_load_in ~n_load_out:config.n_load_out
   in
   let bare_bench = bench ~n_load_in:0 ~n_load_out:0 in
+  Netlist.warm loaded_bench;
+  Netlist.warm bare_bench;
   (* Driver inverts: primary input is the complement of the observed
      inverter's input value. *)
   let pattern = [| Logic.lnot config.input_value |] in
   let n_gates = Netlist.gate_count loaded_bench in
+  (* Pre-split one independent stream per sample, sequentially in index
+     order, so sample [i] sees the same draws however the samples are later
+     scheduled across domains. *)
   let rng = Rng.create config.seed in
-  Array.init config.n_samples (fun _ ->
-      let sample_rng = Rng.split rng in
+  let streams = Array.make config.n_samples rng in
+  for i = 0 to config.n_samples - 1 do
+    streams.(i) <- Rng.split rng
+  done;
+  Pool.map ?pool config.n_samples (fun i ->
+      let sample_rng = streams.(i) in
       let die = Variation.sample_die sample_rng sigmas in
       let die_device = Variation.apply_die device die in
       let gate_shifts =
@@ -97,12 +107,12 @@ let component_arrays samples ~pick =
   ( Array.map (fun s -> pick s.loaded) samples,
     Array.map (fun s -> pick s.unloaded) samples )
 
-let spread_vs_sigma ?(config = paper_config) ~device ~temp ~base_sigmas
+let spread_vs_sigma ?pool ?(config = paper_config) ~device ~temp ~base_sigmas
     ~sigma_vth_inter_values () =
   Array.map
     (fun sigma ->
       let sigmas = Variation.with_vth_inter base_sigmas sigma in
-      let samples = run ~config ~device ~temp ~sigmas () in
+      let samples = run ?pool ~config ~device ~temp ~sigmas () in
       let loaded, unloaded = component_arrays samples ~pick:Report.total in
       let pct base v = (v -. base) /. base *. 100.0 in
       {

@@ -26,12 +26,16 @@ val paper_config : config
 (** 10,000 samples, 6+6 loading inverters, input '0'. *)
 
 val run :
+  ?pool:Leakage_parallel.Pool.t ->
   ?config:config ->
   device:Leakage_device.Params.t ->
   temp:float ->
   sigmas:Leakage_device.Variation.sigmas ->
   unit ->
   sample array
+(** Samples fan out across [pool] when given. Each sample index owns a
+    pre-split RNG stream, so [run] returns a bit-identical array at any pool
+    size (including none). *)
 
 type spread_shift = {
   sigma_vth_inter : float;
@@ -40,6 +44,7 @@ type spread_shift = {
 }
 
 val spread_vs_sigma :
+  ?pool:Leakage_parallel.Pool.t ->
   ?config:config ->
   device:Leakage_device.Params.t ->
   temp:float ->

@@ -3,9 +3,15 @@
     Standby leakage depends strongly on the input state (§6); when the
     standby vector is unknown, the expected leakage and its spread come from
     resampling random primary-input vectors. Each draw differs from the
-    previous one in about half the input bits, so running the whole sweep on
-    one {!Incremental} session via {!Incremental.set_vector} costs only the
-    changed cones per draw instead of a full estimate per draw. *)
+    previous one in about half the input bits, so walking the sweep on
+    {!Incremental} sessions via {!Incremental.set_vector} costs only the
+    changed cones per draw instead of a full estimate per draw.
+
+    The sweep is split into fixed-width chunks, each walked by its own
+    session; chunks fan out across a {!Leakage_parallel.Pool} when one is
+    given. Chunk boundaries (and hence each session's float-drift history
+    and the reduction tree) depend only on the sample count, so results are
+    bit-identical with or without a pool, at any pool size. *)
 
 type result = {
   totals : float array;
@@ -23,6 +29,7 @@ type result = {
 }
 
 val resample :
+  ?pool:Leakage_parallel.Pool.t ->
   ?seed:int ->
   samples:int ->
   Leakage_core.Library.t ->
@@ -34,6 +41,7 @@ val resample :
     over the vectors, but incremental between consecutive draws. *)
 
 val over_vectors :
+  ?pool:Leakage_parallel.Pool.t ->
   Leakage_core.Library.t ->
   Leakage_circuit.Netlist.t ->
   Leakage_circuit.Logic.vector list ->

@@ -31,6 +31,9 @@ let segment xs x =
   end
 
 let eval1d g x =
+  (* A NaN coordinate fails every segment comparison and would silently
+     interpolate garbage. *)
+  if Float.is_nan x then invalid_arg "Interp.eval1d: NaN coordinate";
   let n = Array.length g.xs in
   if x <= g.xs.(0) then g.ys.(0)
   else if x >= g.xs.(n - 1) then g.ys.(n - 1)
@@ -57,6 +60,8 @@ let grid2d ~xs ~ys ~values =
 let clamp lo hi x = if x < lo then lo else if x > hi then hi else x
 
 let eval2d g x y =
+  if Float.is_nan x || Float.is_nan y then
+    invalid_arg "Interp.eval2d: NaN coordinate";
   let nx = Array.length g.gx and ny = Array.length g.gy in
   let x = clamp g.gx.(0) g.gx.(nx - 1) x in
   let y = clamp g.gy.(0) g.gy.(ny - 1) y in

@@ -15,7 +15,8 @@ val grid1d : xs:float array -> ys:float array -> grid1d
     length, have fewer than 2 points, or [xs] is not strictly increasing. *)
 
 val eval1d : grid1d -> float -> float
-(** Linear interpolation with boundary clamping. *)
+(** Linear interpolation with boundary clamping. Raises [Invalid_argument]
+    on a NaN coordinate. *)
 
 val grid1d_xs : grid1d -> float array
 val grid1d_ys : grid1d -> float array
@@ -28,7 +29,8 @@ val grid2d : xs:float array -> ys:float array -> values:float array array -> gri
     [Invalid_argument] on ragged or mismatched inputs. *)
 
 val eval2d : grid2d -> float -> float -> float
-(** Bilinear interpolation with boundary clamping on both axes. *)
+(** Bilinear interpolation with boundary clamping on both axes. Raises
+    [Invalid_argument] if either coordinate is NaN. *)
 
 val linspace : float -> float -> int -> float array
 (** [linspace lo hi n] is [n >= 2] equally spaced points from [lo] to [hi]

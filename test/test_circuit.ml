@@ -418,6 +418,40 @@ let test_bench_parse_errors () =
   (* combinational cycle *)
   expect_error "INPUT(a)\nOUTPUT(y)\ny = NOT(z)\nz = NOT(y)\n"
 
+let test_bench_rejects_conflicting_declarations () =
+  let expect_error ~line ~substr text =
+    match Bench_format.parse_string ~name:"t" text with
+    | exception Bench_format.Parse_error (l, msg) ->
+      Alcotest.(check int) ("line of: " ^ msg) line l;
+      let contains s sub =
+        let sl = String.length s and bl = String.length sub in
+        let rec scan i =
+          i + bl <= sl && (String.sub s i bl = sub || scan (i + 1))
+        in
+        scan 0
+      in
+      if not (contains msg substr) then
+        Alcotest.failf "error %S does not name %S" msg substr
+    | _ -> Alcotest.fail "expected Parse_error"
+  in
+  (* regression: all three used to Hashtbl.replace one declaration away
+     silently instead of rejecting the netlist *)
+  expect_error ~line:2 ~substr:"a"
+    "INPUT(a)\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
+  expect_error ~line:4 ~substr:"a"
+    "INPUT(a)\nINPUT(b)\nOUTPUT(a)\na = NOT(b)\n";
+  expect_error ~line:4 ~substr:"y"
+    "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUFF(a)\n"
+
+let test_bench_dff_target_may_share_nothing () =
+  (* a DFF output clashing with a declared input is still an error *)
+  match
+    Bench_format.parse_string ~name:"t"
+      "INPUT(q)\nOUTPUT(y)\nq = DFF(y)\ny = NOT(q)\n"
+  with
+  | exception Bench_format.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected Parse_error"
+
 let test_bench_roundtrip_complex_cells () =
   (* AOI/OAI cells are decomposed when written; the round trip preserves the
      logic function *)
@@ -599,6 +633,10 @@ let () =
           Alcotest.test_case "wide nand" `Quick test_bench_parse_wide_gate;
           Alcotest.test_case "xor chain" `Quick test_bench_parse_xor_chain;
           Alcotest.test_case "parse errors" `Quick test_bench_parse_errors;
+          Alcotest.test_case "conflicting declarations" `Quick
+            test_bench_rejects_conflicting_declarations;
+          Alcotest.test_case "dff/input clash" `Quick
+            test_bench_dff_target_may_share_nothing;
           Alcotest.test_case "roundtrip" `Quick test_bench_roundtrip_simulation;
           Alcotest.test_case "complex-cell roundtrip" `Quick test_bench_roundtrip_complex_cells;
           Alcotest.test_case "strength roundtrip" `Quick test_bench_strength_roundtrip;

@@ -264,6 +264,19 @@ let test_estimator_average_over_vectors () =
   Alcotest.(check bool) "positive averages" true
     (Report.total loaded > 0.0 && Report.total base > 0.0)
 
+let test_estimator_scratch_not_aliased () =
+  (* regression: with ~scratch, result.assignment used to alias the buffer,
+     so the next run_into on the same scratch mutated the earlier result *)
+  let nl = chain_circuit () in
+  let scratch = Array.make (Netlist.net_count nl) Logic.Zero in
+  let r1 = Estimator.estimate ~scratch lib nl (Logic.vector_of_string "00") in
+  let snapshot = Array.copy r1.Estimator.assignment in
+  let r2 = Estimator.estimate ~scratch lib nl (Logic.vector_of_string "11") in
+  Alcotest.(check bool) "first result survives second estimate" true
+    (r1.Estimator.assignment = snapshot);
+  Alcotest.(check bool) "two patterns produce distinct assignments" false
+    (r1.Estimator.assignment = r2.Estimator.assignment)
+
 (* -------------------------------------------------------------- Loading *)
 
 let test_loading_input_sweep_shape () =
@@ -968,6 +981,7 @@ let () =
           Alcotest.test_case "sibling loading" `Quick test_estimator_sibling_loading_positive;
           Alcotest.test_case "matches spice" `Quick test_estimator_matches_spice_on_chain;
           Alcotest.test_case "vector averaging" `Quick test_estimator_average_over_vectors;
+          Alcotest.test_case "scratch not aliased" `Quick test_estimator_scratch_not_aliased;
         ] );
       ( "loading",
         [

@@ -216,6 +216,26 @@ let test_interp_2d_clamps () =
   in
   check_float "clamped corner" 3. (Interp.eval2d g 10. 10.)
 
+let test_interp_1d_rejects_nan () =
+  (* regression: NaN fell through every segment comparison and produced
+     garbage instead of an error *)
+  let g = Interp.grid1d ~xs:[| 0.; 1. |] ~ys:[| 3.; 9. |] in
+  Alcotest.check_raises "nan x"
+    (Invalid_argument "Interp.eval1d: NaN coordinate")
+    (fun () -> ignore (Interp.eval1d g Float.nan))
+
+let test_interp_2d_rejects_nan () =
+  let g =
+    Interp.grid2d ~xs:[| 0.; 1. |] ~ys:[| 0.; 1. |]
+      ~values:[| [| 0.; 1. |]; [| 2.; 3. |] |]
+  in
+  Alcotest.check_raises "nan x"
+    (Invalid_argument "Interp.eval2d: NaN coordinate")
+    (fun () -> ignore (Interp.eval2d g Float.nan 0.5));
+  Alcotest.check_raises "nan y"
+    (Invalid_argument "Interp.eval2d: NaN coordinate")
+    (fun () -> ignore (Interp.eval2d g 0.5 Float.nan))
+
 let prop_interp_reproduces_linear =
   qtest "interp1d is exact for affine functions"
     QCheck2.Gen.(tup2 (float_range (-5.) 5.) (float_range (-5.) 5.))
@@ -414,6 +434,8 @@ let () =
           Alcotest.test_case "1d bad axis" `Quick test_interp_1d_rejects_bad_axis;
           Alcotest.test_case "2d bilinear" `Quick test_interp_2d_bilinear;
           Alcotest.test_case "2d clamps" `Quick test_interp_2d_clamps;
+          Alcotest.test_case "1d rejects NaN" `Quick test_interp_1d_rejects_nan;
+          Alcotest.test_case "2d rejects NaN" `Quick test_interp_2d_rejects_nan;
           prop_interp_reproduces_linear;
           prop_interp2d_matches_tabulated_bilinear;
         ] );
