@@ -22,13 +22,24 @@ module Monte_carlo = Leakage_core.Monte_carlo
 module Characterize = Leakage_core.Characterize
 module Testbench = Leakage_core.Testbench
 module Vector_control = Leakage_incremental.Vector_control
+module Dual_vth = Leakage_incremental.Dual_vth
 module Suite = Leakage_benchmarks.Suite
 module Rng = Leakage_numeric.Rng
 module Stats = Leakage_numeric.Stats
 module Interp = Leakage_numeric.Interp
+module Pool = Leakage_parallel.Pool
 
 let na = Physics.amps_to_nanoamps
 let temp_room = 300.0
+
+(* Worker pool shared by the pool-aware figures (fig10/fig11, dualvth,
+   probabilistic, vectors). Set from main's -j flag. Every consumer keeps a
+   fixed reduction tree, so the printed figure data is bit-identical with or
+   without a pool — the `selfcheck` figure enforces exactly that. The timing
+   figures (fig12, runtime) stay sequential on purpose: their columns measure
+   single-stream solver/estimator cost and would only report scheduler
+   contention under a pool. *)
+let pool : Pool.t option ref = ref None
 
 (* Paper-scale runs (100 vectors, 10k MC samples) are behind this switch;
    the default is sized to finish the whole suite in a couple of minutes. *)
@@ -254,7 +265,7 @@ let fig10 () =
     { Monte_carlo.paper_config with Monte_carlo.n_samples = mc_samples () }
   in
   let samples =
-    Monte_carlo.run ~config ~device ~temp:temp_room
+    Monte_carlo.run ?pool:!pool ~config ~device ~temp:temp_room
       ~sigmas:Variation.paper_sigmas ()
   in
   let show name pick =
@@ -294,7 +305,7 @@ let fig11 () =
       Monte_carlo.n_samples = (if full_scale then 10_000 else 1_500) }
   in
   let shifts =
-    Monte_carlo.spread_vs_sigma ~config ~device ~temp:temp_room
+    Monte_carlo.spread_vs_sigma ?pool:!pool ~config ~device ~temp:temp_room
       ~base_sigmas:Variation.paper_sigmas
       ~sigma_vth_inter_values:[| 0.030; 0.040; 0.050 |] ()
   in
@@ -559,7 +570,9 @@ let vectors_experiment () =
   List.iter
     (fun label ->
       let nl = (Suite.find label).Suite.build () in
-      let c = Vector_control.compare_objectives ~samples:64 ~seed:3 lib nl in
+      let c =
+        Vector_control.compare_objectives ?pool:!pool ~samples:64 ~seed:3 lib nl
+      in
       Format.printf
         "  %-8s min(loading) %.1f uA | min(traditional) re-costed %.1f uA | changed: %b@."
         label
@@ -634,7 +647,7 @@ let extension_dualvth () =
         Leakage_incremental.Dual_vth.slack_assignment ~critical_margin:1 nl
       in
       let e =
-        Leakage_incremental.Dual_vth.evaluate ~low_lib ~high_lib assignment nl pattern
+        Dual_vth.evaluate ?pool:!pool ~low_lib ~high_lib assignment nl pattern
       in
       Format.printf
         "  %-8s %4d/%4d gates high-Vth -> leakage %8.1f -> %8.1f uA (-%.1f%%)@."
@@ -678,7 +691,8 @@ let extension_probabilistic () =
       let rng = Rng.create 17 in
       let n = if full_scale then 100 else 15 in
       let empirical, _ =
-        Estimator.average_over_vectors lib nl (Simulate.random_patterns rng nl n)
+        Estimator.average_over_vectors ?pool:!pool lib nl
+          (Simulate.random_patterns rng nl n)
       in
       Format.printf
         "  %-8s analytic %8.1f uA vs %d-vector average %8.1f uA (%+.2f%%)@."
@@ -690,6 +704,66 @@ let extension_probabilistic () =
           -. Report.total empirical)
          /. Report.total empirical *. 100.0))
     [ "alu88"; "s838" ]
+
+(* ------------------------------------------------------------ self-check *)
+
+(* Recompute a representative slice of every pool-aware dataset sequentially
+   and on 2- and 3-domain pools, requiring bit identity (structural compare,
+   so even a NaN would have to match bit patterns through its payload class).
+   This is what lets `main.exe -j N` claim the same figures as a sequential
+   run. Sample counts are deliberately small: identity either holds at every
+   size or the reduction tree is broken, and the tree is fixed by chunk
+   constants, not by N. *)
+let selfcheck () =
+  header "Self-check: pooled figure data vs sequential"
+    "every ?pool consumer folds a schedule-independent reduction tree, so \
+     the domain count must not change a single bit of figure data";
+  let device = Params.d25 in
+  let lib = Library.create ~device ~temp:temp_room () in
+  let saved = !pool in
+  let compute name f =
+    pool := None;
+    let seq = f () in
+    List.iter
+      (fun jobs ->
+        let par = Pool.with_pool ~jobs (fun p -> pool := Some p; f ()) in
+        pool := saved;
+        if Stdlib.compare par seq <> 0 then
+          failwith (Printf.sprintf "selfcheck: %S differs at %d domains" name jobs))
+      [ 2; 3 ];
+    pool := saved;
+    Format.printf "  %-28s bit-identical at 1/2/3 domains@." name
+  in
+  let mc_config =
+    { Monte_carlo.paper_config with Monte_carlo.n_samples = 64 }
+  in
+  compute "fig10 MC samples" (fun () ->
+      Monte_carlo.run ?pool:!pool ~config:mc_config ~device ~temp:temp_room
+        ~sigmas:Variation.paper_sigmas ());
+  compute "fig11 spread-vs-sigma" (fun () ->
+      Monte_carlo.spread_vs_sigma ?pool:!pool ~config:mc_config ~device
+        ~temp:temp_room ~base_sigmas:Variation.paper_sigmas
+        ~sigma_vth_inter_values:[| 0.030; 0.050 |] ());
+  compute "vectors objectives (s838)" (fun () ->
+      Vector_control.compare_objectives ?pool:!pool ~samples:16 ~seed:3 lib
+        ((Suite.find "s838").Suite.build ()));
+  compute "dualvth evaluate (s838)" (fun () ->
+      let nl = (Suite.find "s838").Suite.build () in
+      let high_device = Dual_vth.high_vth_device device in
+      let high_lib =
+        Library.create ~device:high_device ~temp:temp_room
+          ~vdd:device.Params.vdd ()
+      in
+      let assignment = Dual_vth.slack_assignment ~critical_margin:1 nl in
+      let pattern =
+        List.hd (Simulate.random_patterns (Rng.create 17) nl 1)
+      in
+      Dual_vth.evaluate ?pool:!pool ~low_lib:lib ~high_lib assignment nl
+        pattern);
+  compute "probabilistic average (s838)" (fun () ->
+      let nl = (Suite.find "s838").Suite.build () in
+      Estimator.average_over_vectors ?pool:!pool lib nl
+        (Simulate.random_patterns (Rng.create 17) nl 24))
 
 let all : (string * (unit -> unit)) list =
   [ ("fig4a", fig4a); ("fig4b", fig4b); ("fig4c", fig4c); ("fig5", fig5);
@@ -703,4 +777,4 @@ let all : (string * (unit -> unit)) list =
     ("probabilistic", extension_probabilistic);
     ("ablation-superposition", ablation_superposition);
     ("ablation-grid", ablation_grid); ("ablation-onelevel", ablation_one_level);
-    ("vectors", vectors_experiment) ]
+    ("vectors", vectors_experiment); ("selfcheck", selfcheck) ]

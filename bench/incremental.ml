@@ -7,8 +7,16 @@
    first-touch cell characterizations (shared library cache) are excluded
    from both sides of the comparison.
 
-     incremental.exe [-o FILE] [-edits N] [-seed N]   write the JSON
-     incremental.exe -check FILE                      validate a JSON file *)
+   A second scenario replays one large grouped batch (apply_batch) on
+   mult88: sequentially and on 1/2/4/8-domain pools, checking that every
+   pooled run leaves the exact same session state (bit-identical floats) and
+   recording the cone-disjoint group count the batch exposes. Speedup is
+   enforced by -check only for pool sizes within the recorded host_cores,
+   like BENCH_parallel.json.
+
+     incremental.exe [-o FILE] [-edits N] [-batch-edits N] [-domains N]
+                     [-seed N]                       write the JSON
+     incremental.exe -check FILE                     validate a JSON file *)
 
 module Params = Leakage_device.Params
 module Netlist = Leakage_circuit.Netlist
@@ -18,10 +26,14 @@ module Library = Leakage_core.Library
 module Estimator = Leakage_core.Estimator
 module Incremental = Leakage_incremental.Incremental
 module Edit = Leakage_incremental.Edit
+module Vector_mc = Leakage_incremental.Vector_mc
 module Suite = Leakage_benchmarks.Suite
 module Rng = Leakage_numeric.Rng
+module Pool = Leakage_parallel.Pool
 
 let circuits = [ "mult88"; "alu88" ]
+let batch_circuit = "mult88"
+let batch_pool_sizes = [ 1; 2; 4; 8 ]
 
 type row = {
   name : string;
@@ -79,14 +91,85 @@ let run_circuit ~edits ~seed name =
     refreshes = st.Incremental.refreshes;
   }
 
+(* ------------------------------------------------------- grouped batches *)
+
+type batch_row = {
+  b_domains : int;  (* 0 = plain sequential apply_batch, no pool at all *)
+  b_groups : int;
+  b_us : float;     (* mean apply_batch wall time, µs *)
+  b_speedup : float;
+  b_identical : bool;
+}
+
+(* Exact observable state after the batch; pooled runs must reproduce the
+   sequential floats bit for bit. *)
+let batch_fingerprint s =
+  ( Incremental.totals s,
+    Incremental.baseline_totals s,
+    Incremental.net_injection s,
+    Incremental.assignment s,
+    Incremental.pattern s )
+
+let run_batches ~batch_edits ~seed ~max_domains =
+  let nl = (Suite.find batch_circuit).Suite.build () in
+  let lib = Library.create ~device:Params.d25 ~temp:300.0 () in
+  let rng = Rng.create seed in
+  let pattern = List.hd (Simulate.random_patterns rng nl 1) in
+  let stream = List.init batch_edits (fun _ -> Edit.random_resize rng nl) in
+  let reps = 24 in
+  (* Every configuration replays the identical op sequence — warm-up batch,
+     rollback, then [reps] timed batches each rolled back — so the final
+     fingerprints are comparable float for float. Rollbacks are untimed:
+     undo is per-edit and pool-independent by design. *)
+  let run_config pool =
+    let s = Incremental.create ~refresh_every:0 lib nl pattern in
+    let cp = Incremental.checkpoint s in
+    Incremental.apply_batch ?pool s stream;
+    let fp = batch_fingerprint s in
+    let groups = (Incremental.stats s).Incremental.batch_groups in
+    Incremental.rollback s cp;
+    let t = ref 0.0 in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      Incremental.apply_batch ?pool s stream;
+      t := !t +. (Unix.gettimeofday () -. t0);
+      Incremental.rollback s cp
+    done;
+    (fp, groups, !t /. float_of_int reps *. 1e6)
+  in
+  let fp_seq, groups, seq_us = run_config None in
+  let base =
+    { b_domains = 0; b_groups = groups; b_us = seq_us; b_speedup = 1.0;
+      b_identical = true }
+  in
+  let pooled =
+    List.filter_map
+      (fun d ->
+        if d > max_domains then None
+        else
+          Some
+            (Pool.with_pool ~jobs:d (fun pool ->
+                 let fp, g, us = run_config (Some pool) in
+                 { b_domains = d; b_groups = g; b_us = us;
+                   b_speedup = seq_us /. us;
+                   b_identical = Stdlib.compare fp fp_seq = 0 })))
+      batch_pool_sizes
+  in
+  base :: pooled
+
 (* ------------------------------------------------------------- JSON emit *)
 
-let emit oc ~edits ~seed rows =
+let emit oc ~edits ~seed ~batch_edits ~host_cores rows batch_rows =
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"benchmark\": \"incremental\",\n";
   p "  \"edits\": %d,\n" edits;
   p "  \"seed\": %d,\n" seed;
+  p "  \"host_cores\": %d,\n" host_cores;
+  (* the fixed chunk widths the bit-identity contract depends on: a result
+     is only comparable across builds that agree on these *)
+  p "  \"avg_chunk\": %d,\n" Estimator.avg_chunk;
+  p "  \"mc_chunk\": %d,\n" Vector_mc.mc_chunk;
   p "  \"circuits\": [\n";
   List.iteri
     (fun i r ->
@@ -102,6 +185,20 @@ let emit oc ~edits ~seed rows =
       p "      \"refreshes\": %d\n" r.refreshes;
       p "    }%s\n" (if i = List.length rows - 1 then "" else ","))
     rows;
+  p "  ],\n";
+  p "  \"batch_circuit\": \"%s\",\n" batch_circuit;
+  p "  \"batch_edits\": %d,\n" batch_edits;
+  p "  \"batches\": [\n";
+  List.iteri
+    (fun i (b : batch_row) ->
+      p "    {\n";
+      p "      \"domains\": %d,\n" b.b_domains;
+      p "      \"groups\": %d,\n" b.b_groups;
+      p "      \"us_per_batch\": %.3f,\n" b.b_us;
+      p "      \"speedup\": %.3f,\n" b.b_speedup;
+      p "      \"bit_identical\": %b\n" b.b_identical;
+      p "    }%s\n" (if i = List.length batch_rows - 1 then "" else ","))
+    batch_rows;
   p "  ]\n";
   p "}\n"
 
@@ -147,15 +244,26 @@ let str_field chunk key =
     then String.sub s 1 (String.length s - 2)
     else failwith (Printf.sprintf "field %S is not a string" key)
 
-(* split the circuits array into one chunk per "{ ... }" object *)
-let circuit_chunks s =
-  match find_key s "circuits" with
-  | None -> failwith "missing \"circuits\" array"
+let bool_field chunk key =
+  match find_key chunk key with
+  | None -> failwith (Printf.sprintf "missing boolean field %S" key)
+  | Some pos -> (
+    match scalar_after chunk pos with
+    | "true" -> true
+    | "false" -> false
+    | other -> failwith (Printf.sprintf "field %S is not a boolean: %s" key other))
+
+(* split the array under [key] into one chunk per "{ ... }" object,
+   stopping at the array's closing bracket *)
+let array_chunks s key =
+  match find_key s key with
+  | None -> failwith (Printf.sprintf "missing %S array" key)
   | Some pos ->
     let cl = String.length s in
     let chunks = ref [] in
     let depth = ref 0 and start = ref (-1) and i = ref pos in
-    while !i < cl do
+    let stop = ref false in
+    while (not !stop) && !i < cl do
       (match s.[!i] with
        | '{' ->
          if !depth = 0 then start := !i;
@@ -164,10 +272,13 @@ let circuit_chunks s =
          decr depth;
          if !depth = 0 && !start >= 0 then
            chunks := String.sub s !start (!i - !start + 1) :: !chunks
+       | ']' -> if !depth = 0 then stop := true
        | _ -> ());
       incr i
     done;
     List.rev !chunks
+
+let circuit_chunks s = array_chunks s "circuits"
 
 let check path =
   let ic = open_in path in
@@ -177,6 +288,18 @@ let check path =
   if str_field s "benchmark" <> "incremental" then
     failwith "benchmark field is not \"incremental\"";
   if num_field s "edits" <= 0.0 then failwith "edits must be positive";
+  let host_cores = int_of_float (num_field s "host_cores") in
+  if host_cores < 1 then failwith "host_cores must be >= 1";
+  (* stale chunk constants would invalidate every bit-identity claim below *)
+  let chunk_const key expected =
+    let v = int_of_float (num_field s key) in
+    if v <> expected then
+      failwith
+        (Printf.sprintf "%S is %d but this build uses %d — regenerate" key v
+           expected)
+  in
+  chunk_const "avg_chunk" Estimator.avg_chunk;
+  chunk_const "mc_chunk" Vector_mc.mc_chunk;
   let chunks = circuit_chunks s in
   let seen =
     List.map
@@ -205,17 +328,65 @@ let check path =
       if not (List.mem c seen) then
         failwith (Printf.sprintf "circuit %S missing from results" c))
     circuits;
-  Printf.printf "%s OK (%d circuits)\n" path (List.length seen)
+  (* grouped-batch scenario: determinism unconditionally, throughput only
+     for pool sizes the recorded host could actually run in parallel *)
+  if str_field s "batch_circuit" <> batch_circuit then
+    failwith (Printf.sprintf "batch_circuit is not %S" batch_circuit);
+  let batch_edits = int_of_float (num_field s "batch_edits") in
+  if batch_edits < 64 then
+    failwith
+      (Printf.sprintf "batch_edits %d < 64: too small to exercise grouping"
+         batch_edits);
+  let batch_chunks = array_chunks s "batches" in
+  if batch_chunks = [] then failwith "empty \"batches\" array";
+  let seq_groups = ref (-1) in
+  List.iter
+    (fun chunk ->
+      let domains = int_of_float (num_field chunk "domains") in
+      let tag = Printf.sprintf "batch@%dd" domains in
+      let groups = int_of_float (num_field chunk "groups") in
+      if groups < 1 || groups > batch_edits then
+        failwith (Printf.sprintf "%s: groups %d out of [1, %d]" tag groups
+                    batch_edits);
+      (* the partition is a function of netlist and batch alone *)
+      if !seq_groups < 0 then seq_groups := groups
+      else if groups <> !seq_groups then
+        failwith (Printf.sprintf "%s: groups %d differ from sequential %d"
+                    tag groups !seq_groups);
+      if num_field chunk "us_per_batch" <= 0.0 then
+        failwith (tag ^ ": \"us_per_batch\" must be positive");
+      if not (bool_field chunk "bit_identical") then
+        failwith (tag ^ ": pooled batch state differs from sequential");
+      let speedup = num_field chunk "speedup" in
+      if speedup <= 0.0 then failwith (tag ^ ": \"speedup\" must be positive");
+      if domains >= 2 && domains <= host_cores && speedup < 1.0 then
+        failwith
+          (Printf.sprintf "%s: speedup %.3f < 1.0 on a %d-core host" tag
+             speedup host_cores);
+      if domains = 4 && host_cores >= 8 && speedup < 1.5 then
+        failwith
+          (Printf.sprintf
+             "%s: speedup %.3f < 1.5 at 4 domains on a %d-core host" tag
+             speedup host_cores))
+    batch_chunks;
+  Printf.printf "%s OK (%d circuits, %d batch rows)\n" path (List.length seen)
+    (List.length batch_chunks)
 
 let () =
   let out = ref "BENCH_incremental.json" in
   let edits = ref 1000 in
+  let batch_edits = ref 64 in
+  let max_domains = ref 8 in
   let seed = ref 1 in
   let check_path = ref "" in
   Arg.parse
     [
       ("-o", Arg.Set_string out, "FILE output path (default BENCH_incremental.json)");
       ("-edits", Arg.Set_int edits, "N random resize edits per circuit (default 1000)");
+      ("-batch-edits", Arg.Set_int batch_edits,
+       "N resize edits per grouped batch (default 64)");
+      ("-domains", Arg.Set_int max_domains,
+       "N largest batch pool size to measure, of 1/2/4/8 (default 8)");
       ("-seed", Arg.Set_int seed, "N PRNG seed (default 1)");
       ("-check", Arg.Set_string check_path, "FILE validate an existing JSON file and exit");
     ]
@@ -228,14 +399,31 @@ let () =
       Printf.eprintf "%s: INVALID: %s\n" !check_path m;
       exit 1
   else begin
+    let host_cores = Domain.recommended_domain_count () in
     let rows = List.map (run_circuit ~edits:!edits ~seed:!seed) circuits in
+    let batch_rows =
+      run_batches ~batch_edits:!batch_edits ~seed:!seed
+        ~max_domains:!max_domains
+    in
     let oc = open_out !out in
-    emit oc ~edits:!edits ~seed:!seed rows;
+    emit oc ~edits:!edits ~seed:!seed ~batch_edits:!batch_edits ~host_cores
+      rows batch_rows;
     close_out oc;
     List.iter
       (fun r ->
         Printf.printf
           "%-8s %4d gates  full %8.1f us  incr %7.1f us  speedup %6.1fx  rel %.1e\n"
           r.name r.gates r.full_us r.incr_us r.speedup r.rel_error)
-      rows
+      rows;
+    List.iter
+      (fun (b : batch_row) ->
+        Printf.printf
+          "%-8s batch %3d edits  %d group%s  %s  %8.1f us  speedup %5.2fx  identical %b\n"
+          batch_circuit !batch_edits b.b_groups
+          (if b.b_groups = 1 then " " else "s")
+          (if b.b_domains = 0 then "sequential"
+           else if b.b_domains = 1 then "1 domain  "
+           else Printf.sprintf "%d domains " b.b_domains)
+          b.b_us b.b_speedup b.b_identical)
+      batch_rows
   end

@@ -4,6 +4,9 @@
    evaluation (see bench/figures.ml) and finishes with bechamel
    micro-benchmarks of the core operations. Pass figure names to run a
    subset, e.g. `dune exec bench/main.exe -- fig5 fig12a speed`.
+   `-j N` runs the pool-aware figures (fig10/fig11, dualvth, probabilistic,
+   vectors, selfcheck) on an N-domain pool; the figure data is bit-identical
+   either way (checked by the `selfcheck` figure).
    Set LEAKAGE_BENCH_FULL=1 for paper-scale vector/sample counts. *)
 
 open Bechamel
@@ -88,18 +91,38 @@ let micro_benchmarks () =
     (List.sort compare !rows)
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst Figures.all @ [ "speed" ]
+  (* split a leading/embedded `-j N` (or `--jobs N`) off the figure names *)
+  let jobs, names =
+    let rec scan jobs acc = function
+      | [] -> (jobs, List.rev acc)
+      | ("-j" | "--jobs") :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> scan (Some j) acc rest
+        | _ -> failwith "-j expects a positive domain count")
+      | name :: rest -> scan jobs (name :: acc) rest
+    in
+    scan None [] (List.tl (Array.to_list Sys.argv))
   in
-  List.iter
-    (fun name ->
-      if name = "speed" || name = "bechamel" then micro_benchmarks ()
-      else
-        match List.assoc_opt name Figures.all with
-        | Some f -> f ()
-        | None ->
-          Format.printf "unknown figure %S; available: %s speed@." name
-            (String.concat " " (List.map fst Figures.all)))
-    requested
+  let requested =
+    match names with
+    | _ :: _ -> names
+    | [] -> List.map fst Figures.all @ [ "speed" ]
+  in
+  let run_figures () =
+    List.iter
+      (fun name ->
+        if name = "speed" || name = "bechamel" then micro_benchmarks ()
+        else
+          match List.assoc_opt name Figures.all with
+          | Some f -> f ()
+          | None ->
+            Format.printf "unknown figure %S; available: %s speed@." name
+              (String.concat " " (List.map fst Figures.all)))
+      requested
+  in
+  match jobs with
+  | None -> run_figures ()
+  | Some j ->
+    Leakage_parallel.Pool.with_pool ~jobs:j (fun p ->
+        Figures.pool := Some p;
+        run_figures ())

@@ -19,6 +19,7 @@
 module Params = Leakage_device.Params
 module Netlist = Leakage_circuit.Netlist
 module Library = Leakage_core.Library
+module Estimator = Leakage_core.Estimator
 module Vector_mc = Leakage_incremental.Vector_mc
 module Suite = Leakage_benchmarks.Suite
 module Pool = Leakage_parallel.Pool
@@ -79,6 +80,10 @@ let emit oc ~samples ~seed ~host_cores rows =
   p "  \"samples\": %d,\n" samples;
   p "  \"seed\": %d,\n" seed;
   p "  \"host_cores\": %d,\n" host_cores;
+  (* the fixed chunk widths the bit-identity contract depends on: a result
+     is only comparable across builds that agree on these *)
+  p "  \"avg_chunk\": %d,\n" Estimator.avg_chunk;
+  p "  \"mc_chunk\": %d,\n" Vector_mc.mc_chunk;
   p "  \"circuits\": [\n";
   List.iteri
     (fun i r ->
@@ -177,6 +182,16 @@ let check path =
   if num_field s "samples" <= 0.0 then failwith "samples must be positive";
   let host_cores = int_of_float (num_field s "host_cores") in
   if host_cores < 1 then failwith "host_cores must be >= 1";
+  (* stale chunk constants would invalidate every bit-identity claim below *)
+  let chunk_const key expected =
+    let v = int_of_float (num_field s key) in
+    if v <> expected then
+      failwith
+        (Printf.sprintf "%S is %d but this build uses %d — regenerate" key v
+           expected)
+  in
+  chunk_const "avg_chunk" Estimator.avg_chunk;
+  chunk_const "mc_chunk" Vector_mc.mc_chunk;
   let chunks = circuit_chunks s in
   let seen =
     List.map

@@ -679,8 +679,19 @@ let incr_cmd =
              ~doc:"Mix random primary-input flips into the edit stream \
                    (default: gate resizes only).")
   in
-  let run device celsius circuit bench_file seed edits refresh flip_inputs =
+  let batch_arg =
+    Arg.(value & opt int 1
+         & info [ "batch" ] ~docv:"N"
+             ~doc:"Apply the edit stream in batches of N edits through the \
+                   grouped-batch path; cone-disjoint groups inside a batch \
+                   run on the $(b,-j) pool, with results bit-identical to \
+                   the sequential walk. 1 (the default) applies edits one \
+                   at a time.")
+  in
+  let run device celsius circuit bench_file seed edits refresh flip_inputs
+      batch jobs =
     if edits <= 0 then failwith "--edits must be positive";
+    if batch < 1 then failwith "--batch must be >= 1";
     let nl = load_circuit circuit bench_file in
     let temp = kelvin celsius in
     let lib = Library.create ~device ~temp () in
@@ -691,20 +702,38 @@ let incr_cmd =
           if flip_inputs && Rng.bool rng then Edit.random_set_input rng nl
           else Edit.random_resize rng nl)
     in
+    let slices =
+      Array.init ((edits + batch - 1) / batch) (fun i ->
+          let lo = i * batch in
+          Array.to_list
+            (Array.sub edit_stream lo (Stdlib.min edits (lo + batch) - lo)))
+    in
+    (* a pool only helps the grouped-batch path; don't spawn one otherwise *)
+    with_jobs (if batch = 1 then 1 else jobs) @@ fun pool ->
+    let apply_stream session =
+      if batch = 1 then
+        Array.map
+          (fun e ->
+            let s = Sys.time () in
+            Incremental.apply session e;
+            Sys.time () -. s)
+          edit_stream
+      else
+        Array.map
+          (fun slice ->
+            let s = Sys.time () in
+            Incremental.apply_batch ?pool session slice;
+            Sys.time () -. s)
+          slices
+    in
     (* Warm-up pass: first-touch cell characterizations land in the shared
        library cache, which both the session and the full estimator use. The
        timed passes below then compare estimation work, not SPICE solves. *)
     let warm = Incremental.create ~refresh_every:refresh lib nl pattern in
-    Array.iter (Incremental.apply warm) edit_stream;
+    ignore (apply_stream warm);
     let session = Incremental.create ~refresh_every:refresh lib nl pattern in
-    let per_edit = Array.make edits 0.0 in
     let t0 = Sys.time () in
-    Array.iteri
-      (fun i e ->
-        let s = Sys.time () in
-        Incremental.apply session e;
-        per_edit.(i) <- Sys.time () -. s)
-      edit_stream;
+    let per_step = apply_stream session in
     let incr_total = Sys.time () -. t0 in
     (* reference: full Fig-13 estimates of the same final state *)
     let nl' = Incremental.current_netlist session in
@@ -724,16 +753,30 @@ let incr_cmd =
     in
     let st = Incremental.stats session in
     let us t = t *. 1e6 in
-    let s = Stats.summarize per_edit in
-    Format.printf "%s: %d gates, %d random %s edits (refresh every %d)@."
+    let s = Stats.summarize per_step in
+    Format.printf "%s: %d gates, %d random %s edits (refresh every %d%s)@."
       (Netlist.name nl) (Netlist.gate_count nl) edits
       (if flip_inputs then "resize/input" else "resize")
-      refresh;
+      refresh
+      (if batch = 1 then ""
+       else
+         Printf.sprintf ", batches of %d on %d lane%s" batch
+           (match pool with Some p -> Pool.jobs p | None -> 1)
+           (match pool with Some p when Pool.jobs p > 1 -> "s" | _ -> ""));
     pp_components "session totals:" (Incremental.totals session);
     Format.printf "  vs fresh estimate: %.2e relative error@." rel_err;
     Format.printf
-      "  per-edit time: mean %.1f us, p50 %.1f, p95 %.1f, max %.1f us@."
+      "  %s time: mean %.1f us, p50 %.1f, p95 %.1f, max %.1f us@."
+      (if batch = 1 then "per-edit" else "per-batch")
       (us s.Stats.mean) (us s.Stats.p50) (us s.Stats.p95) (us s.Stats.max);
+    if batch > 1 then
+      Format.printf
+        "  batches: %d applied, mean %.1f cone-disjoint group%s each@."
+        st.Incremental.batches
+        (float_of_int st.Incremental.batch_groups
+         /. float_of_int (Stdlib.max 1 st.Incremental.batches))
+        (if st.Incremental.batch_groups > st.Incremental.batches then "s"
+         else "");
     Format.printf "  full estimate: %.1f us -> speedup %.1fx per edit@."
       (us full_mean)
       (full_mean /. (incr_total /. float_of_int edits));
@@ -750,9 +793,12 @@ let incr_cmd =
     (Cmd.info "incr"
        ~doc:"Apply a stream of random netlist edits through the incremental \
              re-estimation session and report per-edit timing, cone sizes, \
-             and the speedup over full re-estimation.")
+             and the speedup over full re-estimation. With $(b,--batch) the \
+             stream goes through the grouped-batch path, whose cone-disjoint \
+             edit groups run on the $(b,-j) worker pool.")
     Term.(const run $ device_arg $ temp_arg $ circuit_arg $ bench_file_arg
-          $ seed_arg $ edits_arg $ refresh_arg $ flip_arg)
+          $ seed_arg $ edits_arg $ refresh_arg $ flip_arg $ batch_arg
+          $ jobs_arg)
 
 let () =
   let doc =

@@ -65,3 +65,8 @@ val average_over_vectors :
     Vectors are processed in fixed-width chunks whose partial sums are folded
     in chunk order; the summation tree depends only on the vector count, so
     the result is bit-identical with or without [pool], at any pool size. *)
+
+val avg_chunk : int
+(** Chunk width of {!average_over_vectors}'s fixed summation tree. Part of
+    the bit-identity contract: results are only reproducible across builds
+    that agree on this constant, so benchmark artifacts record it. *)

@@ -62,6 +62,158 @@ module Worklist = struct
     end
 end
 
+module Partition = struct
+  module Netlist = Leakage_circuit.Netlist
+
+  type cone = { gates : int list; nets : int list }
+
+  (* Static over-approximation of everything one edit's propagation may read
+     or write, derived from the netlist structure alone (never from current
+     logic values — group shapes must not depend on session state, or the
+     partition itself would become order-dependent).
+
+     Attribute edits (Resize/Relib) keep the gate's logic function, so only
+     the gate's own characterization entry can change: the write set is the
+     gate, its fan-in nets (injection deltas) and, through those nets'
+     loading, the sideways neighbours (driver + fanout of each net) that get
+     re-looked-up. Logic-changing edits (Retype/Set_input) can flip values
+     through the whole structural downstream closure, and every gate in that
+     closure can change its entry, so the sideways expansion applies to each
+     closure gate.
+
+     The sideways set also covers the read set: a gate's re-lookup reads the
+     injections on its own nets, and any gate that could write one of those
+     injections is a consumer of the net — which this construction places in
+     the same cone. Two edits whose cones share no gate and no net therefore
+     touch disjoint session state, which is what makes running their groups
+     on separate domains race-free and order-insensitive. *)
+  let cone_into nl ~gate_seen ~net_seen edit =
+    let gs = Netlist.gates nl in
+    let n_gates = Array.length gs in
+    let gates = ref [] and nets = ref [] in
+    let add_gate g =
+      if not gate_seen.(g) then begin
+        gate_seen.(g) <- true;
+        gates := g :: !gates
+      end
+    in
+    let add_net m =
+      if not net_seen.(m) then begin
+        net_seen.(m) <- true;
+        nets := m :: !nets
+      end
+    in
+    let check_gate g =
+      if g < 0 || g >= n_gates then
+        invalid_arg (Printf.sprintf "Cone.Partition: unknown gate id %d" g)
+    in
+    (* downstream structural closure, recorded so sideways expansion can walk
+       it afterwards (gate_seen doubles as the visited marker) *)
+    let closure = ref [] in
+    let rec down g_id =
+      if not gate_seen.(g_id) then begin
+        add_gate g_id;
+        closure := g_id :: !closure;
+        List.iter
+          (fun (c : Netlist.gate) -> down c.Netlist.id)
+          (Netlist.fanout nl gs.(g_id).Netlist.out)
+      end
+    in
+    let sideways g_id =
+      let g = gs.(g_id) in
+      add_net g.Netlist.out;
+      Array.iter
+        (fun m ->
+          add_net m;
+          (match Netlist.driver nl m with
+           | Some d -> add_gate d.Netlist.id
+           | None -> ());
+          List.iter
+            (fun (c : Netlist.gate) -> add_gate c.Netlist.id)
+            (Netlist.fanout nl m))
+        g.Netlist.fan_in
+    in
+    (match (edit : Edit.t) with
+     | Edit.Resize (g, _) | Edit.Relib (g, _) ->
+       check_gate g;
+       add_gate g;
+       sideways g
+     | Edit.Retype (g, _) ->
+       check_gate g;
+       down g;
+       List.iter sideways !closure
+     | Edit.Set_input (m, _) ->
+       if m < 0 || m >= Netlist.net_count nl then
+         invalid_arg (Printf.sprintf "Cone.Partition: unknown net %d" m);
+       add_net m;
+       List.iter (fun (c : Netlist.gate) -> down c.Netlist.id)
+         (Netlist.fanout nl m);
+       List.iter sideways !closure);
+    { gates = List.rev !gates; nets = List.rev !nets }
+
+  let cone nl edit =
+    Netlist.warm nl;
+    let gate_seen = Array.make (Netlist.gate_count nl) false in
+    let net_seen = Array.make (Netlist.net_count nl) false in
+    cone_into nl ~gate_seen ~net_seen edit
+
+  let groups nl edits =
+    let n = Array.length edits in
+    if n = 0 then [||]
+    else begin
+      Netlist.warm nl;
+      let n_gates = Netlist.gate_count nl in
+      let n_nets = Netlist.net_count nl in
+      (* union-find over edit indices; union keeps the smaller index as the
+         root, so a component's root is its first edit in batch order *)
+      let parent = Array.init n (fun i -> i) in
+      let rec find i =
+        if parent.(i) = i then i
+        else begin
+          let r = find parent.(i) in
+          parent.(i) <- r;
+          r
+        end
+      in
+      let union a b =
+        let ra = find a and rb = find b in
+        if ra <> rb then
+          if ra < rb then parent.(rb) <- ra else parent.(ra) <- rb
+      in
+      let gate_seen = Array.make n_gates false in
+      let net_seen = Array.make n_nets false in
+      let claim_gate = Array.make n_gates (-1) in
+      let claim_net = Array.make n_nets (-1) in
+      for e = 0 to n - 1 do
+        let c = cone_into nl ~gate_seen ~net_seen edits.(e) in
+        List.iter
+          (fun g ->
+            if claim_gate.(g) >= 0 then union e claim_gate.(g);
+            claim_gate.(g) <- e;
+            gate_seen.(g) <- false)
+          c.gates;
+        List.iter
+          (fun m ->
+            if claim_net.(m) >= 0 then union e claim_net.(m);
+            claim_net.(m) <- e;
+            net_seen.(m) <- false)
+          c.nets
+      done;
+      (* bucket by root; roots ascend with their first edit, members keep
+         batch order within each group *)
+      let members = Array.make n [] in
+      for e = n - 1 downto 0 do
+        let r = find e in
+        members.(r) <- e :: members.(r)
+      done;
+      let out = ref [] in
+      for r = n - 1 downto 0 do
+        if members.(r) <> [] then out := Array.of_list members.(r) :: !out
+      done;
+      Array.of_list !out
+    end
+end
+
 module Dirty_set = struct
   type t = {
     flags : bool array;

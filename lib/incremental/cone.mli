@@ -20,6 +20,32 @@ module Worklist : sig
   val pop : t -> int option
 end
 
+module Partition : sig
+  type cone = {
+    gates : int list;  (** every gate the edit's propagation may touch *)
+    nets : int list;   (** every net whose value or injection it may touch *)
+  }
+  (** Static (structure-only) over-approximation of an edit's reach, in
+      deterministic discovery order. Attribute edits ([Resize]/[Relib])
+      reach one level — the gate, its fan-in nets, and each net's driver and
+      fanout; logic-changing edits ([Retype]/[Set_input]) reach the full
+      structural downstream closure plus that same one-level expansion
+      around every closure gate. *)
+
+  val cone : Leakage_circuit.Netlist.t -> Edit.t -> cone
+  (** Raises [Invalid_argument] on an out-of-range gate or net id. *)
+
+  val groups : Leakage_circuit.Netlist.t -> Edit.t array -> int array array
+  (** Partition a batch into groups of edit indices whose cones are
+      mutually disjoint (no shared gate, no shared net) across groups —
+      computed by union-find over cone overlap. Groups are ordered by their
+      first edit in batch order and members keep batch order, so the result
+      is a deterministic function of the netlist and the batch alone.
+      Edits in disjoint groups touch disjoint session state, which is what
+      lets {!Incremental.apply_batch} run groups on separate domains while
+      staying bit-identical to a sequential walk. *)
+end
+
 module Dirty_set : sig
   type t
   (** Deduplicating set of dense ids with O(1) insertion, cleared between

@@ -57,12 +57,12 @@ let evaluation_of assignment ~totals ~baseline =
       /. Report.total baseline *. 100.0;
   }
 
-let evaluate ~low_lib ~high_lib assignment netlist pattern =
+let evaluate ?pool ~low_lib ~high_lib assignment netlist pattern =
   if Array.length assignment <> Netlist.gate_count netlist then
     invalid_arg "Dual_vth.evaluate: assignment size mismatch";
   let session = Incremental.create low_lib netlist pattern in
   let baseline = Incremental.totals session in
-  Incremental.apply_batch session (relib_edits ~high_lib assignment);
+  Incremental.apply_batch ?pool session (relib_edits ~high_lib assignment);
   evaluation_of assignment ~totals:(Incremental.totals session) ~baseline
 
 let greedy_assignment ?candidates ?(min_gain_percent = 0.0) ~low_lib ~high_lib

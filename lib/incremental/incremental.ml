@@ -5,6 +5,7 @@ module Topo = Leakage_circuit.Topo
 module Report = Leakage_spice.Leakage_report
 module Library = Leakage_core.Library
 module Characterize = Leakage_core.Characterize
+module Pool = Leakage_parallel.Pool
 
 type stats = {
   edits : int;
@@ -14,6 +15,28 @@ type stats = {
   entry_updates : int;
   net_updates : int;
   leakage_lookups : int;
+  batches : int;
+  batch_groups : int;
+}
+
+(* Per-propagation scratch. One propagation (an edit, an undo, or one
+   cone-disjoint group of a batch) drains a worklist and accumulates its
+   totals/baseline effect as a *delta* rather than mutating the session
+   scalars in place; the session merges deltas afterwards in a fixed order.
+   That indirection is what lets apply_batch run disjoint groups on separate
+   domains and still produce bit-identical floats at any job count: each
+   group's sum only ever sees its own updates, in its own topological order,
+   and the cross-group reduction order is fixed by the partition. *)
+type scratch = {
+  s_work : Cone.Worklist.t;
+  s_nets : Cone.Dirty_set.t;
+  s_gates : Cone.Dirty_set.t;
+  mutable s_totals : Report.components;    (* delta to session totals *)
+  mutable s_baseline : Report.components;  (* delta to session baseline *)
+  mutable s_logic : int;
+  mutable s_entry : int;
+  mutable s_net : int;
+  mutable s_lookup : int;
 }
 
 type t = {
@@ -24,6 +47,7 @@ type t = {
   refresh_every : int;
   input_index : int array;             (* net -> primary-input position, -1 otherwise *)
   is_pi_net : bool array;
+  priority : int array;                (* gate id -> topological position *)
   (* current editable state *)
   kind : Gate.kind array;
   strength : float array;
@@ -32,15 +56,15 @@ type t = {
   (* cached estimate *)
   values : Logic.value array;          (* per net *)
   entries : Characterize.entry array;  (* per gate *)
+  entry_libs : Library.t array;        (* library each entry was resolved from *)
   net_injection : float array;         (* per net *)
   loaded : Report.components array;    (* per gate, loading-aware *)
   isolated : Report.components array;  (* per gate, no-loading nominal *)
   mutable totals : Report.components;
   mutable baseline : Report.components;
-  (* scheduling scratch *)
-  work : Cone.Worklist.t;
-  dirty_nets : Cone.Dirty_set.t;
-  dirty_gates : Cone.Dirty_set.t;
+  (* reusable propagation scratch; a lock-free free list so concurrent batch
+     groups each grab their own without allocating O(circuit) per batch *)
+  free : scratch list Atomic.t;
   (* undo log *)
   mutable log : Edit.t list;           (* inverse edits, most recent first *)
   mutable depth : int;
@@ -53,6 +77,8 @@ type t = {
   mutable n_entry : int;
   mutable n_net : int;
   mutable n_lookup : int;
+  mutable n_batches : int;
+  mutable n_groups : int;
 }
 
 let sub_c (a : Report.components) (b : Report.components) =
@@ -70,9 +96,50 @@ let entry_of t g_id vector =
 let vector_of t (g : Netlist.gate) =
   Array.map (fun n -> t.values.(n)) g.Netlist.fan_in
 
-(* Loading-aware lookup of one gate at the current injections; maintains the
-   running totals by subtract-old/add-new. *)
-let relookup t g_id =
+(* -------------------------------------------------------------- scratch *)
+
+let fresh_scratch t =
+  {
+    s_work = Cone.Worklist.create ~priority:t.priority;
+    s_nets = Cone.Dirty_set.create (Array.length t.net_injection);
+    s_gates = Cone.Dirty_set.create (Array.length t.gates);
+    s_totals = Report.zero;
+    s_baseline = Report.zero;
+    s_logic = 0;
+    s_entry = 0;
+    s_net = 0;
+    s_lookup = 0;
+  }
+
+let rec acquire t =
+  match Atomic.get t.free with
+  | [] -> fresh_scratch t
+  | s :: rest as cur ->
+    if Atomic.compare_and_set t.free cur rest then s else acquire t
+
+let rec release t s =
+  s.s_totals <- Report.zero;
+  s.s_baseline <- Report.zero;
+  s.s_logic <- 0;
+  s.s_entry <- 0;
+  s.s_net <- 0;
+  s.s_lookup <- 0;
+  let cur = Atomic.get t.free in
+  if not (Atomic.compare_and_set t.free cur (s :: cur)) then release t s
+
+(* Fold one propagation's effect into the session, on the session's domain.
+   Merge order across batch groups is the partition's group order, so it
+   never depends on scheduling. *)
+let merge t s =
+  t.totals <- Report.add t.totals s.s_totals;
+  t.baseline <- Report.add t.baseline s.s_baseline;
+  t.n_logic <- t.n_logic + s.s_logic;
+  t.n_entry <- t.n_entry + s.s_entry;
+  t.n_net <- t.n_net + s.s_net;
+  t.n_lookup <- t.n_lookup + s.s_lookup
+
+(* Loading-aware estimate of one gate at the current injections. *)
+let lookup_components t g_id =
   let g = t.gates.(g_id) in
   let e = t.entries.(g_id) in
   let loading_in =
@@ -85,10 +152,13 @@ let relookup t g_id =
       g.Netlist.fan_in
   in
   let loading_out = t.net_injection.(g.Netlist.out) in
-  let c = Characterize.apply e ~loading_in ~loading_out in
-  t.totals <- Report.add (sub_c t.totals t.loaded.(g_id)) c;
+  Characterize.apply e ~loading_in ~loading_out
+
+let relookup t s g_id =
+  let c = lookup_components t g_id in
+  s.s_totals <- Report.add s.s_totals (sub_c c t.loaded.(g_id));
   t.loaded.(g_id) <- c;
-  t.n_lookup <- t.n_lookup + 1
+  s.s_lookup <- s.s_lookup + 1
 
 (* Full recomputation of the cached estimate from the current editable
    state. Used at creation and periodically to squash float drift. *)
@@ -102,6 +172,7 @@ let refresh t =
       let vec = vector_of t g in
       t.values.(g.Netlist.out) <- Gate.eval_logic t.kind.(g.Netlist.id) vec;
       t.entries.(g.Netlist.id) <- entry_of t g.Netlist.id vec;
+      t.entry_libs.(g.Netlist.id) <- t.libs.(g.Netlist.id);
       t.isolated.(g.Netlist.id) <-
         t.entries.(g.Netlist.id).Characterize.nominal_isolated)
     t.order;
@@ -120,9 +191,11 @@ let refresh t =
   Array.iter
     (fun (g : Netlist.gate) ->
       let id = g.Netlist.id in
-      t.loaded.(id) <- Report.zero;
-      relookup t id;
-      t.baseline <- Report.add t.baseline t.isolated.(id))
+      let c = lookup_components t id in
+      t.loaded.(id) <- c;
+      t.totals <- Report.add t.totals c;
+      t.baseline <- Report.add t.baseline t.isolated.(id);
+      t.n_lookup <- t.n_lookup + 1)
     t.gates;
   t.n_refreshes <- t.n_refreshes + 1;
   t.since_refresh <- 0
@@ -130,19 +203,28 @@ let refresh t =
 (* Drain the worklist in topological order: refresh each popped gate's
    characterization entry (vector/kind/strength/library key), push loading
    deltas onto its input nets, and propagate logic flips downstream. Then
-   re-look-up leakage for every gate touching a dirtied net. *)
-let propagate t =
+   re-look-up leakage for every gate touching a dirtied net. Entry changes
+   are detected by comparing the stored entry's key against the session
+   state — never by physical identity, which would vary with the (per
+   domain) characterization cache answering the lookup. *)
+let propagate t s =
   let rec drain () =
-    match Cone.Worklist.pop t.work with
+    match Cone.Worklist.pop s.s_work with
     | None -> ()
     | Some g_id ->
-      t.n_logic <- t.n_logic + 1;
+      s.s_logic <- s.s_logic + 1;
       let g = t.gates.(g_id) in
       let vec = vector_of t g in
-      let e' = entry_of t g_id vec in
       let e = t.entries.(g_id) in
-      if e' != e then begin
-        t.n_entry <- t.n_entry + 1;
+      let changed =
+        t.entry_libs.(g_id) != t.libs.(g_id)
+        || t.kind.(g_id) <> e.Characterize.kind
+        || not (Float.equal t.strength.(g_id) e.Characterize.strength)
+        || vec <> e.Characterize.vector
+      in
+      if changed then begin
+        s.s_entry <- s.s_entry + 1;
+        let e' = entry_of t g_id vec in
         Array.iteri
           (fun pin net ->
             let d =
@@ -151,21 +233,22 @@ let propagate t =
             in
             if d <> 0.0 then begin
               t.net_injection.(net) <- t.net_injection.(net) +. d;
-              Cone.Dirty_set.add t.dirty_nets net
+              Cone.Dirty_set.add s.s_nets net
             end)
           g.Netlist.fan_in;
         t.entries.(g_id) <- e';
-        t.baseline <-
-          Report.add (sub_c t.baseline t.isolated.(g_id))
+        t.entry_libs.(g_id) <- t.libs.(g_id);
+        s.s_baseline <-
+          Report.add (sub_c s.s_baseline t.isolated.(g_id))
             e'.Characterize.nominal_isolated;
         t.isolated.(g_id) <- e'.Characterize.nominal_isolated;
-        Cone.Dirty_set.add t.dirty_gates g_id
+        Cone.Dirty_set.add s.s_gates g_id
       end;
       let out' = Gate.eval_logic t.kind.(g_id) vec in
       if out' <> t.values.(g.Netlist.out) then begin
         t.values.(g.Netlist.out) <- out';
         List.iter
-          (fun (c : Netlist.gate) -> Cone.Worklist.push t.work c.Netlist.id)
+          (fun (c : Netlist.gate) -> Cone.Worklist.push s.s_work c.Netlist.id)
           (Netlist.fanout t.netlist g.Netlist.out)
       end;
       drain ()
@@ -173,41 +256,36 @@ let propagate t =
   drain ();
   Cone.Dirty_set.iter
     (fun net ->
-      t.n_net <- t.n_net + 1;
+      s.s_net <- s.s_net + 1;
       (match Netlist.driver t.netlist net with
-       | Some d -> Cone.Dirty_set.add t.dirty_gates d.Netlist.id
+       | Some d -> Cone.Dirty_set.add s.s_gates d.Netlist.id
        | None -> ());
       List.iter
-        (fun (c : Netlist.gate) -> Cone.Dirty_set.add t.dirty_gates c.Netlist.id)
+        (fun (c : Netlist.gate) -> Cone.Dirty_set.add s.s_gates c.Netlist.id)
         (Netlist.fanout t.netlist net))
-    t.dirty_nets;
-  Cone.Dirty_set.iter (fun g_id -> relookup t g_id) t.dirty_gates;
-  Cone.Dirty_set.clear t.dirty_nets;
-  Cone.Dirty_set.clear t.dirty_gates
+    s.s_nets;
+  Cone.Dirty_set.iter (fun g_id -> relookup t s g_id) s.s_gates;
+  Cone.Dirty_set.clear s.s_nets;
+  Cone.Dirty_set.clear s.s_gates
 
 let floats_match a b = Float.equal a b
 
-(* Record the inverse, mutate the editable state, and seed the worklist.
-   Propagation happens once per apply/apply_batch. *)
-let stage t edit =
-  match (edit : Edit.t) with
+(* Pure validity checks, shared by [stage] and [apply_batch]'s pre-pass
+   (a batch validates every edit before staging any, so a malformed edit
+   raises before the session is touched). None of them read float state
+   mutated by propagation, so validating up front is equivalent to
+   validating edit by edit. *)
+let validate t (edit : Edit.t) =
+  match edit with
   | Edit.Resize (g, s) ->
     check_gate t g;
-    if s <= 0.0 then invalid_arg "Incremental: Resize strength must be positive";
-    let inverse = Edit.Resize (g, t.strength.(g)) in
-    t.strength.(g) <- s;
-    Cone.Worklist.push t.work g;
-    inverse
+    if s <= 0.0 then invalid_arg "Incremental: Resize strength must be positive"
   | Edit.Retype (g, k) ->
     check_gate t g;
     if Gate.arity k <> Array.length t.gates.(g).Netlist.fan_in then
       invalid_arg
         (Printf.sprintf "Incremental: Retype g%d to %s changes arity" g
-           (Gate.name k));
-    let inverse = Edit.Retype (g, t.kind.(g)) in
-    t.kind.(g) <- k;
-    Cone.Worklist.push t.work g;
-    inverse
+           (Gate.name k))
   | Edit.Relib (g, l) ->
     check_gate t g;
     if
@@ -217,15 +295,33 @@ let stage t edit =
     then
       invalid_arg
         "Incremental: Relib library must share temperature and supply with \
-         the session";
-    let inverse = Edit.Relib (g, t.libs.(g)) in
-    t.libs.(g) <- l;
-    Cone.Worklist.push t.work g;
-    inverse
-  | Edit.Set_input (n, b) ->
+         the session"
+  | Edit.Set_input (n, _) ->
     if n < 0 || n >= Array.length t.input_index || t.input_index.(n) < 0 then
       invalid_arg
-        (Printf.sprintf "Incremental: Set_input on non-input net %d" n);
+        (Printf.sprintf "Incremental: Set_input on non-input net %d" n)
+
+(* Record the inverse, mutate the editable state, and seed the worklist.
+   Propagation happens once per apply / once per batch group. *)
+let stage t ~work edit =
+  validate t edit;
+  match (edit : Edit.t) with
+  | Edit.Resize (g, s) ->
+    let inverse = Edit.Resize (g, t.strength.(g)) in
+    t.strength.(g) <- s;
+    Cone.Worklist.push work g;
+    inverse
+  | Edit.Retype (g, k) ->
+    let inverse = Edit.Retype (g, t.kind.(g)) in
+    t.kind.(g) <- k;
+    Cone.Worklist.push work g;
+    inverse
+  | Edit.Relib (g, l) ->
+    let inverse = Edit.Relib (g, t.libs.(g)) in
+    t.libs.(g) <- l;
+    Cone.Worklist.push work g;
+    inverse
+  | Edit.Set_input (n, b) ->
     let old = Logic.to_bool t.values.(n) in
     let inverse = Edit.Set_input (n, old) in
     if old <> b then begin
@@ -233,7 +329,7 @@ let stage t edit =
       t.values.(n) <- v;
       t.pattern.(t.input_index.(n)) <- v;
       List.iter
-        (fun (c : Netlist.gate) -> Cone.Worklist.push t.work c.Netlist.id)
+        (fun (c : Netlist.gate) -> Cone.Worklist.push work c.Netlist.id)
         (Netlist.fanout t.netlist n)
     end;
     inverse
@@ -246,24 +342,59 @@ let log_inverse t inverse =
   t.depth <- t.depth + 1
 
 let apply t edit =
-  let inverse = stage t edit in
-  propagate t;
+  let s = acquire t in
+  let inverse = stage t ~work:s.s_work edit in
+  propagate t s;
+  merge t s;
+  release t s;
   log_inverse t inverse;
   t.n_edits <- t.n_edits + 1;
   t.since_refresh <- t.since_refresh + 1;
   maybe_refresh t
 
-let apply_batch t edits =
-  let inverses = List.map (stage t) edits in
-  propagate t;
-  (* logged left to right, so the most recent edit's inverse pops first *)
-  List.iter (log_inverse t) inverses;
-  let n = List.length edits in
-  t.n_edits <- t.n_edits + n;
-  t.since_refresh <- t.since_refresh + n;
-  maybe_refresh t
+(* placeholder for the inverse slots; every slot is overwritten because the
+   groups partition the batch indices *)
+let dummy_inverse = Edit.Set_input (0, false)
 
-let set_vector t v =
+let apply_batch ?pool t edits =
+  match edits with
+  | [] -> ()
+  | [ edit ] -> apply t edit
+  | _ ->
+    List.iter (validate t) edits;
+    let arr = Array.of_list edits in
+    let n = Array.length arr in
+    let groups = Cone.Partition.groups t.netlist arr in
+    let inverses = Array.make n dummy_inverse in
+    (* Each group stages and propagates only within its own cone, so groups
+       touch disjoint slices of the per-net/per-gate arrays and can run on
+       separate domains. Scalar effects are accumulated per group and merged
+       below in group order, which fixes the floating-point reduction order
+       regardless of the pool (or its absence): the sequential walk runs the
+       exact same grouped schedule. *)
+    let scratches =
+      Pool.map ?pool (Array.length groups) (fun gi ->
+          let s = acquire t in
+          Array.iter
+            (fun ei -> inverses.(ei) <- stage t ~work:s.s_work arr.(ei))
+            groups.(gi);
+          propagate t s;
+          s)
+    in
+    Array.iter
+      (fun s ->
+        merge t s;
+        release t s)
+      scratches;
+    (* logged left to right, so the most recent edit's inverse pops first *)
+    Array.iter (fun inverse -> log_inverse t inverse) inverses;
+    t.n_batches <- t.n_batches + 1;
+    t.n_groups <- t.n_groups + Array.length groups;
+    t.n_edits <- t.n_edits + n;
+    t.since_refresh <- t.since_refresh + n;
+    maybe_refresh t
+
+let set_vector ?pool t v =
   let inputs = Netlist.inputs t.netlist in
   if Array.length v <> Array.length inputs then
     invalid_arg
@@ -275,7 +406,7 @@ let set_vector t v =
       if t.pattern.(i) <> v.(i) then
         edits := Edit.Set_input (n, Logic.to_bool v.(i)) :: !edits)
     inputs;
-  apply_batch t !edits
+  apply_batch ?pool t !edits
 
 let undo t =
   match t.log with
@@ -283,8 +414,11 @@ let undo t =
   | inverse :: rest ->
     t.log <- rest;
     t.depth <- t.depth - 1;
-    ignore (stage t inverse);
-    propagate t;
+    let s = acquire t in
+    ignore (stage t ~work:s.s_work inverse);
+    propagate t s;
+    merge t s;
+    release t s;
     t.n_undos <- t.n_undos + 1;
     (* undos accumulate the same float drift as edits *)
     t.since_refresh <- t.since_refresh + 1;
@@ -337,6 +471,8 @@ let stats t =
     entry_updates = t.n_entry;
     net_updates = t.n_net;
     leakage_lookups = t.n_lookup;
+    batches = t.n_batches;
+    batch_groups = t.n_groups;
   }
 
 let create ?(refresh_every = 64) ?library_of_gate base netlist pattern =
@@ -347,6 +483,9 @@ let create ?(refresh_every = 64) ?library_of_gate base netlist pattern =
     invalid_arg
       (Printf.sprintf "Incremental.create: %d inputs expected, pattern has %d"
          (Array.length inputs) (Array.length pattern));
+  (* force the lazy driver/fanout caches now: propagation may run on worker
+     domains, which must only ever read them *)
+  Netlist.warm netlist;
   let gates = Netlist.gates netlist in
   let n_gates = Array.length gates in
   let n_nets = Netlist.net_count netlist in
@@ -384,20 +523,20 @@ let create ?(refresh_every = 64) ?library_of_gate base netlist pattern =
       refresh_every;
       input_index;
       is_pi_net;
+      priority;
       kind = Array.map (fun (g : Netlist.gate) -> g.Netlist.kind) gates;
       strength = Array.map (fun (g : Netlist.gate) -> g.Netlist.strength) gates;
       libs;
       pattern = Array.copy pattern;
       values;
       entries;
+      entry_libs = Array.copy libs;
       net_injection = Array.make n_nets 0.0;
       loaded = Array.make n_gates Report.zero;
       isolated = Array.make n_gates Report.zero;
       totals = Report.zero;
       baseline = Report.zero;
-      work = Cone.Worklist.create ~priority;
-      dirty_nets = Cone.Dirty_set.create n_nets;
-      dirty_gates = Cone.Dirty_set.create n_gates;
+      free = Atomic.make [];
       log = [];
       depth = 0;
       since_refresh = 0;
@@ -408,6 +547,8 @@ let create ?(refresh_every = 64) ?library_of_gate base netlist pattern =
       n_entry = 0;
       n_net = 0;
       n_lookup = 0;
+      n_batches = 0;
+      n_groups = 0;
     }
   in
   refresh t;

@@ -38,9 +38,12 @@ type stats = {
   entry_updates : int;    (** gates whose characterization entry changed *)
   net_updates : int;      (** nets whose loading injection changed *)
   leakage_lookups : int;  (** per-gate leakage table re-lookups *)
+  batches : int;          (** multi-edit {!apply_batch} calls *)
+  batch_groups : int;     (** cone-disjoint groups across those batches *)
 }
-(** Work counters — [logic_evals / edits] is the mean logic-cone size and
-    [leakage_lookups / edits] the mean loading-cone size. *)
+(** Work counters — [logic_evals / edits] is the mean logic-cone size,
+    [leakage_lookups / edits] the mean loading-cone size, and
+    [batch_groups / batches] the mean parallelism a batch exposes. *)
 
 val create :
   ?refresh_every:int ->
@@ -64,16 +67,22 @@ val apply : t -> Edit.t -> unit
     retype, library at a different corner, [Set_input] on a non-input
     net). *)
 
-val apply_batch : t -> Edit.t list -> unit
-(** Apply several edits with a single cone propagation — cheaper than
-    sequential {!apply} when edits overlap (e.g. flipping many input bits at
-    once). Equivalent to applying them left to right; each edit is logged
-    individually, so {!undo} reverts them one at a time in reverse order. *)
+val apply_batch : ?pool:Leakage_parallel.Pool.t -> t -> Edit.t list -> unit
+(** Apply several edits with one cone propagation per cone-disjoint group
+    (see {!Cone.Partition.groups}) — cheaper than sequential {!apply} when
+    edits overlap (e.g. flipping many input bits at once), and with [?pool]
+    the disjoint groups run on separate domains. The grouped schedule is a
+    function of the netlist and the batch alone and the cross-group merge
+    order is fixed, so the result is bit-identical at any job count
+    (including no pool at all) and equivalent to applying the edits left to
+    right up to float reassociation. The whole batch is validated before any
+    edit is staged; each edit is still logged individually, so {!undo}
+    reverts them one at a time in reverse order. *)
 
-val set_vector : t -> Leakage_circuit.Logic.vector -> unit
+val set_vector : ?pool:Leakage_parallel.Pool.t -> t -> Leakage_circuit.Logic.vector -> unit
 (** Batched [Set_input] edits moving the session to a new primary-input
     vector (only differing bits are touched — consecutive random vectors
-    re-estimate in O(changed cones)). *)
+    re-estimate in O(changed cones)). [?pool] as in {!apply_batch}. *)
 
 val undo : t -> unit
 (** Revert the most recent logged edit. Raises [Invalid_argument] on an

@@ -7,7 +7,11 @@
     whether loading changes the answer. Every search runs on one
     {!Incremental} session: consecutive candidate vectors differ in a few
     bits, so each evaluation costs only the changed input cones instead of a
-    full estimate. *)
+    full estimate.
+
+    Every search takes an optional [?pool]: candidate moves go through
+    {!Incremental.set_vector}, whose cone-disjoint bit groups then run on
+    separate domains. Results are bit-identical with and without a pool. *)
 
 type search_result = {
   vector : Leakage_circuit.Logic.vector;
@@ -15,6 +19,7 @@ type search_result = {
 }
 
 val exhaustive :
+  ?pool:Leakage_parallel.Pool.t ->
   ?use_loading:bool ->
   Leakage_core.Library.t -> Leakage_circuit.Netlist.t ->
   search_result
@@ -23,6 +28,7 @@ val exhaustive :
     true. *)
 
 val random_search :
+  ?pool:Leakage_parallel.Pool.t ->
   ?use_loading:bool ->
   rng:Leakage_numeric.Rng.t ->
   samples:int ->
@@ -31,6 +37,7 @@ val random_search :
 (** Best of [samples] uniform random vectors. *)
 
 val greedy_descent :
+  ?pool:Leakage_parallel.Pool.t ->
   ?use_loading:bool ->
   ?max_rounds:int ->
   Leakage_core.Library.t -> Leakage_circuit.Netlist.t ->
@@ -52,6 +59,7 @@ type comparison = {
 }
 
 val compare_objectives :
+  ?pool:Leakage_parallel.Pool.t ->
   ?samples:int ->
   ?seed:int ->
   Leakage_core.Library.t -> Leakage_circuit.Netlist.t ->

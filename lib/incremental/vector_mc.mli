@@ -51,3 +51,8 @@ val over_vectors :
     vector set — the session-backed counterpart of
     {!Leakage_core.Estimator.average_over_vectors} for workloads that visit
     similar vectors. Raises [Invalid_argument] on an empty list. *)
+
+val mc_chunk : int
+(** Fixed chunk width of the resampling sweep (vectors per session). Part of
+    the bit-identity contract: results are only reproducible across builds
+    that agree on this constant, so benchmark artifacts record it. *)

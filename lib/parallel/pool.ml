@@ -138,7 +138,8 @@ let run ?pool n body =
     | None -> run_seq n body
     | Some t ->
         let inline =
-          t.n_lanes = 1
+          (* single-element regions gain nothing from waking workers *)
+          n = 1 || t.n_lanes = 1
           ||
           (Mutex.lock t.mutex;
            let taken = t.busy || t.stop in

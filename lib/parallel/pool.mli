@@ -46,9 +46,10 @@ val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 val run : ?pool:t -> int -> (int -> unit) -> unit
 (** [run ?pool n body] evaluates [body i] once for every [i] in [\[0, n)],
     in parallel across the pool's lanes ([?pool] omitted: sequentially, in
-    index order). Returns when all items are done. If any item raises, the
-    exception of the lowest-indexed failing item is re-raised after the
-    region drains. *)
+    index order). Single-item regions ([n = 1]) run inline on the calling
+    domain without waking workers. Returns when all items are done. If any
+    item raises, the exception of the lowest-indexed failing item is
+    re-raised after the region drains. *)
 
 val map : ?pool:t -> int -> (int -> 'a) -> 'a array
 (** [map ?pool n f] is [| f 0; f 1; ...; f (n-1) |] with the same execution

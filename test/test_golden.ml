@@ -1,0 +1,195 @@
+(* Golden regression corpus: expected per-circuit totals for the paper's
+   benchmark suite, checked in as test/golden_suite.json and diffed against
+   a live [Suite.estimate_all] run with per-component tolerances.
+
+   The fixture pins the whole observable estimate — subthreshold, gate and
+   BTBT components of both the loading-aware and the baseline totals plus
+   the loading shift — so any change to device models, characterization,
+   table interpolation or the estimator sum order shows up as a diff here
+   even when the relative shift happens to stay put.
+
+   Regenerate (after an intentional model change) with:
+     LEAKAGE_GOLDEN_WRITE=test/golden_suite.json dune exec test/test_golden.exe *)
+
+module Params = Leakage_device.Params
+module Characterize = Leakage_core.Characterize
+module Library = Leakage_core.Library
+module Report = Leakage_spice.Leakage_report
+module Suite = Leakage_benchmarks.Suite
+
+let device = Params.d25
+let temp = 300.0
+let coarse_grid = { Characterize.max_current = 3.0e-6; points = 5 }
+let lib = Library.create ~grid:coarse_grid ~device ~temp ()
+let vectors = 2
+let seed = 7
+let fixture = "golden_suite.json"
+
+(* components can legitimately sit many orders of magnitude apart, so each
+   is compared relatively; an exactly-zero golden value demands (near) zero *)
+let tol = 1e-6
+
+let rel a b = if b = 0.0 then Float.abs a else Float.abs (a -. b) /. Float.abs b
+
+let runs = lazy (Suite.estimate_all ~vectors ~seed lib)
+
+(* ------------------------------------------------------------- JSON emit *)
+
+let emit oc (rows : Suite.run array) =
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"fixture\": \"golden-suite\",\n";
+  p "  \"vectors\": %d,\n" vectors;
+  p "  \"seed\": %d,\n" seed;
+  p "  \"grid_points\": %d,\n" coarse_grid.Characterize.points;
+  p "  \"grid_max_current\": %.17g,\n" coarse_grid.Characterize.max_current;
+  p "  \"circuits\": [\n";
+  let n = Array.length rows in
+  Array.iteri
+    (fun i (r : Suite.run) ->
+      p "    {\n";
+      p "      \"label\": \"%s\",\n" r.Suite.label;
+      p "      \"gates\": %d,\n" r.Suite.gates;
+      p "      \"loaded_isub\": %.17g,\n" r.Suite.loaded.Report.isub;
+      p "      \"loaded_igate\": %.17g,\n" r.Suite.loaded.Report.igate;
+      p "      \"loaded_ibtbt\": %.17g,\n" r.Suite.loaded.Report.ibtbt;
+      p "      \"base_isub\": %.17g,\n" r.Suite.baseline.Report.isub;
+      p "      \"base_igate\": %.17g,\n" r.Suite.baseline.Report.igate;
+      p "      \"base_ibtbt\": %.17g,\n" r.Suite.baseline.Report.ibtbt;
+      p "      \"shift_percent\": %.17g\n" r.Suite.shift_percent;
+      p "    }%s\n" (if i = n - 1 then "" else ","))
+    rows;
+  p "  ]\n";
+  p "}\n"
+
+(* ------------------------------------------------------ minimal JSON read *)
+
+let find_key chunk key =
+  let needle = "\"" ^ key ^ "\":" in
+  let nl = String.length needle and cl = String.length chunk in
+  let rec scan i =
+    if i + nl > cl then None
+    else if String.sub chunk i nl = needle then Some (i + nl)
+    else scan (i + 1)
+  in
+  scan 0
+
+let scalar_after chunk pos =
+  let cl = String.length chunk in
+  let rec skip i = if i < cl && chunk.[i] = ' ' then skip (i + 1) else i in
+  let start = skip pos in
+  let rec stop i =
+    if i >= cl then i
+    else match chunk.[i] with ',' | '}' | ']' | '\n' -> i | _ -> stop (i + 1)
+  in
+  String.trim (String.sub chunk start (stop start - start))
+
+let num_field chunk key =
+  match find_key chunk key with
+  | None -> failwith (Printf.sprintf "missing numeric field %S" key)
+  | Some pos -> (
+    match float_of_string_opt (scalar_after chunk pos) with
+    | Some f -> f
+    | None -> failwith (Printf.sprintf "field %S is not a number" key))
+
+let str_field chunk key =
+  match find_key chunk key with
+  | None -> failwith (Printf.sprintf "missing string field %S" key)
+  | Some pos ->
+    let s = scalar_after chunk pos in
+    if String.length s >= 2 && s.[0] = '"' && s.[String.length s - 1] = '"'
+    then String.sub s 1 (String.length s - 2)
+    else failwith (Printf.sprintf "field %S is not a string" key)
+
+let circuit_chunks s =
+  match find_key s "circuits" with
+  | None -> failwith "missing \"circuits\" array"
+  | Some pos ->
+    let cl = String.length s in
+    let chunks = ref [] in
+    let depth = ref 0 and start = ref (-1) and i = ref pos in
+    while !i < cl do
+      (match s.[!i] with
+       | '{' ->
+         if !depth = 0 then start := !i;
+         incr depth
+       | '}' ->
+         decr depth;
+         if !depth = 0 && !start >= 0 then
+           chunks := String.sub s !start (!i - !start + 1) :: !chunks
+       | _ -> ());
+      incr i
+    done;
+    List.rev !chunks
+
+(* ----------------------------------------------------------------- tests *)
+
+let read_fixture () =
+  let ic = open_in fixture in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let check_close label what golden actual =
+  if rel actual golden > tol then
+    Alcotest.failf "%s: %s drifted from golden: %.17g vs %.17g (rel %.3e)"
+      label what golden actual golden
+
+let test_fixture_settings () =
+  let s = read_fixture () in
+  Alcotest.(check string) "fixture kind" "golden-suite" (str_field s "fixture");
+  Alcotest.(check int) "vectors" vectors (int_of_float (num_field s "vectors"));
+  Alcotest.(check int) "seed" seed (int_of_float (num_field s "seed"));
+  Alcotest.(check int) "grid points" coarse_grid.Characterize.points
+    (int_of_float (num_field s "grid_points"));
+  Alcotest.(check (float 0.0)) "grid max current"
+    coarse_grid.Characterize.max_current
+    (num_field s "grid_max_current")
+
+let test_suite_matches_golden () =
+  let chunks = circuit_chunks (read_fixture ()) in
+  let rows = Lazy.force runs in
+  Alcotest.(check int) "circuit count" (List.length Suite.names)
+    (List.length chunks);
+  Alcotest.(check int) "one run per fixture entry" (List.length chunks)
+    (Array.length rows);
+  List.iteri
+    (fun i chunk ->
+      let r = rows.(i) in
+      let label = str_field chunk "label" in
+      Alcotest.(check string) "label order" label r.Suite.label;
+      Alcotest.(check int) (label ^ " gate count")
+        (int_of_float (num_field chunk "gates")) r.Suite.gates;
+      check_close label "loaded isub" (num_field chunk "loaded_isub")
+        r.Suite.loaded.Report.isub;
+      check_close label "loaded igate" (num_field chunk "loaded_igate")
+        r.Suite.loaded.Report.igate;
+      check_close label "loaded ibtbt" (num_field chunk "loaded_ibtbt")
+        r.Suite.loaded.Report.ibtbt;
+      check_close label "baseline isub" (num_field chunk "base_isub")
+        r.Suite.baseline.Report.isub;
+      check_close label "baseline igate" (num_field chunk "base_igate")
+        r.Suite.baseline.Report.igate;
+      check_close label "baseline ibtbt" (num_field chunk "base_ibtbt")
+        r.Suite.baseline.Report.ibtbt;
+      check_close label "shift percent" (num_field chunk "shift_percent")
+        r.Suite.shift_percent)
+    chunks
+
+let () =
+  match Sys.getenv_opt "LEAKAGE_GOLDEN_WRITE" with
+  | Some path ->
+    let oc = open_out path in
+    emit oc (Lazy.force runs);
+    close_out oc;
+    Printf.printf "wrote %s (%d circuits)\n" path (Array.length (Lazy.force runs))
+  | None ->
+    Alcotest.run "golden"
+      [
+        ( "suite",
+          [
+            Alcotest.test_case "fixture settings" `Quick test_fixture_settings;
+            Alcotest.test_case "totals match golden corpus" `Quick
+              test_suite_matches_golden;
+          ] );
+      ]

@@ -294,6 +294,26 @@ let test_vector_mc_resample () =
     (Invalid_argument "Vector_mc.resample: samples must be positive")
     (fun () -> ignore (Vector_mc.resample ~samples:0 lib nl))
 
+(* ------------------------------------------------------- differential *)
+
+(* The shared replay harness cross-checks sequential apply_batch, pooled
+   apply_batch at jobs ∈ {1,2,4,8}, a per-edit walk and the from-scratch
+   estimator on this file's reference circuits. *)
+let test_differential_replay () =
+  let nl = adder_circuit 2 in
+  let rng = Rng.create 5 in
+  let pattern = Logic.vector_of_string "01101" in
+  let batches =
+    [ Diff_harness.random_batch rng nl 8; Diff_harness.random_batch rng nl 3 ]
+  in
+  Alcotest.(check bool) "replay on the ripple adder" true
+    (Diff_harness.check ~name:"adder" nl pattern batches);
+  let small = small_circuit () in
+  Alcotest.(check bool) "replay on the small circuit" true
+    (Diff_harness.check ~name:"small" small
+       (Logic.vector_of_string "01")
+       [ Diff_harness.random_batch rng small 6 ])
+
 (* ------------------------------------------------------------ properties *)
 
 let circuit_pool =
@@ -382,6 +402,10 @@ let () =
           Alcotest.test_case "vector MC vs estimator" `Quick
             test_vector_mc_matches_estimator;
           Alcotest.test_case "vector MC resample" `Quick test_vector_mc_resample;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "replay harness" `Quick test_differential_replay;
         ] );
       ("properties", prop_tests);
     ]
