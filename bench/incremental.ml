@@ -30,6 +30,7 @@ module Vector_mc = Leakage_incremental.Vector_mc
 module Suite = Leakage_benchmarks.Suite
 module Rng = Leakage_numeric.Rng
 module Pool = Leakage_parallel.Pool
+module Telemetry = Leakage_telemetry.Telemetry
 
 let circuits = [ "mult88"; "alu88" ]
 let batch_circuit = "mult88"
@@ -159,6 +160,23 @@ let run_batches ~batch_edits ~seed ~max_domains =
 
 (* ------------------------------------------------------------- JSON emit *)
 
+(* Counters the run is expected to have exercised; -check asserts on them. *)
+let metric_names =
+  [ "incr.edits"; "incr.batches"; "incr.refreshes"; "library.misses";
+    "dc.solves" ]
+
+let emit_metrics oc =
+  let p fmt = Printf.fprintf oc fmt in
+  let snap = Telemetry.Snapshot.take () in
+  p "  \"metrics\": {\n";
+  List.iteri
+    (fun i name ->
+      p "    \"%s\": %d%s\n" name
+        (Telemetry.Snapshot.counter_total snap name)
+        (if i = List.length metric_names - 1 then "" else ","))
+    metric_names;
+  p "  }\n"
+
 let emit oc ~edits ~seed ~batch_edits ~host_cores rows batch_rows =
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -199,7 +217,8 @@ let emit oc ~edits ~seed ~batch_edits ~host_cores rows batch_rows =
       p "      \"bit_identical\": %b\n" b.b_identical;
       p "    }%s\n" (if i = List.length batch_rows - 1 then "" else ","))
     batch_rows;
-  p "  ]\n";
+  p "  ],\n";
+  emit_metrics oc;
   p "}\n"
 
 (* ------------------------------------------------------ minimal JSON read *)
@@ -369,6 +388,16 @@ let check path =
              "%s: speedup %.3f < 1.5 at 4 domains on a %d-core host" tag
              speedup host_cores))
     batch_chunks;
+  (* the embedded telemetry summary: every expected counter present, and
+     the edit / batch paths actually fired during the run *)
+  let metric key = int_of_float (num_field s key) in
+  List.iter (fun name -> ignore (metric name)) metric_names;
+  if metric "incr.edits" < 1 then
+    failwith "metrics: \"incr.edits\" must be >= 1 (edits recorded)";
+  if metric "incr.batches" < 1 then
+    failwith "metrics: \"incr.batches\" must be >= 1 (batch path recorded)";
+  if metric "dc.solves" < 1 then
+    failwith "metrics: \"dc.solves\" must be >= 1 (characterization ran)";
   Printf.printf "%s OK (%d circuits, %d batch rows)\n" path (List.length seen)
     (List.length batch_chunks)
 
@@ -400,6 +429,9 @@ let () =
       exit 1
   else begin
     let host_cores = Domain.recommended_domain_count () in
+    (* metrics ride along in the artifact; recording never changes results
+       (the bit_identical batch rows double as proof) *)
+    Telemetry.set_enabled true;
     let rows = List.map (run_circuit ~edits:!edits ~seed:!seed) circuits in
     let batch_rows =
       run_batches ~batch_edits:!batch_edits ~seed:!seed

@@ -23,6 +23,7 @@ module Estimator = Leakage_core.Estimator
 module Vector_mc = Leakage_incremental.Vector_mc
 module Suite = Leakage_benchmarks.Suite
 module Pool = Leakage_parallel.Pool
+module Telemetry = Leakage_telemetry.Telemetry
 
 let circuits = [ "alu88"; "mult88" ]
 let pool_sizes = [ 2; 4; 8 ]
@@ -73,6 +74,23 @@ let run_circuit ~samples ~seed ~max_domains name =
 
 (* ------------------------------------------------------------- JSON emit *)
 
+(* Counters the run is expected to have exercised; -check asserts on them. *)
+let metric_names =
+  [ "pool.regions"; "pool.items"; "library.hits"; "library.misses";
+    "dc.solves" ]
+
+let emit_metrics oc =
+  let p fmt = Printf.fprintf oc fmt in
+  let snap = Telemetry.Snapshot.take () in
+  p "  \"metrics\": {\n";
+  List.iteri
+    (fun i name ->
+      p "    \"%s\": %d%s\n" name
+        (Telemetry.Snapshot.counter_total snap name)
+        (if i = List.length metric_names - 1 then "" else ","))
+    metric_names;
+  p "  }\n"
+
 let emit oc ~samples ~seed ~host_cores rows =
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -96,7 +114,8 @@ let emit oc ~samples ~seed ~host_cores rows =
       p "      \"bit_identical\": %b\n" r.bit_identical;
       p "    }%s\n" (if i = List.length rows - 1 then "" else ","))
     rows;
-  p "  ]\n";
+  p "  ],\n";
+  emit_metrics oc;
   p "}\n"
 
 (* ------------------------------------------------------ minimal JSON read *)
@@ -150,7 +169,8 @@ let bool_field chunk key =
     | "false" -> false
     | other -> failwith (Printf.sprintf "field %S is not a boolean: %s" key other))
 
-(* split the circuits array into one chunk per "{ ... }" object *)
+(* split the circuits array into one chunk per "{ ... }" object, stopping
+   at the array's closing bracket (the metrics block follows it) *)
 let circuit_chunks s =
   match find_key s "circuits" with
   | None -> failwith "missing \"circuits\" array"
@@ -158,7 +178,8 @@ let circuit_chunks s =
     let cl = String.length s in
     let chunks = ref [] in
     let depth = ref 0 and start = ref (-1) and i = ref pos in
-    while !i < cl do
+    let stop = ref false in
+    while (not !stop) && !i < cl do
       (match s.[!i] with
        | '{' ->
          if !depth = 0 then start := !i;
@@ -167,6 +188,7 @@ let circuit_chunks s =
          decr depth;
          if !depth = 0 && !start >= 0 then
            chunks := String.sub s !start (!i - !start + 1) :: !chunks
+       | ']' -> if !depth = 0 then stop := true
        | _ -> ());
       incr i
     done;
@@ -222,6 +244,16 @@ let check path =
       if not (List.mem c seen) then
         failwith (Printf.sprintf "circuit %S missing from results" c))
     circuits;
+  (* the embedded telemetry summary: every expected counter present, and
+     the pool / characterization paths actually fired during the run *)
+  let metric key = int_of_float (num_field s key) in
+  List.iter (fun name -> ignore (metric name)) metric_names;
+  if metric "pool.regions" < 1 then
+    failwith "metrics: \"pool.regions\" must be >= 1 (pooled runs recorded)";
+  if metric "pool.items" < 1 then
+    failwith "metrics: \"pool.items\" must be >= 1";
+  if metric "dc.solves" < 1 then
+    failwith "metrics: \"dc.solves\" must be >= 1 (characterization ran)";
   Printf.printf "%s OK (%d rows)\n" path (List.length seen)
 
 let () =
@@ -249,6 +281,9 @@ let () =
       exit 1
   else begin
     let host_cores = Domain.recommended_domain_count () in
+    (* metrics ride along in the artifact; recording never changes results
+       (the bit_identical rows double as proof) *)
+    Telemetry.set_enabled true;
     let rows =
       List.concat_map
         (run_circuit ~samples:!samples ~seed:!seed ~max_domains:!max_domains)

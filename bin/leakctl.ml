@@ -29,6 +29,8 @@ module Verilog = Leakage_circuit.Verilog
 module Rng = Leakage_numeric.Rng
 module Stats = Leakage_numeric.Stats
 module Pool = Leakage_parallel.Pool
+module Telemetry = Leakage_telemetry.Telemetry
+module Trace = Leakage_telemetry.Trace
 
 let na = Physics.amps_to_nanoamps
 
@@ -800,15 +802,104 @@ let incr_cmd =
           $ seed_arg $ edits_arg $ refresh_arg $ flip_arg $ batch_arg
           $ jobs_arg)
 
+(* ------------------------------------------------------------ telemetry *)
+
+type telemetry_opts = {
+  trace_path : string option;
+  metrics_text : bool;
+  metrics_json : string option;
+}
+
+(* --trace / --metrics / --metrics-json apply to every subcommand, but a
+   cmdliner group only parses options after the subcommand name. Pull them
+   out of argv (any position, --opt VALUE or --opt=VALUE) and hand cmdliner
+   the rest, so `leakctl --trace out.json suite` and
+   `leakctl suite --trace out.json` both work. *)
+let extract_telemetry_args argv =
+  let trace = ref (Sys.getenv_opt "LEAKCTL_TRACE") in
+  let metrics = ref false in
+  let metrics_json = ref None in
+  let rest = ref [] in
+  let n = Array.length argv in
+  let i = ref 0 in
+  while !i < n do
+    let arg = argv.(!i) in
+    let key, inline =
+      match String.index_opt arg '=' with
+      | Some j ->
+        ( String.sub arg 0 j,
+          Some (String.sub arg (j + 1) (String.length arg - j - 1)) )
+      | None -> (arg, None)
+    in
+    let value_of () =
+      match inline with
+      | Some v -> v
+      | None ->
+        if !i + 1 >= n then failwith (key ^ " needs a FILE argument");
+        incr i;
+        argv.(!i)
+    in
+    (match key with
+     | "--trace" -> trace := Some (value_of ())
+     | "--metrics" -> metrics := true
+     | "--metrics-json" -> metrics_json := Some (value_of ())
+     | _ -> rest := arg :: !rest);
+    incr i
+  done;
+  ( { trace_path = !trace; metrics_text = !metrics;
+      metrics_json = !metrics_json },
+    Array.of_list (List.rev !rest) )
+
 let () =
+  let opts, argv = extract_telemetry_args Sys.argv in
+  let observing =
+    opts.trace_path <> None || opts.metrics_text || opts.metrics_json <> None
+  in
+  if observing then Telemetry.set_enabled true;
+  if opts.trace_path <> None then Trace.start ();
   let doc =
     "loading-aware leakage analysis for nano-scaled bulk-CMOS logic \
      (Mukhopadhyay, Bhunia, Roy; DATE 2005)"
   in
-  let info = Cmd.info "leakctl" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ list_cmd; stats_cmd; generate_cmd; sim_cmd; estimate_cmd; characterize_cmd;
-            sweep_cmd; mc_cmd; suite_cmd; stat_cmd; mtcmos_cmd; thermal_cmd;
-            dualvth_cmd; prob_cmd; corners_cmd; vectors_cmd; incr_cmd ]))
+  let man =
+    [ `S Manpage.s_common_options;
+      `P "Every subcommand also accepts (in any argv position):";
+      `P "$(b,--trace) $(i,FILE) — record Chrome trace-event spans (one \
+          track per worker domain) and write them to $(i,FILE); load in \
+          Perfetto or chrome://tracing. $(b,LEAKCTL_TRACE)=$(i,FILE) does \
+          the same.";
+      `P "$(b,--metrics) — print the merged counter/histogram report to \
+          stderr on exit.";
+      `P "$(b,--metrics-json) $(i,FILE) — write the metrics report as JSON \
+          to $(i,FILE).";
+      `P "Telemetry never changes results: runs with and without it are \
+          bit-identical." ]
+  in
+  let info = Cmd.info "leakctl" ~version:"1.0.0" ~doc ~man in
+  let code =
+    Cmd.eval ~argv
+      (Cmd.group info
+         [ list_cmd; stats_cmd; generate_cmd; sim_cmd; estimate_cmd; characterize_cmd;
+           sweep_cmd; mc_cmd; suite_cmd; stat_cmd; mtcmos_cmd; thermal_cmd;
+           dualvth_cmd; prob_cmd; corners_cmd; vectors_cmd; incr_cmd ])
+  in
+  (match opts.trace_path with
+   | Some path ->
+     Trace.write path;
+     Format.eprintf "trace: %d events written to %s@."
+       (Trace.event_count ()) path
+   | None -> ());
+  if opts.metrics_text || opts.metrics_json <> None then begin
+    let snap = Telemetry.Snapshot.take () in
+    if opts.metrics_text then
+      Format.eprintf "%a@?" Telemetry.Snapshot.pp snap;
+    match opts.metrics_json with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Telemetry.Snapshot.to_json snap);
+      output_char oc '\n';
+      close_out oc;
+      Format.eprintf "metrics: JSON report written to %s@." path
+    | None -> ()
+  end;
+  exit code

@@ -3,6 +3,12 @@ module Logic = Leakage_circuit.Logic
 module Simulate = Leakage_circuit.Simulate
 module Report = Leakage_spice.Leakage_report
 module Pool = Leakage_parallel.Pool
+module Tm = Leakage_telemetry.Telemetry
+module Trace = Leakage_telemetry.Trace
+
+let m_estimates = Tm.counter "estimator.estimates"
+let m_gate_lookups = Tm.counter "estimator.gate_lookups"
+let m_pass_steps = Tm.counter "estimator.loading_pass_steps"
 
 type gate_estimate = {
   gate : Netlist.gate;
@@ -23,6 +29,12 @@ type result = {
 
 let estimate ?(passes = 1) ?library_of_gate ?scratch lib netlist pattern =
   if passes < 1 then invalid_arg "Estimator.estimate: passes must be >= 1";
+  if Tm.enabled () then begin
+    Tm.incr m_estimates;
+    Tm.add m_gate_lookups (Netlist.gate_count netlist);
+    (* passes beyond the first are the loading fixed-point sweep *)
+    Tm.add m_pass_steps (passes - 1)
+  end;
   let scratch_used = scratch <> None in
   let assignment =
     match scratch with
@@ -148,6 +160,9 @@ let average_over_vectors ?pool lib netlist patterns =
   Netlist.warm netlist;
   let partials =
     Pool.map_chunked ?pool ~chunk:avg_chunk n (fun ~lo ~hi ->
+        Trace.with_span ~cat:"core" "avg_chunk"
+          ~args:[ ("vectors", string_of_int (hi - lo)) ]
+        @@ fun () ->
         (* One logic-simulation buffer per chunk: only totals survive. *)
         let scratch =
           Array.make (Netlist.net_count netlist) Leakage_circuit.Logic.Zero

@@ -1,6 +1,15 @@
 module Gate = Leakage_circuit.Gate
 module Logic = Leakage_circuit.Logic
 module Pool = Leakage_parallel.Pool
+module Tm = Leakage_telemetry.Telemetry
+module Trace = Leakage_telemetry.Trace
+
+(* Sharded counters make the per-domain hit/miss split visible: each worker
+   domain owns a cache, so a cold lane shows up as misses on its shard. *)
+let m_hits = Tm.counter "library.hits"
+let m_misses = Tm.counter "library.misses"
+let m_adopted = Tm.counter "library.adopted"
+let h_build_us = Tm.histogram "library.build_us"
 
 type t = {
   grid : Characterize.grid_spec;
@@ -46,9 +55,17 @@ let entry ?(strength = 1.0) t kind vector =
   let cache = cache t in
   let k = key kind strength vector in
   match Hashtbl.find_opt cache k with
-  | Some e -> e
+  | Some e ->
+    Tm.incr m_hits;
+    e
   | None ->
-    let e = characterize_key t kind strength vector in
+    Tm.incr m_misses;
+    let e =
+      Trace.with_span ~cat:"library" "characterize"
+        ~args:[ ("cell", Gate.name kind) ]
+      @@ fun () ->
+      Tm.time h_build_us (fun () -> characterize_key t kind strength vector)
+    in
     Hashtbl.replace cache k e;
     e
 
@@ -70,7 +87,11 @@ let precharacterize ?pool ?(kinds = Gate.all_kinds) t =
      calling domain's cache so sequential code that runs next hits too. *)
   let cache = cache t in
   Array.iter
-    (fun (k, e) -> if not (Hashtbl.mem cache k) then Hashtbl.replace cache k e)
+    (fun (k, e) ->
+      if not (Hashtbl.mem cache k) then begin
+        Tm.incr m_adopted;
+        Hashtbl.replace cache k e
+      end)
     entries
 
 let entry_count t = Hashtbl.length (cache t)

@@ -1,6 +1,10 @@
 module Logic = Leakage_circuit.Logic
 module Report = Leakage_spice.Leakage_report
 module Physics = Leakage_device.Physics
+module Tm = Leakage_telemetry.Telemetry
+module Trace = Leakage_telemetry.Trace
+
+let m_sweep_points = Tm.counter "loading.sweep_points"
 
 type ld_point = {
   current : float;
@@ -33,6 +37,10 @@ let ld_of ~current ~nominal loaded =
   }
 
 let sweep ~device ~temp ?vdd ~currents ~inject kind vector =
+  Trace.with_span ~cat:"loading" "sweep"
+    ~args:[ ("cell", Leakage_circuit.Gate.name kind) ]
+  @@ fun () ->
+  Tm.add m_sweep_points (Array.length currents);
   let tb = Testbench.make kind vector in
   let nominal =
     Testbench.dut_components (Testbench.solve ~device ~temp ?vdd tb)

@@ -10,6 +10,10 @@ module Flatten = Leakage_spice.Flatten
 module Dc_solver = Leakage_spice.Dc_solver
 module Report = Leakage_spice.Leakage_report
 module Pool = Leakage_parallel.Pool
+module Tm = Leakage_telemetry.Telemetry
+module Trace = Leakage_telemetry.Trace
+
+let m_samples = Tm.counter "mc.samples"
 
 type sample = {
   loaded : Report.components;
@@ -81,7 +85,12 @@ let run ?pool ?(config = paper_config) ~device ~temp ~sigmas () =
   for i = 0 to config.n_samples - 1 do
     streams.(i) <- Rng.split rng
   done;
+  Trace.with_span ~cat:"mc" "mc.run"
+    ~args:[ ("samples", string_of_int config.n_samples) ]
+  @@ fun () ->
   Pool.map ?pool config.n_samples (fun i ->
+      (* the per-domain shard split of this counter is the lane utilization *)
+      Tm.incr m_samples;
       let sample_rng = streams.(i) in
       let die = Variation.sample_die sample_rng sigmas in
       let die_device = Variation.apply_die device die in

@@ -6,6 +6,18 @@ module Report = Leakage_spice.Leakage_report
 module Library = Leakage_core.Library
 module Characterize = Leakage_core.Characterize
 module Pool = Leakage_parallel.Pool
+module Tm = Leakage_telemetry.Telemetry
+module Trace = Leakage_telemetry.Trace
+
+let m_edits = Tm.counter "incr.edits"
+let m_undos = Tm.counter "incr.undos"
+let m_refreshes = Tm.counter "incr.refreshes"
+let m_batches = Tm.counter "incr.batches"
+let h_cone_gates = Tm.histogram "incr.cone_gates"
+let h_cone_lookups = Tm.histogram "incr.cone_lookups"
+let h_batch_edits = Tm.histogram "incr.batch_edits"
+let h_batch_groups = Tm.histogram "incr.batch_groups"
+let h_group_edits = Tm.histogram "incr.group_edits"
 
 type stats = {
   edits : int;
@@ -131,6 +143,11 @@ let rec release t s =
    Merge order across batch groups is the partition's group order, so it
    never depends on scheduling. *)
 let merge t s =
+  if Tm.enabled () then begin
+    (* cone extents: gates the worklist visited, gates re-looked-up *)
+    Tm.observe h_cone_gates (float_of_int s.s_logic);
+    Tm.observe h_cone_lookups (float_of_int s.s_lookup)
+  end;
   t.totals <- Report.add t.totals s.s_totals;
   t.baseline <- Report.add t.baseline s.s_baseline;
   t.n_logic <- t.n_logic + s.s_logic;
@@ -163,6 +180,8 @@ let relookup t s g_id =
 (* Full recomputation of the cached estimate from the current editable
    state. Used at creation and periodically to squash float drift. *)
 let refresh t =
+  Trace.with_span ~cat:"incr" "refresh" @@ fun () ->
+  Tm.incr m_refreshes;
   let inputs = Netlist.inputs t.netlist in
   Array.iteri (fun i n -> t.values.(n) <- t.pattern.(i)) inputs;
   (* logic + entries in topological order so every gate sees settled input
@@ -348,6 +367,7 @@ let apply t edit =
   merge t s;
   release t s;
   log_inverse t inverse;
+  Tm.incr m_edits;
   t.n_edits <- t.n_edits + 1;
   t.since_refresh <- t.since_refresh + 1;
   maybe_refresh t
@@ -372,8 +392,18 @@ let apply_batch ?pool t edits =
        below in group order, which fixes the floating-point reduction order
        regardless of the pool (or its absence): the sequential walk runs the
        exact same grouped schedule. *)
+    if Tm.enabled () then begin
+      Tm.incr m_batches;
+      Tm.add m_edits n;
+      Tm.observe h_batch_edits (float_of_int n);
+      Tm.observe h_batch_groups (float_of_int (Array.length groups))
+    end;
     let scratches =
       Pool.map ?pool (Array.length groups) (fun gi ->
+          Trace.with_span ~cat:"incr" "group"
+            ~args:[ ("edits", string_of_int (Array.length groups.(gi))) ]
+          @@ fun () ->
+          Tm.observe h_group_edits (float_of_int (Array.length groups.(gi)));
           let s = acquire t in
           Array.iter
             (fun ei -> inverses.(ei) <- stage t ~work:s.s_work arr.(ei))
@@ -419,6 +449,7 @@ let undo t =
     propagate t s;
     merge t s;
     release t s;
+    Tm.incr m_undos;
     t.n_undos <- t.n_undos + 1;
     (* undos accumulate the same float drift as edits *)
     t.since_refresh <- t.since_refresh + 1;

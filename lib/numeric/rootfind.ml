@@ -1,11 +1,31 @@
 exception No_convergence of string
 
+module Tm = Leakage_telemetry.Telemetry
+
+let m_calls = Tm.counter "rootfind.calls"
+let m_iterations = Tm.counter "rootfind.iterations"
+let m_nonconverged = Tm.counter "rootfind.nonconverged"
+
+(* No_convergence is an exception, but several callers catch it and fall
+   back (wider bracket, bisection, a default); the counter records the
+   failure whether or not the exception survives. *)
+let give_up msg =
+  Tm.incr m_nonconverged;
+  raise (No_convergence msg)
+
+let finish iters result =
+  if Tm.enabled () then begin
+    Tm.incr m_calls;
+    Tm.add m_iterations iters
+  end;
+  result
+
 let same_sign a b = (a >= 0.0 && b >= 0.0) || (a <= 0.0 && b <= 0.0)
 
 let brent ?(tol = 1e-12) ?(max_iter = 200) ~f a b =
   let fa = f a and fb = f b in
-  if fa = 0.0 then a
-  else if fb = 0.0 then b
+  if fa = 0.0 then finish 0 a
+  else if fb = 0.0 then finish 0 b
   else begin
     if same_sign fa fb then
       invalid_arg "Rootfind.brent: root not bracketed";
@@ -22,7 +42,7 @@ let brent ?(tol = 1e-12) ?(max_iter = 200) ~f a b =
     while !result = None do
       if !fb = 0.0 || abs_float (!b -. !a) < tol then result := Some !b
       else if !iter >= max_iter then
-        raise (No_convergence "brent: iteration budget exhausted")
+        give_up "brent: iteration budget exhausted"
       else begin
         incr iter;
         let s =
@@ -59,13 +79,13 @@ let brent ?(tol = 1e-12) ?(max_iter = 200) ~f a b =
         end
       end
     done;
-    match !result with Some r -> r | None -> assert false
+    finish !iter (match !result with Some r -> r | None -> assert false)
   end
 
 let newton_bracketed ?(tol = 1e-12) ?(max_iter = 100) ~f ~df ~lo ~hi x0 =
   let flo = f lo and fhi = f hi in
-  if flo = 0.0 then lo
-  else if fhi = 0.0 then hi
+  if flo = 0.0 then finish 0 lo
+  else if fhi = 0.0 then finish 0 hi
   else begin
     if same_sign flo fhi then
       invalid_arg "Rootfind.newton_bracketed: root not bracketed";
@@ -75,7 +95,7 @@ let newton_bracketed ?(tol = 1e-12) ?(max_iter = 100) ~f ~df ~lo ~hi x0 =
     let iter = ref 0 in
     while !result = None do
       if !iter >= max_iter then
-        raise (No_convergence "newton_bracketed: iteration budget exhausted");
+        give_up "newton_bracketed: iteration budget exhausted";
       incr iter;
       let fx = f !x in
       if fx = 0.0 || (!hi -. !lo) < tol then result := Some !x
@@ -93,7 +113,7 @@ let newton_bracketed ?(tol = 1e-12) ?(max_iter = 100) ~f ~df ~lo ~hi x0 =
         else x := next
       end
     done;
-    match !result with Some r -> r | None -> assert false
+    finish !iter (match !result with Some r -> r | None -> assert false)
   end
 
 let newton_numeric ?tol ?max_iter ?(h = 1e-6) ~f ~lo ~hi x0 =
@@ -107,7 +127,7 @@ let expand_bracket ?(factor = 1.6) ?(max_expand = 60) ~f a b =
   let tries = ref 0 in
   while same_sign !fa !fb && !fa <> 0.0 && !fb <> 0.0 do
     if !tries >= max_expand then
-      raise (No_convergence "expand_bracket: no sign change found");
+      give_up "expand_bracket: no sign change found";
     incr tries;
     let width = !b -. !a in
     if abs_float !fa < abs_float !fb then begin

@@ -1,3 +1,10 @@
+module Tm = Leakage_telemetry.Telemetry
+
+let m_calls = Tm.counter "solver.calls"
+let m_iterations = Tm.counter "solver.iterations"
+let m_nonconverged = Tm.counter "solver.nonconverged"
+let h_iterations = Tm.histogram "solver.iterations_per_solve"
+
 type options = {
   tol_residual : float;
   tol_step : float;
@@ -87,9 +94,20 @@ let solve ?(options = default_options) ?lower ?upper ~f x0 =
         then converged := true
       end
   done;
-  {
-    x;
-    residual_norm = !res_norm;
-    iterations = !iterations;
-    converged = !converged || !res_norm <= options.tol_residual *. 100.0;
-  }
+  let result =
+    {
+      x;
+      residual_norm = !res_norm;
+      iterations = !iterations;
+      converged = !converged || !res_norm <= options.tol_residual *. 100.0;
+    }
+  in
+  (* Callers historically read [x] and dropped [converged]; the registry
+     keeps a visible record of every solve that ran out of budget. *)
+  if Tm.enabled () then begin
+    Tm.incr m_calls;
+    Tm.add m_iterations result.iterations;
+    Tm.observe h_iterations (float_of_int result.iterations);
+    if not result.converged then Tm.incr m_nonconverged
+  end;
+  result

@@ -27,20 +27,29 @@ type t = {
   mutable domains : unit Domain.t array;
 }
 
+module Tm = Leakage_telemetry.Telemetry
+module Trace = Leakage_telemetry.Trace
+
+let m_regions = Tm.counter "pool.regions"
+let m_inline = Tm.counter "pool.inline_regions"
+let m_items = Tm.counter "pool.items"
+let m_parks = Tm.counter "pool.parks"
+let m_wakes = Tm.counter "pool.wakes"
+
+let parse_jobs s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n > 0 -> Some n
+  | _ -> None
+
+let clamp_jobs n = max 1 (min 128 n)
+
 let default_jobs () =
-  let from_env =
-    match Sys.getenv_opt "LEAKCTL_JOBS" with
-    | Some s -> ( match int_of_string_opt (String.trim s) with
-      | Some n when n > 0 -> Some n
-      | _ -> None)
-    | None -> None
-  in
   let n =
-    match from_env with
+    match Option.bind (Sys.getenv_opt "LEAKCTL_JOBS") parse_jobs with
     | Some n -> n
     | None -> Domain.recommended_domain_count ()
   in
-  max 1 (min 128 n)
+  clamp_jobs n
 
 let record_failure t job index exn bt =
   Mutex.lock t.mutex;
@@ -57,6 +66,7 @@ let drain t job =
     let i = Atomic.fetch_and_add job.next 1 in
     if i >= job.total then continue := false
     else begin
+      Tm.incr m_items;
       (try job.body i
        with exn ->
          let bt = Printexc.get_raw_backtrace () in
@@ -76,6 +86,7 @@ let worker t () =
   while !running do
     Mutex.lock t.mutex;
     while (not t.stop) && t.epoch = !seen_epoch do
+      Tm.incr m_parks;
       Condition.wait t.work_ready t.mutex
     done;
     if t.stop then begin
@@ -86,7 +97,10 @@ let worker t () =
       seen_epoch := t.epoch;
       let job = t.job in
       Mutex.unlock t.mutex;
-      match job with None -> () | Some job -> drain t job
+      Tm.incr m_wakes;
+      match job with
+      | None -> ()
+      | Some job -> Trace.with_span ~cat:"pool" "drain" (fun () -> drain t job)
     end
   done
 
@@ -138,7 +152,10 @@ let run ?pool n body =
     | None -> run_seq n body
     | Some t ->
         let inline =
-          (* single-element regions gain nothing from waking workers *)
+          (* Single-element regions gain nothing from waking workers. A
+             stopped pool has no workers left to wake: regions after
+             [shutdown] always take this inline path, so running on a
+             shut-down pool is raise-free by construction, not by luck. *)
           n = 1 || t.n_lanes = 1
           ||
           (Mutex.lock t.mutex;
@@ -147,8 +164,15 @@ let run ?pool n body =
            Mutex.unlock t.mutex;
            taken)
         in
-        if inline then run_seq n body
+        if inline then begin
+          Tm.incr m_inline;
+          run_seq n body
+        end
         else begin
+          Tm.incr m_regions;
+          Trace.with_span ~cat:"pool" "region"
+            ~args:[ ("items", string_of_int n) ]
+          @@ fun () ->
           let job =
             {
               total = n;

@@ -21,10 +21,19 @@
 type t
 (** A fixed pool of worker domains. *)
 
+val parse_jobs : string -> int option
+(** Parse a job count as [LEAKCTL_JOBS] is parsed: surrounding whitespace
+    ignored, [Some n] for a positive integer, [None] for anything else
+    (garbage, empty, zero, negative). *)
+
+val clamp_jobs : int -> int
+(** Clamp a job count into the supported [\[1, 128\]] range. *)
+
 val default_jobs : unit -> int
-(** Number of domains to use when the caller does not say: the [LEAKCTL_JOBS]
-    environment variable if set to a positive integer, otherwise
-    [Domain.recommended_domain_count ()]. Clamped to [\[1, 128\]]. *)
+(** Number of domains to use when the caller does not say:
+    {!parse_jobs}[ LEAKCTL_JOBS] if it yields a value, otherwise
+    [Domain.recommended_domain_count ()]; the result runs through
+    {!clamp_jobs}. *)
 
 val create : ?jobs:int -> unit -> t
 (** [create ~jobs ()] spawns [jobs - 1] worker domains (the caller is the
@@ -36,8 +45,10 @@ val jobs : t -> int
 (** Total parallel lanes (workers + the calling domain). *)
 
 val shutdown : t -> unit
-(** Stop and join the worker domains. Idempotent. A pool must not be used
-    after shutdown (regions then run inline). *)
+(** Stop and join the worker domains. Idempotent. A shut-down pool is still
+    safe to pass to {!run}/{!map}: with no workers left to wake, every
+    region takes the inline path and runs sequentially on the caller —
+    never an error. *)
 
 val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 (** [with_pool f] runs [f] with a fresh pool and shuts it down afterwards,

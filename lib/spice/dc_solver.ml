@@ -73,6 +73,13 @@ let max_residual_of flat devices inj x =
 
 let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
 
+module Tm = Leakage_telemetry.Telemetry
+
+let m_solves = Tm.counter "dc.solves"
+let m_sweeps = Tm.counter "dc.sweeps"
+let m_nonconverged = Tm.counter "dc.nonconverged"
+let h_sweeps = Tm.histogram "dc.sweeps_per_solve"
+
 (* Gauss–Seidel over per-gate blocks. A series stack's nodes are tied
    together by on-transistor conductances that dwarf their coupling to the
    rest of the circuit, so node-at-a-time relaxation crawls on them; solving
@@ -149,6 +156,14 @@ let solve ?(options = default_options) ?(injections = []) (flat : Flatten.t) =
       flat.Flatten.blocks;
     if !max_update < options.tol_voltage then converged := true
   done;
+  (* Most callers keep only [voltages]; the registry records every solve
+     that hit the sweep budget without settling. *)
+  if Tm.enabled () then begin
+    Tm.incr m_solves;
+    Tm.add m_sweeps !sweeps;
+    Tm.observe h_sweeps (float_of_int !sweeps);
+    if not !converged then Tm.incr m_nonconverged
+  end;
   {
     voltages = x;
     sweeps = !sweeps;

@@ -1,0 +1,336 @@
+(* Process-global metric registry with per-domain shards.
+
+   Registration (rare, module-init time) takes a mutex; recording (hot)
+   touches only the calling domain's shard through Domain.DLS — one bounds
+   check and one array store. Shards register themselves in a global list
+   the first time a domain records anything, so a snapshot can walk and
+   merge them without the domains' cooperation. *)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+type counter = int
+type histogram = int
+
+(* ------------------------------------------------------------- registry *)
+
+let registry_mutex = Mutex.create ()
+
+(* name tables; index = metric id *)
+let counter_names : string array ref = ref [||]
+let histogram_names : string array ref = ref [||]
+let counter_ids : (string, int) Hashtbl.t = Hashtbl.create 32
+let histogram_ids : (string, int) Hashtbl.t = Hashtbl.create 32
+
+let register ids names name =
+  Mutex.lock registry_mutex;
+  let id =
+    match Hashtbl.find_opt ids name with
+    | Some id -> id
+    | None ->
+      let id = Array.length !names in
+      names := Array.append !names [| name |];
+      Hashtbl.replace ids name id;
+      id
+  in
+  Mutex.unlock registry_mutex;
+  id
+
+let counter name = register counter_ids counter_names name
+let histogram name = register histogram_ids histogram_names name
+
+(* --------------------------------------------------------------- shards *)
+
+let n_buckets = 64
+
+type shard = {
+  domain_id : int;
+  mutable counts : int array;      (* counter id -> count *)
+  mutable h_count : int array;     (* histogram id -> observation count *)
+  mutable h_sum : float array;
+  mutable h_min : float array;
+  mutable h_max : float array;
+  mutable h_buckets : int array;   (* histogram id * n_buckets + bucket *)
+}
+
+let all_shards : shard list ref = ref []
+
+let fresh_shard () =
+  let s =
+    {
+      domain_id = (Domain.self () :> int);
+      counts = [||];
+      h_count = [||];
+      h_sum = [||];
+      h_min = [||];
+      h_max = [||];
+      h_buckets = [||];
+    }
+  in
+  Mutex.lock registry_mutex;
+  all_shards := s :: !all_shards;
+  Mutex.unlock registry_mutex;
+  s
+
+let shard_key : shard Domain.DLS.key = Domain.DLS.new_key fresh_shard
+
+let grow_int a n = Array.append a (Array.make (n - Array.length a) 0)
+let grow_float a n v = Array.append a (Array.make (n - Array.length a) v)
+
+(* Only the owning domain grows its arrays; a concurrent snapshot may read
+   the superseded array and miss the newest cells — benign, see the mli. *)
+let counter_cells s id =
+  if id >= Array.length s.counts then s.counts <- grow_int s.counts (id + 1);
+  s.counts
+
+let ensure_hist s id =
+  if id >= Array.length s.h_count then begin
+    let n = id + 1 in
+    s.h_count <- grow_int s.h_count n;
+    s.h_sum <- grow_float s.h_sum n 0.0;
+    s.h_min <- grow_float s.h_min n infinity;
+    s.h_max <- grow_float s.h_max n neg_infinity;
+    s.h_buckets <- grow_int s.h_buckets (n * n_buckets)
+  end
+
+let incr c =
+  if Atomic.get enabled_flag then begin
+    let s = Domain.DLS.get shard_key in
+    let cells = counter_cells s c in
+    cells.(c) <- cells.(c) + 1
+  end
+
+let add c n =
+  if Atomic.get enabled_flag then begin
+    let s = Domain.DLS.get shard_key in
+    let cells = counter_cells s c in
+    cells.(c) <- cells.(c) + n
+  end
+
+(* bucket b holds v in (2^(b-1), 2^b]: frexp exponent, clamped *)
+let bucket_of v =
+  if v <= 1.0 then 0
+  else
+    let _, e = Float.frexp v in
+    Stdlib.min (n_buckets - 1) e
+
+let observe h v =
+  if Atomic.get enabled_flag then begin
+    let s = Domain.DLS.get shard_key in
+    ensure_hist s h;
+    s.h_count.(h) <- s.h_count.(h) + 1;
+    s.h_sum.(h) <- s.h_sum.(h) +. v;
+    if v < s.h_min.(h) then s.h_min.(h) <- v;
+    if v > s.h_max.(h) then s.h_max.(h) <- v;
+    let b = (h * n_buckets) + bucket_of v in
+    s.h_buckets.(b) <- s.h_buckets.(b) + 1
+  end
+
+let time h f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let t0 = now_us () in
+    Fun.protect ~finally:(fun () -> observe h (now_us () -. t0)) f
+  end
+
+let reset () =
+  Mutex.lock registry_mutex;
+  let shards = !all_shards in
+  Mutex.unlock registry_mutex;
+  List.iter
+    (fun s ->
+      Array.fill s.counts 0 (Array.length s.counts) 0;
+      Array.fill s.h_count 0 (Array.length s.h_count) 0;
+      Array.fill s.h_sum 0 (Array.length s.h_sum) 0.0;
+      Array.fill s.h_min 0 (Array.length s.h_min) infinity;
+      Array.fill s.h_max 0 (Array.length s.h_max) neg_infinity;
+      Array.fill s.h_buckets 0 (Array.length s.h_buckets) 0)
+    shards
+
+(* ------------------------------------------------------------- snapshot *)
+
+module Snapshot = struct
+  type hist = {
+    count : int;
+    sum : float;
+    min : float;
+    max : float;
+    buckets : int array; (* length n_buckets *)
+  }
+
+  type t = {
+    counters : (string * int * (int * int) list) list;
+        (* name, merged total, per-domain non-zero values *)
+    histograms : (string * hist) list;
+  }
+
+  let take () =
+    Mutex.lock registry_mutex;
+    let cnames = Array.copy !counter_names in
+    let hnames = Array.copy !histogram_names in
+    let shards = !all_shards in
+    Mutex.unlock registry_mutex;
+    let counters =
+      Array.to_list
+        (Array.mapi
+           (fun id name ->
+             let per =
+               List.filter_map
+                 (fun s ->
+                   let v =
+                     if id < Array.length s.counts then s.counts.(id) else 0
+                   in
+                   if v = 0 then None else Some (s.domain_id, v))
+                 shards
+               |> List.sort compare
+             in
+             (name, List.fold_left (fun acc (_, v) -> acc + v) 0 per, per))
+           cnames)
+    in
+    let histograms =
+      Array.to_list
+        (Array.mapi
+           (fun id name ->
+             let h =
+               List.fold_left
+                 (fun acc s ->
+                   if id >= Array.length s.h_count || s.h_count.(id) = 0 then
+                     acc
+                   else begin
+                     for b = 0 to n_buckets - 1 do
+                       acc.buckets.(b) <-
+                         acc.buckets.(b) + s.h_buckets.((id * n_buckets) + b)
+                     done;
+                     {
+                       acc with
+                       count = acc.count + s.h_count.(id);
+                       sum = acc.sum +. s.h_sum.(id);
+                       min = Float.min acc.min s.h_min.(id);
+                       max = Float.max acc.max s.h_max.(id);
+                     }
+                   end)
+                 { count = 0; sum = 0.0; min = infinity; max = neg_infinity;
+                   buckets = Array.make n_buckets 0 }
+                 shards
+             in
+             (name, h))
+           hnames)
+    in
+    { counters; histograms }
+
+  let counter_total t name =
+    match List.find_opt (fun (n, _, _) -> n = name) t.counters with
+    | Some (_, total, _) -> total
+    | None -> 0
+
+  let counter_by_domain t name =
+    match List.find_opt (fun (n, _, _) -> n = name) t.counters with
+    | Some (_, _, per) -> per
+    | None -> []
+
+  let find_hist t name = List.find_opt (fun (n, _) -> n = name) t.histograms
+
+  let histogram_count t name =
+    match find_hist t name with Some (_, h) -> h.count | None -> 0
+
+  let histogram_sum t name =
+    match find_hist t name with Some (_, h) -> h.sum | None -> 0.0
+
+  let is_empty t =
+    List.for_all (fun (_, total, _) -> total = 0) t.counters
+    && List.for_all (fun (_, h) -> h.count = 0) t.histograms
+
+  let pp ppf t =
+    let live_counters = List.filter (fun (_, v, _) -> v <> 0) t.counters in
+    let live_hists = List.filter (fun (_, h) -> h.count > 0) t.histograms in
+    if live_counters = [] && live_hists = [] then
+      Format.fprintf ppf "telemetry: no metrics recorded@."
+    else begin
+      if live_counters <> [] then begin
+        Format.fprintf ppf "counters:@.";
+        List.iter
+          (fun (name, total, per) ->
+            Format.fprintf ppf "  %-32s %12d" name total;
+            (match per with
+             | [] | [ _ ] -> ()
+             | _ ->
+               Format.fprintf ppf "   (%s)"
+                 (String.concat ", "
+                    (List.map
+                       (fun (d, v) -> Printf.sprintf "d%d:%d" d v)
+                       per)));
+            Format.fprintf ppf "@.")
+          live_counters
+      end;
+      if live_hists <> [] then begin
+        Format.fprintf ppf "histograms:@.";
+        List.iter
+          (fun (name, h) ->
+            Format.fprintf ppf
+              "  %-32s count %8d  mean %12.2f  min %10.1f  max %10.1f@." name
+              h.count
+              (h.sum /. float_of_int h.count)
+              h.min h.max)
+          live_hists
+      end
+    end
+
+  (* JSON floats: min/max of an empty histogram are infinities, which JSON
+     has no literal for — emitted histograms always have count > 0. *)
+  let json_float f =
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.6g" f
+
+  let to_json t =
+    let buf = Buffer.create 1024 in
+    let p fmt = Printf.bprintf buf fmt in
+    let live_counters = List.filter (fun (_, v, _) -> v <> 0) t.counters in
+    let live_hists = List.filter (fun (_, h) -> h.count > 0) t.histograms in
+    let sep first = if !first then first := false else p ", " in
+    p "{\"counters\": {";
+    let first = ref true in
+    List.iter
+      (fun (name, total, _) ->
+        sep first;
+        p "\"%s\": %d" name total)
+      live_counters;
+    p "}, \"counters_by_domain\": {";
+    let first = ref true in
+    List.iter
+      (fun (name, _, per) ->
+        sep first;
+        p "\"%s\": {" name;
+        let f2 = ref true in
+        List.iter
+          (fun (d, v) ->
+            sep f2;
+            p "\"%d\": %d" d v)
+          per;
+        p "}")
+      live_counters;
+    p "}, \"histograms\": {";
+    let first = ref true in
+    List.iter
+      (fun (name, h) ->
+        sep first;
+        p "\"%s\": {\"count\": %d, \"sum\": %s, \"min\": %s, \"max\": %s, \
+           \"buckets\": {"
+          name h.count (json_float h.sum) (json_float h.min)
+          (json_float h.max);
+        let f2 = ref true in
+        Array.iteri
+          (fun b n ->
+            if n > 0 then begin
+              sep f2;
+              p "\"%d\": %d" b n
+            end)
+          h.buckets;
+        p "}}")
+      live_hists;
+    p "}}";
+    Buffer.contents buf
+end

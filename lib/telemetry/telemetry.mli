@@ -1,0 +1,86 @@
+(** Observability: named counters and histograms, sharded per domain.
+
+    The registry is process-global. A metric is registered once (usually at
+    module initialization) and returns a small integer handle; recording
+    through the handle touches only the calling domain's shard — a plain
+    array slot, no locks, no atomics — so enabled-mode overhead is a few
+    nanoseconds and parallel regions never contend. Shards are merged when a
+    {!Snapshot} is taken, which also preserves the per-domain breakdown
+    (that is how per-lane pool utilization and per-domain cache hit rates
+    fall out for free).
+
+    Everything is gated on one global flag: while {!enabled} is [false]
+    every recording call is a single load-and-branch and allocates nothing.
+    Telemetry is strictly an observer — it never influences a numeric
+    result; the differential harness and [@trace-check] run with it enabled
+    and assert bit-identity against untelemetered runs.
+
+    Snapshots read other domains' shards without synchronization. Counter
+    cells are immediate values, so a racy read only risks missing the very
+    latest increments of a still-running region; take snapshots outside
+    parallel regions for exact numbers. *)
+
+type counter
+type histogram
+
+val counter : string -> counter
+(** [counter name] registers (or finds, by name) a monotonically increasing
+    event count. Registration is idempotent: the same name always yields the
+    same metric. *)
+
+val histogram : string -> histogram
+(** [histogram name] registers (or finds) a value distribution: count, sum,
+    min, max, and power-of-two buckets (bucket [b] holds values in
+    [(2{^b-1}, 2{^b}]], bucket 0 holds values [<= 1]). *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+(** Global recording switch, off by default. Flip it outside parallel
+    regions. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val observe : histogram -> float -> unit
+(** No-ops while disabled. *)
+
+val time : histogram -> (unit -> 'a) -> 'a
+(** [time h f] runs [f] and observes its wall-clock duration in
+    microseconds ([f] is just called when disabled). The duration is
+    recorded even if [f] raises. *)
+
+val reset : unit -> unit
+(** Zero every shard of every metric (the registry itself survives). Call
+    outside parallel regions. *)
+
+val now_us : unit -> float
+(** Wall-clock microseconds (also the clock {!Trace} stamps spans with). *)
+
+module Snapshot : sig
+  type t
+
+  val take : unit -> t
+  (** Merge all domain shards into one view. *)
+
+  val counter_total : t -> string -> int
+  (** Merged value of a counter, [0] when the name is unknown. *)
+
+  val counter_by_domain : t -> string -> (int * int) list
+  (** [(domain_id, value)] pairs, non-zero shards only, sorted by domain. *)
+
+  val histogram_count : t -> string -> int
+  val histogram_sum : t -> string -> float
+
+  val is_empty : t -> bool
+  (** [true] when nothing was recorded. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** Human-readable report: merged counters with per-domain breakdowns,
+      histogram summaries (count / mean / min / max). *)
+
+  val to_json : t -> string
+  (** JSON object:
+      [{"counters": {name: total},
+        "counters_by_domain": {name: {domain: value}},
+        "histograms": {name: {"count", "sum", "min", "max",
+                              "buckets": {exponent: count}}}}] *)
+end

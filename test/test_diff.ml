@@ -18,6 +18,14 @@ module Edit = Leakage_incremental.Edit
 module Cone = Leakage_incremental.Cone
 module Rng = Leakage_numeric.Rng
 
+(* The observability contract says telemetry never perturbs a result, so the
+   whole differential suite runs with metrics *and* span tracing on: every
+   sequential = parallel = oracle assertion below doubles as a bit-identity
+   check of instrumented against oracle code paths. *)
+let () =
+  Leakage_telemetry.Telemetry.set_enabled true;
+  Leakage_telemetry.Trace.start ()
+
 let qtest ?(count = 20) name gen prop =
   QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
 

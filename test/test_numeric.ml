@@ -6,6 +6,7 @@ module Interp = Leakage_numeric.Interp
 module Rootfind = Leakage_numeric.Rootfind
 module Linalg = Leakage_numeric.Linalg
 module Solver = Leakage_numeric.Solver
+module Telemetry = Leakage_telemetry.Telemetry
 
 let check_float ?(eps = 1e-12) msg expected actual =
   Alcotest.(check (float eps)) msg expected actual
@@ -299,6 +300,20 @@ let prop_brent_polynomial_roots =
       let root = Rootfind.brent ~f 0.0 10.0 in
       abs_float (root -. r) < 1e-8)
 
+(* An exhausted iteration budget must be reported — the exception plus a
+   tick on the registry's nonconvergence counter — never swallowed. *)
+let test_brent_budget_exhaustion_is_counted () =
+  Telemetry.set_enabled true;
+  Telemetry.reset ();
+  let f x = (x *. x) -. 2.0 in
+  (match Rootfind.brent ~tol:1e-15 ~max_iter:1 ~f 0.0 2.0 with
+   | _ -> Alcotest.fail "expected No_convergence"
+   | exception Rootfind.No_convergence _ -> ());
+  let snap = Telemetry.Snapshot.take () in
+  Telemetry.set_enabled false;
+  Alcotest.(check int) "rootfind.nonconverged counted" 1
+    (Telemetry.Snapshot.counter_total snap "rootfind.nonconverged")
+
 (* --------------------------------------------------------------- Linalg *)
 
 let test_linalg_identity_solve () =
@@ -390,6 +405,24 @@ let test_solver_does_not_mutate_input () =
   ignore (Solver.solve ~f x0);
   Alcotest.(check bool) "input intact" true (x0 = [| 1.0; 1.0 |])
 
+(* A deliberately starved iteration budget is reported on the result record
+   *and* on the registry's nonconvergence counter, never swallowed. *)
+let test_solver_reports_nonconvergence () =
+  Telemetry.set_enabled true;
+  Telemetry.reset ();
+  (* x^2 + 1 has no real zero: the residual can never reach tolerance *)
+  let f x = [| (x.(0) *. x.(0)) +. 1.0 |] in
+  let options = { Solver.default_options with Solver.max_iter = 1 } in
+  let r = Solver.solve ~options ~f [| 3.0 |] in
+  let snap = Telemetry.Snapshot.take () in
+  Telemetry.set_enabled false;
+  Alcotest.(check bool) "not converged" false r.Solver.converged;
+  Alcotest.(check int) "iterations capped" 1 r.Solver.iterations;
+  Alcotest.(check int) "solver.nonconverged counted" 1
+    (Telemetry.Snapshot.counter_total snap "solver.nonconverged");
+  Alcotest.(check int) "solver.calls counted" 1
+    (Telemetry.Snapshot.counter_total snap "solver.calls")
+
 let () =
   Alcotest.run "numeric"
     [
@@ -447,6 +480,8 @@ let () =
           Alcotest.test_case "newton exp" `Quick test_newton_bracketed_exp;
           Alcotest.test_case "newton stiff" `Quick test_newton_numeric_stiff;
           Alcotest.test_case "expand bracket" `Quick test_expand_bracket;
+          Alcotest.test_case "budget exhaustion counted" `Quick
+            test_brent_budget_exhaustion_is_counted;
           prop_brent_polynomial_roots;
         ] );
       ( "linalg",
@@ -468,5 +503,7 @@ let () =
           Alcotest.test_case "nonlinear" `Quick test_solver_nonlinear;
           Alcotest.test_case "bounds" `Quick test_solver_respects_bounds;
           Alcotest.test_case "input untouched" `Quick test_solver_does_not_mutate_input;
+          Alcotest.test_case "nonconvergence reported" `Quick
+            test_solver_reports_nonconvergence;
         ] );
     ]

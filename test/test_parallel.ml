@@ -112,6 +112,68 @@ let test_with_pool_returns () =
 let test_default_jobs_positive () =
   Alcotest.(check bool) "default jobs >= 1" true (Pool.default_jobs () >= 1)
 
+let test_shutdown_idempotent_and_inline () =
+  let p = Pool.create ~jobs:3 () in
+  Pool.shutdown p;
+  (* shutdown again: must be a no-op, not a raise or a hang *)
+  Pool.shutdown p;
+  (* a shut-down pool still runs regions — inline, raise-free *)
+  let expected = Array.init 33 (fun i -> i * 7) in
+  Alcotest.(check bool) "map on shut-down pool" true
+    (Pool.map ~pool:p 33 (fun i -> i * 7) = expected);
+  let hits = ref 0 in
+  Pool.run ~pool:p 5 (fun _ -> incr hits);
+  Alcotest.(check int) "run on shut-down pool" 5 !hits;
+  (* exceptions still follow the lowest-index contract inline *)
+  (match Pool.run ~pool:p 4 (fun i -> failwith (string_of_int i)) with
+   | () -> Alcotest.fail "expected an exception"
+   | exception Failure m -> Alcotest.(check string) "lowest index" "0" m);
+  Pool.shutdown p
+
+let test_parse_jobs () =
+  let cases =
+    [ ("8", Some 8); (" 16 ", Some 16); ("1", Some 1); ("128", Some 128);
+      ("500", Some 500) (* clamping is default_jobs' business, not parsing *);
+      ("0", None); ("-3", None); ("", None); ("  ", None);
+      ("garbage", None); ("3.5", None); ("8x", None) ]
+  in
+  List.iter
+    (fun (input, expected) ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "parse_jobs %S" input)
+        expected (Pool.parse_jobs input))
+    cases
+
+let test_clamp_jobs () =
+  Alcotest.(check int) "0 -> 1" 1 (Pool.clamp_jobs 0);
+  Alcotest.(check int) "-5 -> 1" 1 (Pool.clamp_jobs (-5));
+  Alcotest.(check int) "8 unchanged" 8 (Pool.clamp_jobs 8);
+  Alcotest.(check int) "128 unchanged" 128 (Pool.clamp_jobs 128);
+  Alcotest.(check int) "500 -> 128" 128 (Pool.clamp_jobs 500)
+
+let test_default_jobs_reads_env () =
+  (* Unix.putenv mutates this process's real environment; always restore the
+     previous value, also when a check fails. *)
+  let saved = Sys.getenv_opt "LEAKCTL_JOBS" in
+  let restore () =
+    Unix.putenv "LEAKCTL_JOBS" (Option.value saved ~default:"")
+  in
+  Fun.protect ~finally:restore (fun () ->
+      Unix.putenv "LEAKCTL_JOBS" "7";
+      Alcotest.(check int) "LEAKCTL_JOBS=7" 7 (Pool.default_jobs ());
+      Unix.putenv "LEAKCTL_JOBS" "500";
+      Alcotest.(check int) "LEAKCTL_JOBS=500 clamps to 128" 128
+        (Pool.default_jobs ());
+      Unix.putenv "LEAKCTL_JOBS" "0";
+      Alcotest.(check bool) "LEAKCTL_JOBS=0 falls back" true
+        (Pool.default_jobs () >= 1);
+      Unix.putenv "LEAKCTL_JOBS" "-2";
+      Alcotest.(check bool) "LEAKCTL_JOBS=-2 falls back" true
+        (Pool.default_jobs () >= 1);
+      Unix.putenv "LEAKCTL_JOBS" "nonsense";
+      Alcotest.(check bool) "garbage falls back" true
+        (Pool.default_jobs () >= 1))
+
 (* -------------------------------------------------- random test circuits *)
 
 let random_netlist rng =
@@ -256,6 +318,11 @@ let () =
           Alcotest.test_case "nested run inline" `Quick test_nested_run_is_inline;
           Alcotest.test_case "with_pool" `Quick test_with_pool_returns;
           Alcotest.test_case "default jobs" `Quick test_default_jobs_positive;
+          Alcotest.test_case "shutdown idempotent, runs inline" `Quick
+            test_shutdown_idempotent_and_inline;
+          Alcotest.test_case "parse_jobs" `Quick test_parse_jobs;
+          Alcotest.test_case "clamp_jobs" `Quick test_clamp_jobs;
+          Alcotest.test_case "LEAKCTL_JOBS env" `Quick test_default_jobs_reads_env;
         ] );
       ( "determinism",
         [

@@ -1,0 +1,201 @@
+(* Unit tests for the telemetry subsystem: registry semantics, the enabled
+   gate, per-domain sharding, snapshot merging/serialization, and the span
+   tracer's Chrome trace-event output. *)
+
+module Telemetry = Leakage_telemetry.Telemetry
+module Trace = Leakage_telemetry.Trace
+
+let with_recording f =
+  Telemetry.set_enabled true;
+  Telemetry.reset ();
+  Fun.protect ~finally:(fun () -> Telemetry.set_enabled false) f
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i =
+    i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1))
+  in
+  scan 0
+
+(* ------------------------------------------------------------- registry *)
+
+let test_registration_idempotent () =
+  with_recording (fun () ->
+      let a = Telemetry.counter "t.reg" in
+      let b = Telemetry.counter "t.reg" in
+      Telemetry.incr a;
+      Telemetry.incr b;
+      let snap = Telemetry.Snapshot.take () in
+      (* same name, same metric: both increments land on one counter *)
+      Alcotest.(check int) "one counter" 2
+        (Telemetry.Snapshot.counter_total snap "t.reg"))
+
+let test_disabled_records_nothing () =
+  Telemetry.set_enabled false;
+  Telemetry.reset ();
+  let c = Telemetry.counter "t.off" in
+  let h = Telemetry.histogram "t.off_h" in
+  Telemetry.incr c;
+  Telemetry.add c 41;
+  Telemetry.observe h 7.0;
+  Alcotest.(check int) "timed thunk still runs" 9
+    (Telemetry.time h (fun () -> 9));
+  let snap = Telemetry.Snapshot.take () in
+  Alcotest.(check int) "counter untouched" 0
+    (Telemetry.Snapshot.counter_total snap "t.off");
+  Alcotest.(check int) "histogram untouched" 0
+    (Telemetry.Snapshot.histogram_count snap "t.off_h");
+  Alcotest.(check bool) "snapshot empty" true (Telemetry.Snapshot.is_empty snap)
+
+let test_counter_add_and_incr () =
+  with_recording (fun () ->
+      let c = Telemetry.counter "t.count" in
+      Telemetry.incr c;
+      Telemetry.add c 10;
+      Telemetry.incr c;
+      let snap = Telemetry.Snapshot.take () in
+      Alcotest.(check int) "total" 12
+        (Telemetry.Snapshot.counter_total snap "t.count");
+      Alcotest.(check int) "unknown name is 0" 0
+        (Telemetry.Snapshot.counter_total snap "t.never"))
+
+let test_histogram_moments () =
+  with_recording (fun () ->
+      let h = Telemetry.histogram "t.hist" in
+      List.iter (Telemetry.observe h) [ 1.0; 3.0; 8.0; 100.0 ];
+      let snap = Telemetry.Snapshot.take () in
+      Alcotest.(check int) "count" 4
+        (Telemetry.Snapshot.histogram_count snap "t.hist");
+      Alcotest.(check (float 1e-9)) "sum" 112.0
+        (Telemetry.Snapshot.histogram_sum snap "t.hist"))
+
+let test_time_observes_duration () =
+  with_recording (fun () ->
+      let h = Telemetry.histogram "t.timer" in
+      Alcotest.(check int) "value through" 5 (Telemetry.time h (fun () -> 5));
+      (match Telemetry.time h (fun () -> failwith "boom") with
+       | _ -> Alcotest.fail "expected Failure"
+       | exception Failure _ -> ());
+      let snap = Telemetry.Snapshot.take () in
+      (* both the normal return and the raise were timed *)
+      Alcotest.(check int) "two observations" 2
+        (Telemetry.Snapshot.histogram_count snap "t.timer");
+      Alcotest.(check bool) "non-negative duration" true
+        (Telemetry.Snapshot.histogram_sum snap "t.timer" >= 0.0))
+
+let test_reset_zeroes () =
+  with_recording (fun () ->
+      let c = Telemetry.counter "t.reset" in
+      Telemetry.incr c;
+      Telemetry.reset ();
+      let snap = Telemetry.Snapshot.take () in
+      Alcotest.(check int) "zero after reset" 0
+        (Telemetry.Snapshot.counter_total snap "t.reset");
+      (* the registration survives: the handle still works *)
+      Telemetry.incr c;
+      let snap = Telemetry.Snapshot.take () in
+      Alcotest.(check int) "handle still live" 1
+        (Telemetry.Snapshot.counter_total snap "t.reset"))
+
+let test_per_domain_shards () =
+  with_recording (fun () ->
+      let c = Telemetry.counter "t.sharded" in
+      Telemetry.add c 5;
+      let d =
+        Domain.spawn (fun () ->
+            Telemetry.add c 7;
+            Domain.self ())
+      in
+      let worker_id = (Domain.join d :> int) in
+      let snap = Telemetry.Snapshot.take () in
+      Alcotest.(check int) "merged total" 12
+        (Telemetry.Snapshot.counter_total snap "t.sharded");
+      let by_domain = Telemetry.Snapshot.counter_by_domain snap "t.sharded" in
+      Alcotest.(check int) "two shards" 2 (List.length by_domain);
+      Alcotest.(check (option int)) "worker shard kept its own 7" (Some 7)
+        (List.assoc_opt worker_id by_domain))
+
+let test_snapshot_json_shape () =
+  with_recording (fun () ->
+      let c = Telemetry.counter "t.json_c" in
+      let h = Telemetry.histogram "t.json_h" in
+      Telemetry.add c 3;
+      Telemetry.observe h 2.5;
+      let json = Telemetry.Snapshot.to_json (Telemetry.Snapshot.take ()) in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("contains " ^ needle) true
+            (contains json needle))
+        [ "\"counters\""; "\"counters_by_domain\""; "\"histograms\"";
+          "\"t.json_c\": 3"; "\"t.json_h\""; "\"count\": 1"; "\"sum\": 2.5" ])
+
+(* ---------------------------------------------------------------- trace *)
+
+let test_trace_spans_and_json () =
+  Trace.start ();
+  let v =
+    Trace.with_span ~cat:"test" ~args:[ ("k", "v") ] "outer" (fun () ->
+        Trace.with_span "inner" (fun () -> 21 * 2))
+  in
+  Trace.instant "marker";
+  (match Trace.with_span "raising" (fun () -> failwith "boom") with
+   | _ -> Alcotest.fail "expected Failure"
+   | exception Failure _ -> ());
+  Trace.stop ();
+  Alcotest.(check int) "value through spans" 42 v;
+  (* outer + inner + raising + instant *)
+  Alcotest.(check int) "events recorded" 4 (Trace.event_count ());
+  let json = Trace.to_json () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains json needle))
+    [ "\"traceEvents\""; "\"displayTimeUnit\""; "thread_name";
+      "\"outer\""; "\"inner\""; "\"raising\""; "\"marker\"";
+      "\"ph\": \"X\""; "\"ph\": \"i\""; "\"k\": \"v\"" ]
+
+let test_trace_disabled_is_passthrough () =
+  Trace.start ();
+  Trace.stop ();
+  (* recorded-but-stopped state: spans run their thunk, record nothing *)
+  Alcotest.(check int) "thunk runs" 3 (Trace.with_span "off" (fun () -> 3));
+  Alcotest.(check int) "nothing recorded" 0 (Trace.event_count ());
+  (* start clears any previous events *)
+  Trace.start ();
+  Trace.instant "one";
+  Trace.stop ();
+  Alcotest.(check int) "fresh after start" 1 (Trace.event_count ())
+
+let test_trace_escapes_strings () =
+  Trace.start ();
+  Trace.instant ~args:[ ("path", "a\"b\\c\nd") ] "quote\"name";
+  Trace.stop ();
+  let json = Trace.to_json () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains json needle))
+    [ {|quote\"name|}; {|a\"b\\c\nd|} ]
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "registration idempotent" `Quick
+            test_registration_idempotent;
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_disabled_records_nothing;
+          Alcotest.test_case "incr and add" `Quick test_counter_add_and_incr;
+          Alcotest.test_case "histogram moments" `Quick test_histogram_moments;
+          Alcotest.test_case "time observes" `Quick test_time_observes_duration;
+          Alcotest.test_case "reset" `Quick test_reset_zeroes;
+          Alcotest.test_case "per-domain shards" `Quick test_per_domain_shards;
+          Alcotest.test_case "snapshot JSON" `Quick test_snapshot_json_shape;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "spans and JSON" `Quick test_trace_spans_and_json;
+          Alcotest.test_case "disabled passthrough" `Quick
+            test_trace_disabled_is_passthrough;
+          Alcotest.test_case "string escaping" `Quick test_trace_escapes_strings;
+        ] );
+    ]
