@@ -14,11 +14,21 @@
    enforced by -check only for pool sizes within the recorded host_cores,
    like BENCH_parallel.json.
 
+   A third scenario exercises value-aware cone pruning on a deep tapped
+   chain (gateway NAND taps held at the controlling 0): a batch of
+   mid-segment retypes whose structural cones all run to the end of the
+   chain — one merged group — must partition into one group per edited
+   segment once settled values prune the walk, with the per-batch results
+   staying bit-identical to the unpruned path. The pruned and structural
+   cone-size histogram deltas ride along in the artifact.
+
      incremental.exe [-o FILE] [-edits N] [-batch-edits N] [-domains N]
                      [-seed N]                       write the JSON
      incremental.exe -check FILE                     validate a JSON file *)
 
 module Params = Leakage_device.Params
+module Gate = Leakage_circuit.Gate
+module Logic = Leakage_circuit.Logic
 module Netlist = Leakage_circuit.Netlist
 module Simulate = Leakage_circuit.Simulate
 module Report = Leakage_spice.Leakage_report
@@ -26,8 +36,10 @@ module Library = Leakage_core.Library
 module Estimator = Leakage_core.Estimator
 module Incremental = Leakage_incremental.Incremental
 module Edit = Leakage_incremental.Edit
+module Cone = Leakage_incremental.Cone
 module Vector_mc = Leakage_incremental.Vector_mc
 module Suite = Leakage_benchmarks.Suite
+module Trees = Leakage_benchmarks.Trees
 module Rng = Leakage_numeric.Rng
 module Pool = Leakage_parallel.Pool
 module Telemetry = Leakage_telemetry.Telemetry
@@ -158,6 +170,82 @@ let run_batches ~batch_edits ~seed ~max_domains =
   in
   base :: pooled
 
+(* ---------------------------------------------------- value-aware pruning *)
+
+type pruning_row = {
+  p_stages : int;
+  p_tap_every : int;
+  p_edits : int;
+  p_structural_groups : int;
+  p_pruned_groups : int;
+  p_struct_hist_count : int;
+  p_struct_hist_sum : float;
+  p_pruned_hist_count : int;
+  p_pruned_hist_sum : float;
+  p_identical : bool;
+}
+
+(* totals/baseline may differ between the pruned and unpruned batch in
+   float association only (per-group vs per-cone accumulation order);
+   everything per-net and per-gate must agree exactly *)
+let components_close a b =
+  let close x y =
+    x = y || Float.abs (x -. y) <= 1e-9 *. Float.max (Float.abs x) (Float.abs y)
+  in
+  close a.Report.isub b.Report.isub
+  && close a.Report.igate b.Report.igate
+  && close a.Report.ibtbt b.Report.ibtbt
+
+let run_pruning () =
+  let stages = 4096 and tap_every = 64 in
+  let nl = Trees.chain ~stages ~tap_every () in
+  let lib = Library.create ~device:Params.d25 ~temp:300.0 () in
+  (* all-zero pattern: every gateway tap carries the controlling 0, pinning
+     the segment boundaries *)
+  let pattern = Array.make (Array.length (Netlist.inputs nl)) Logic.Zero in
+  (* retype one mid-segment inverter in every 8th segment: structurally each
+     cone runs to the end of the chain, merging the whole batch into one
+     group; with settled values the walk stops at the next pinned gateway *)
+  let edits =
+    List.init 8 (fun i ->
+        Edit.Retype ((i * 8 * tap_every) + (tap_every / 2), Gate.Buf))
+  in
+  let arr = Array.of_list edits in
+  let structural_groups = Array.length (Cone.Partition.groups nl arr) in
+  let pruned = Incremental.create ~refresh_every:0 lib nl pattern in
+  let pruned_groups = Array.length (Incremental.preview_groups pruned edits) in
+  let before = Telemetry.Snapshot.take () in
+  Incremental.apply_batch pruned edits;
+  let after = Telemetry.Snapshot.take () in
+  let unpruned = Incremental.create ~refresh_every:0 lib nl pattern in
+  Incremental.apply_batch ~prune:false unpruned edits;
+  let identical =
+    let t1, b1, inj1, a1, p1 = batch_fingerprint pruned in
+    let t2, b2, inj2, a2, p2 = batch_fingerprint unpruned in
+    inj1 = inj2 && a1 = a2 && p1 = p2 && components_close t1 t2
+    && components_close b1 b2
+  in
+  let dcount name =
+    Telemetry.Snapshot.histogram_count after name
+    - Telemetry.Snapshot.histogram_count before name
+  in
+  let dsum name =
+    Telemetry.Snapshot.histogram_sum after name
+    -. Telemetry.Snapshot.histogram_sum before name
+  in
+  {
+    p_stages = stages;
+    p_tap_every = tap_every;
+    p_edits = List.length edits;
+    p_structural_groups = structural_groups;
+    p_pruned_groups = pruned_groups;
+    p_struct_hist_count = dcount "incr.cone_struct_gates";
+    p_struct_hist_sum = dsum "incr.cone_struct_gates";
+    p_pruned_hist_count = dcount "incr.cone_pruned_gates";
+    p_pruned_hist_sum = dsum "incr.cone_pruned_gates";
+    p_identical = identical;
+  }
+
 (* ------------------------------------------------------------- JSON emit *)
 
 (* Counters the run is expected to have exercised; -check asserts on them. *)
@@ -177,7 +265,7 @@ let emit_metrics oc =
     metric_names;
   p "  }\n"
 
-let emit oc ~edits ~seed ~batch_edits ~host_cores rows batch_rows =
+let emit oc ~edits ~seed ~batch_edits ~host_cores rows batch_rows pruning =
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"benchmark\": \"incremental\",\n";
@@ -218,6 +306,16 @@ let emit oc ~edits ~seed ~batch_edits ~host_cores rows batch_rows =
       p "    }%s\n" (if i = List.length batch_rows - 1 then "" else ","))
     batch_rows;
   p "  ],\n";
+  p "  \"pruning_stages\": %d,\n" pruning.p_stages;
+  p "  \"pruning_tap_every\": %d,\n" pruning.p_tap_every;
+  p "  \"pruning_edits\": %d,\n" pruning.p_edits;
+  p "  \"pruning_structural_groups\": %d,\n" pruning.p_structural_groups;
+  p "  \"pruning_pruned_groups\": %d,\n" pruning.p_pruned_groups;
+  p "  \"pruning_struct_hist_count\": %d,\n" pruning.p_struct_hist_count;
+  p "  \"pruning_struct_hist_sum\": %.17g,\n" pruning.p_struct_hist_sum;
+  p "  \"pruning_pruned_hist_count\": %d,\n" pruning.p_pruned_hist_count;
+  p "  \"pruning_pruned_hist_sum\": %.17g,\n" pruning.p_pruned_hist_sum;
+  p "  \"pruning_bit_identical\": %b,\n" pruning.p_identical;
   emit_metrics oc;
   p "}\n"
 
@@ -388,6 +486,33 @@ let check path =
              "%s: speedup %.3f < 1.5 at 4 domains on a %d-core host" tag
              speedup host_cores))
     batch_chunks;
+  (* value-aware pruning scenario: the pruned partition must expose strictly
+     more (hence smaller) groups than the structural one, with bit-identical
+     results, and the cone-size histograms must show the shrink *)
+  let p_struct = int_of_float (num_field s "pruning_structural_groups") in
+  let p_pruned = int_of_float (num_field s "pruning_pruned_groups") in
+  if p_struct < 1 then failwith "pruning_structural_groups must be >= 1";
+  if p_pruned <= p_struct then
+    failwith
+      (Printf.sprintf
+         "pruning: %d pruned groups not more than %d structural groups"
+         p_pruned p_struct);
+  if not (bool_field s "pruning_bit_identical") then
+    failwith "pruning: pruned batch state differs from unpruned";
+  let p_edits = int_of_float (num_field s "pruning_edits") in
+  let hist_count key =
+    let n = int_of_float (num_field s key) in
+    if n < p_edits then
+      failwith
+        (Printf.sprintf "%s is %d: expected one observation per edit (%d)" key
+           n p_edits);
+    n
+  in
+  ignore (hist_count "pruning_struct_hist_count");
+  ignore (hist_count "pruning_pruned_hist_count");
+  if num_field s "pruning_pruned_hist_sum"
+     >= num_field s "pruning_struct_hist_sum"
+  then failwith "pruning: pruned cones are not smaller than structural cones";
   (* the embedded telemetry summary: every expected counter present, and
      the edit / batch paths actually fired during the run *)
   let metric key = int_of_float (num_field s key) in
@@ -437,9 +562,10 @@ let () =
       run_batches ~batch_edits:!batch_edits ~seed:!seed
         ~max_domains:!max_domains
     in
+    let pruning = run_pruning () in
     let oc = open_out !out in
     emit oc ~edits:!edits ~seed:!seed ~batch_edits:!batch_edits ~host_cores
-      rows batch_rows;
+      rows batch_rows pruning;
     close_out oc;
     List.iter
       (fun r ->
@@ -457,5 +583,12 @@ let () =
            else if b.b_domains = 1 then "1 domain  "
            else Printf.sprintf "%d domains " b.b_domains)
           b.b_us b.b_speedup b.b_identical)
-      batch_rows
+      batch_rows;
+    Printf.printf
+      "chain%d   pruning %d edits  structural %d group%s -> pruned %d groups  \
+       cone gates %.0f -> %.0f  identical %b\n"
+      pruning.p_stages pruning.p_edits pruning.p_structural_groups
+      (if pruning.p_structural_groups = 1 then "" else "s")
+      pruning.p_pruned_groups pruning.p_struct_hist_sum
+      pruning.p_pruned_hist_sum pruning.p_identical
   end

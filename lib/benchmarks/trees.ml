@@ -24,6 +24,39 @@ let parity ?(width = 16) () =
 
 let parity_reference bits = Array.fold_left ( <> ) false bits
 
+let chain ?(stages = 1024) ?(tap_every = 0) () =
+  if stages < 1 then invalid_arg "Trees.chain: stages must be positive";
+  if tap_every < 0 then invalid_arg "Trees.chain: tap_every must be >= 0";
+  let b = B.create (Printf.sprintf "chain%d" stages) in
+  let head = B.input ~name:"head" b in
+  let prev = ref head in
+  for i = 0 to stages - 1 do
+    let out =
+      if tap_every > 0 && i mod tap_every = 0 then begin
+        (* gateway stage: its dedicated tap input at 0 is a controlling
+           value into the NAND, pinning the segment boundary *)
+        let tap = B.input ~name:(Printf.sprintf "tap%d" (i / tap_every)) b in
+        B.gate b (Gate.Nand 2) [| !prev; tap |]
+      end
+      else B.gate b Gate.Inv [| !prev |]
+    in
+    prev := out
+  done;
+  B.mark_output b !prev;
+  B.finish b
+
+let chain_reference ?(tap_every = 0) ~stages bits =
+  if Array.length bits <> 1 + (if tap_every > 0 then (stages + tap_every - 1) / tap_every else 0)
+  then invalid_arg "Trees.chain_reference: wrong input width";
+  let v = ref bits.(0) in
+  for i = 0 to stages - 1 do
+    v :=
+      if tap_every > 0 && i mod tap_every = 0 then
+        not (!v && bits.(1 + (i / tap_every)))
+      else not !v
+  done;
+  !v
+
 let decoder ?(select_bits = 4) () =
   if select_bits < 2 || select_bits > 6 then
     invalid_arg "Trees.decoder: select_bits outside [2,6]";

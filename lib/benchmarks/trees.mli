@@ -10,6 +10,22 @@ val parity : ?width:int -> unit -> Leakage_circuit.Netlist.t
 
 val parity_reference : bool array -> bool
 
+val chain : ?stages:int -> ?tap_every:int -> unit -> Leakage_circuit.Netlist.t
+(** Inverter chain [stages] deep (default 1024) — the depth stress case for
+    anything that walks fanout cones: a recursive walk overflows the stack
+    on chains a few tens of thousands of gates deep. With [tap_every > 0]
+    (default 0 = pure INV chain), every [tap_every]-th stage is instead a
+    NAND2 "gateway" whose second pin is a dedicated primary input
+    [tap{i}]; holding a tap at 0 (a controlling value) pins that gateway's
+    output, so an all-zero pattern cuts the chain into independent
+    [tap_every]-stage segments — the canonical workload for value-aware
+    cone pruning. Inputs: [head], then the taps in stage order. One
+    output (the last stage). *)
+
+val chain_reference : ?tap_every:int -> stages:int -> bool array -> bool
+(** Boolean function of {!chain}'s output for an input assignment ([head]
+    first, then taps). *)
+
 val decoder : ?select_bits:int -> unit -> Leakage_circuit.Netlist.t
 (** [select_bits]-to-2^[select_bits] one-hot decoder (default 4): every
     output is the AND of the select literals; the select nets fan out to

@@ -43,6 +43,22 @@ val eval : kind -> bool array -> bool
 
 val eval_logic : kind -> Logic.vector -> Logic.value
 
+val controlling_value : kind -> Logic.value option
+(** The input value that pins the cell's output regardless of every other
+    pin: [Some Zero] for AND/NAND, [Some One] for OR/NOR, [None] for cells
+    with no single controlling value (INV, BUF, XOR, XNOR and the AOI/OAI
+    complex cells — though the latter can still be pinned by value
+    {e combinations}, which {!pinned_output} detects exactly). *)
+
+val pinned_output : kind -> free:bool array -> bool array -> bool option
+(** [pinned_output kind ~free inputs] is [Some o] when the cell's output is
+    [o] under {e every} assignment of the pins marked [free], with the
+    remaining pins held at their [inputs] values — i.e. the stable pins pin
+    the output. [None] when some free-pin assignment flips it. Exact (not a
+    controlling-value approximation) via at most [2^free] calls to {!eval};
+    arity is at most 4, so at most 16. With no free pins this is simply
+    [Some (eval kind inputs)]. Raises on arity mismatch like {!eval}. *)
+
 (** {2 Stage decomposition} *)
 
 type network_tree =

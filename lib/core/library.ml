@@ -36,14 +36,38 @@ let temp t = t.temp
 let vdd t = t.vdd
 let cache t = Domain.DLS.get t.cache
 
-(* kinds code below 64, strength buckets below 2^10, vectors below 2^16 *)
+(* The packed cache key allots bits [0,16) to the input vector, [16,26) to
+   the strength bucket and [26,32) to the gate code. Each field is
+   range-checked before packing: a silent overflow would alias distinct
+   characterizations onto one key and return the wrong entry. *)
+let max_strength = 1023.0 /. 4.0
+
+let strength_in_range strength =
+  strength > 0.0 && Float.round (strength *. 4.0) <= 1023.0
+
 let strength_bucket strength =
+  if not (strength > 0.0) then
+    invalid_arg
+      (Printf.sprintf "Library: strength %g must be positive" strength);
   let q = int_of_float (Float.round (strength *. 4.0)) in
-  Stdlib.max 1 (Stdlib.min 1023 q)
+  if q > 1023 then
+    invalid_arg
+      (Printf.sprintf
+         "Library: strength %g exceeds the characterizable range (max %g)"
+         strength max_strength);
+  Stdlib.max 1 q
 
 let key kind strength vector =
-  (Gate.code kind lsl 26)
-  lor (strength_bucket strength lsl 16)
+  let code = Gate.code kind in
+  if code < 0 || code > 63 then
+    invalid_arg
+      (Printf.sprintf "Library: gate code %d for %s outside [0, 63]" code
+         (Gate.name kind));
+  if Array.length vector > 16 then
+    invalid_arg
+      (Printf.sprintf "Library: vector arity %d exceeds the packable 16"
+         (Array.length vector));
+  (code lsl 26) lor (strength_bucket strength lsl 16)
   lor Logic.int_of_vector vector
 
 let characterize_key t kind strength vector =

@@ -25,12 +25,28 @@ val device : t -> Leakage_device.Params.t
 val temp : t -> float
 val vdd : t -> float
 
+val max_strength : float
+(** Largest drive strength an entry can be characterized at (255.75).
+    Strength buckets quantize to quarter steps in [(0, 1023]]; a strength
+    whose bucket would overflow that range used to silently saturate —
+    aliasing every strength ≥ 255.75 onto one cache entry — and now raises
+    instead. *)
+
+val strength_in_range : float -> bool
+(** Whether {!entry} accepts this strength: positive and quantizing to a
+    bucket no greater than {!max_strength} allows. Strengths below an eighth
+    still clamp {e up} to the smallest bucket (0.25), which only coarsens,
+    never aliases distinct keys. *)
+
 val entry :
   ?strength:float ->
   t -> Leakage_circuit.Gate.kind -> Leakage_circuit.Logic.vector ->
   Characterize.entry
 (** Characterize-on-demand lookup. [strength] (default 1.0) is quantized to
-    quarter steps — entries are shared within a bucket. *)
+    quarter steps — entries are shared within a bucket. Raises
+    [Invalid_argument] when the cache key cannot be packed without
+    collisions: strength outside {!strength_in_range} (non-positive or
+    beyond {!max_strength}), a vector of arity > 16, or a gate code ≥ 64. *)
 
 val precharacterize :
   ?pool:Leakage_parallel.Pool.t ->

@@ -18,6 +18,8 @@ let h_cone_lookups = Tm.histogram "incr.cone_lookups"
 let h_batch_edits = Tm.histogram "incr.batch_edits"
 let h_batch_groups = Tm.histogram "incr.batch_groups"
 let h_group_edits = Tm.histogram "incr.group_edits"
+let h_cone_pruned = Tm.histogram "incr.cone_pruned_gates"
+let h_cone_struct = Tm.histogram "incr.cone_struct_gates"
 
 type stats = {
   edits : int;
@@ -298,7 +300,13 @@ let validate t (edit : Edit.t) =
   match edit with
   | Edit.Resize (g, s) ->
     check_gate t g;
-    if s <= 0.0 then invalid_arg "Incremental: Resize strength must be positive"
+    if s <= 0.0 then invalid_arg "Incremental: Resize strength must be positive";
+    if not (Library.strength_in_range s) then
+      invalid_arg
+        (Printf.sprintf
+           "Incremental: Resize strength %g exceeds the library's \
+            characterizable range (max %g)"
+           s Library.max_strength)
   | Edit.Retype (g, k) ->
     check_gate t g;
     if Gate.arity k <> Array.length t.gates.(g).Netlist.fan_in then
@@ -376,7 +384,10 @@ let apply t edit =
    groups partition the batch indices *)
 let dummy_inverse = Edit.Set_input (0, false)
 
-let apply_batch ?pool t edits =
+let partition_state t =
+  { Cone.Partition.values = t.values; kinds = t.kind }
+
+let apply_batch ?pool ?(prune = true) t edits =
   match edits with
   | [] -> ()
   | [ edit ] -> apply t edit
@@ -384,7 +395,12 @@ let apply_batch ?pool t edits =
     List.iter (validate t) edits;
     let arr = Array.of_list edits in
     let n = Array.length arr in
-    let groups = Cone.Partition.groups t.netlist arr in
+    (* The pruning state is read before any edit is staged, so the partition
+       is a function of (netlist, batch, settled pre-batch state) — the same
+       at any job count and for any edit order within the batch. *)
+    let state = if prune then Some (partition_state t) else None in
+    let cones = Cone.Partition.cones ?state t.netlist arr in
+    let groups = Cone.Partition.groups_of t.netlist cones in
     let inverses = Array.make n dummy_inverse in
     (* Each group stages and propagates only within its own cone, so groups
        touch disjoint slices of the per-net/per-gate arrays and can run on
@@ -396,7 +412,20 @@ let apply_batch ?pool t edits =
       Tm.incr m_batches;
       Tm.add m_edits n;
       Tm.observe h_batch_edits (float_of_int n);
-      Tm.observe h_batch_groups (float_of_int (Array.length groups))
+      Tm.observe h_batch_groups (float_of_int (Array.length groups));
+      (* pruned vs structural cone sizes; without pruning the partition
+         cones are the structural ones *)
+      let observe_sizes h cs =
+        Array.iter
+          (fun (c : Cone.Partition.cone) ->
+            Tm.observe h (float_of_int (List.length c.Cone.Partition.gates)))
+          cs
+      in
+      let structural =
+        if prune then Cone.Partition.cones t.netlist arr else cones
+      in
+      observe_sizes h_cone_struct structural;
+      if prune then observe_sizes h_cone_pruned cones
     end;
     let scratches =
       Pool.map ?pool (Array.length groups) (fun gi ->
@@ -437,6 +466,12 @@ let set_vector ?pool t v =
         edits := Edit.Set_input (n, Logic.to_bool v.(i)) :: !edits)
     inputs;
   apply_batch ?pool t !edits
+
+let preview_groups ?(prune = true) t edits =
+  List.iter (validate t) edits;
+  let arr = Array.of_list edits in
+  let state = if prune then Some (partition_state t) else None in
+  Cone.Partition.groups ?state t.netlist arr
 
 let undo t =
   match t.log with

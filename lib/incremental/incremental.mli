@@ -67,17 +67,32 @@ val apply : t -> Edit.t -> unit
     retype, library at a different corner, [Set_input] on a non-input
     net). *)
 
-val apply_batch : ?pool:Leakage_parallel.Pool.t -> t -> Edit.t list -> unit
+val apply_batch :
+  ?pool:Leakage_parallel.Pool.t -> ?prune:bool -> t -> Edit.t list -> unit
 (** Apply several edits with one cone propagation per cone-disjoint group
     (see {!Cone.Partition.groups}) — cheaper than sequential {!apply} when
     edits overlap (e.g. flipping many input bits at once), and with [?pool]
-    the disjoint groups run on separate domains. The grouped schedule is a
-    function of the netlist and the batch alone and the cross-group merge
+    the disjoint groups run on separate domains. By default ([prune = true])
+    cones are pruned with the pre-batch settled values: the downstream
+    descent stops at gates whose output provably cannot flip because a
+    stable side input pins it (see {!Cone.Partition.state}), which yields
+    more, smaller groups on deep circuits. The grouped schedule is a
+    function of the netlist, the batch as a set, and the settled pre-batch
+    state — never of edit order or job count — and the cross-group merge
     order is fixed, so the result is bit-identical at any job count
     (including no pool at all) and equivalent to applying the edits left to
-    right up to float reassociation. The whole batch is validated before any
-    edit is staged; each edit is still logged individually, so {!undo}
-    reverts them one at a time in reverse order. *)
+    right up to float reassociation. Pruned and unpruned runs agree on every
+    per-net and per-gate float bit for bit; only the [totals] / [baseline]
+    scalar accumulators may differ in the last ulps, because a different
+    partition sums the same per-gate deltas in a different association.
+    The whole batch is validated before any edit is staged; each edit is
+    still logged individually, so {!undo} reverts them one at a time in
+    reverse order. *)
+
+val preview_groups : ?prune:bool -> t -> Edit.t list -> int array array
+(** The cone-disjoint groups {!apply_batch} would use for this batch at the
+    current session state, without applying anything (group members are
+    batch indices). Validates the batch like {!apply_batch}. *)
 
 val set_vector : ?pool:Leakage_parallel.Pool.t -> t -> Leakage_circuit.Logic.vector -> unit
 (** Batched [Set_input] edits moving the session to a new primary-input

@@ -1,15 +1,21 @@
 (* Differential replay harness for incremental sessions.
 
-   Replays edit batches through three implementations of the same semantics:
+   Replays edit batches through four implementations of the same semantics:
 
-   (a) sequential [Incremental.apply_batch] (no pool),
+   (a) sequential [Incremental.apply_batch] (no pool), value-aware pruning
+       on (the default),
    (b) parallel [apply_batch ~pool] at jobs ∈ {1, 2, 4, 8},
    (c) a from-scratch [Estimator.estimate] oracle on the session's current
        netlist/pattern/libraries,
+   (d) sequential [apply_batch ~prune:false] — the structural (unpruned)
+       partition,
 
    asserting exact (bit-identical) state equality between (a) and every (b),
    tolerance-bounded totals agreement between (a) and a per-edit [apply]
-   walk, and tolerance-bounded agreement with (c). On failure the harness
+   walk, exact equality of every per-net/per-gate field between (a) and (d)
+   with tolerance only on the two scalar accumulators (a different partition
+   sums the same per-gate deltas in a different float association), and
+   tolerance-bounded agreement with (c). On failure the harness
    shrinks the batch list to a minimal failing input (greedy delta
    debugging: drop whole batches, then single edits, while the failure
    reproduces) and reports it with {!Edit.pp}.
@@ -174,6 +180,35 @@ let fingerprint_diff a b =
 
 let rel a b = if b = 0.0 then Float.abs a else Float.abs (a -. b) /. Float.abs b
 
+let components_close tol (a : Report.components) (b : Report.components) =
+  rel a.Report.isub b.Report.isub <= tol
+  && rel a.Report.igate b.Report.igate <= tol
+  && rel a.Report.ibtbt b.Report.ibtbt <= tol
+
+(* Pruned vs unpruned comparison: the two partitions drive identical
+   gate-local updates (same values, entries, injections, per-gate
+   components, bit for bit), but group them differently, so the scalar
+   totals/baseline accumulators may differ in the last ulps of float
+   association. Everything else is compared exactly. *)
+let fingerprint_diff_assoc tol a b =
+  if a.fp_pattern <> b.fp_pattern then
+    Some (Printf.sprintf "pattern %s vs %s" a.fp_pattern b.fp_pattern)
+  else if Stdlib.compare a.fp_values b.fp_values <> 0 then Some "logic values"
+  else if Stdlib.compare a.fp_gates b.fp_gates <> 0 then Some "gate kinds/strengths"
+  else if Stdlib.compare a.fp_injection b.fp_injection <> 0 then
+    Some "net injections"
+  else if Stdlib.compare a.fp_per_gate b.fp_per_gate <> 0 then
+    Some "per-gate components"
+  else if not (components_close tol a.fp_totals b.fp_totals) then
+    Some
+      (Printf.sprintf "totals %.17g vs %.17g beyond association tolerance"
+         (Report.total a.fp_totals) (Report.total b.fp_totals))
+  else if not (components_close tol a.fp_baseline b.fp_baseline) then
+    Some "baselines beyond association tolerance"
+  else if a.fp_depth <> b.fp_depth then
+    Some (Printf.sprintf "undo depth %d vs %d" a.fp_depth b.fp_depth)
+  else None
+
 (* ---------------------------------------------------------------- replay *)
 
 let pp_batches batches =
@@ -197,6 +232,7 @@ let replay ?(oracle_tol = 1e-9) ?(edit_tol = 1e-12) nl pattern batches =
       job_counts (Lazy.force pools)
   in
   let per_edit = Incremental.create lib nl pattern in
+  let unpruned = Incremental.create lib nl pattern in
   let exception Diverged of string in
   try
     List.iteri
@@ -215,6 +251,17 @@ let replay ?(oracle_tol = 1e-9) ?(edit_tol = 1e-12) nl pattern batches =
                       "batch %d: jobs=%d differs from sequential in %s" bi
                       jobs what)))
           pooled;
+        Incremental.apply_batch ~prune:false unpruned batch;
+        (match
+           fingerprint_diff_assoc edit_tol reference (fingerprint unpruned)
+         with
+         | None -> ()
+         | Some what ->
+           raise
+             (Diverged
+                (Printf.sprintf
+                   "batch %d: unpruned partition differs from pruned in %s"
+                   bi what)));
         List.iter (Incremental.apply per_edit) batch;
         let d =
           rel

@@ -174,6 +174,49 @@ let test_library_accessors () =
   Alcotest.(check (float 0.0)) "temp" temp (Library.temp lib);
   Alcotest.(check (float 0.0)) "vdd" device.Params.vdd (Library.vdd lib)
 
+let test_library_strength_range () =
+  (* the packed key allots 10 bits to the strength bucket; out-of-range
+     strengths used to saturate silently onto bucket 1023, aliasing every
+     oversized cell onto one cache entry *)
+  Alcotest.(check (float 0.0)) "max is 1023 quarter-steps" (1023.0 /. 4.0)
+    Library.max_strength;
+  Alcotest.(check bool) "max itself packs" true
+    (Library.strength_in_range Library.max_strength);
+  Alcotest.(check bool) "just beyond max rejected" false
+    (Library.strength_in_range (Library.max_strength +. 0.25));
+  Alcotest.(check bool) "zero rejected" false (Library.strength_in_range 0.0);
+  Alcotest.(check bool) "negative rejected" false
+    (Library.strength_in_range (-1.0));
+  (* sub-eighth strengths clamp UP to the 0.25 bucket: coarser, never
+     aliased with a different in-range strength *)
+  Alcotest.(check bool) "tiny strength still packs" true
+    (Library.strength_in_range 0.01)
+
+let test_library_strength_guards () =
+  Alcotest.check_raises "oversized strength raises"
+    (Invalid_argument
+       "Library: strength 256 exceeds the characterizable range (max 255.75)")
+    (fun () -> ignore (Library.entry ~strength:256.0 lib Gate.Inv [| Logic.Zero |]));
+  Alcotest.check_raises "non-positive strength raises"
+    (Invalid_argument "Library: strength 0 must be positive")
+    (fun () -> ignore (Library.entry ~strength:0.0 lib Gate.Inv [| Logic.Zero |]))
+
+let test_library_vector_arity_guard () =
+  (* 17 state bits cannot pack into the 16-bit vector field; the guard must
+     fire before any characterization is attempted *)
+  let before = Library.entry_count lib in
+  Alcotest.check_raises "arity 17 raises"
+    (Invalid_argument "Library: vector arity 17 exceeds the packable 16")
+    (fun () -> ignore (Library.entry lib Gate.Inv (Array.make 17 Logic.Zero)));
+  Alcotest.(check int) "nothing characterized" before (Library.entry_count lib)
+
+let test_library_tiny_strength_shares_bucket () =
+  ignore (Library.entry ~strength:0.25 lib Gate.Inv [| Logic.Zero |]);
+  let n = Library.entry_count lib in
+  (* 0.05 rounds to bucket 0, which clamps up to bucket 1 = 0.25 *)
+  ignore (Library.entry ~strength:0.05 lib Gate.Inv [| Logic.Zero |]);
+  Alcotest.(check int) "clamped into the 0.25 bucket" n (Library.entry_count lib)
+
 (* ------------------------------------------------------------ Estimator *)
 
 let chain_circuit () =
@@ -972,6 +1015,12 @@ let () =
           Alcotest.test_case "caches" `Quick test_library_caches;
           Alcotest.test_case "distinct vectors" `Quick test_library_distinct_vectors;
           Alcotest.test_case "accessors" `Quick test_library_accessors;
+          Alcotest.test_case "strength range" `Quick test_library_strength_range;
+          Alcotest.test_case "strength guards" `Quick test_library_strength_guards;
+          Alcotest.test_case "vector arity guard" `Quick
+            test_library_vector_arity_guard;
+          Alcotest.test_case "tiny strength bucket" `Quick
+            test_library_tiny_strength_shares_bucket;
         ] );
       ( "estimator",
         [

@@ -12,6 +12,7 @@
 
 module H = Diff_harness
 module Logic = Leakage_circuit.Logic
+module Gate = Leakage_circuit.Gate
 module Netlist = Leakage_circuit.Netlist
 module Incremental = Leakage_incremental.Incremental
 module Edit = Leakage_incremental.Edit
@@ -130,6 +131,111 @@ let prop_partition =
            groups
       && strictly_increasing
            (List.map (fun g -> g.(0)) (Array.to_list groups)))
+
+(* value-aware pruning: pruned cones are sound subsets of structural ones
+   and the pruned partition refines the structural partition *)
+let session_state nl pattern =
+  {
+    Cone.Partition.values = Leakage_circuit.Simulate.run nl pattern;
+    kinds =
+      Array.map (fun (g : Netlist.gate) -> g.Netlist.kind) (Netlist.gates nl);
+  }
+
+let subset a b = List.for_all (fun x -> List.mem x b) a
+
+let prop_partition_pruned =
+  qtest ~count:50 "pruned groups: subset cones, refinement, contract"
+    seed_pair
+    (fun (cseed, eseed) ->
+      let rng = Rng.create (cseed + 1) in
+      let nl = H.random_netlist rng in
+      let pattern = H.random_pattern rng nl in
+      let state = session_state nl pattern in
+      let erng = Rng.create (eseed + 1) in
+      let n = 1 + Rng.int erng 11 in
+      let edits = Array.init n (fun _ -> H.random_edit erng nl) in
+      let structural = Array.map (Cone.Partition.cone nl) edits in
+      let pruned = Cone.Partition.cones ~state nl edits in
+      let groups = Cone.Partition.groups ~state nl edits in
+      (* each pruned cone is contained in its structural cone *)
+      Array.for_all2
+        (fun (p : Cone.Partition.cone) (s : Cone.Partition.cone) ->
+          subset p.Cone.Partition.gates s.Cone.Partition.gates
+          && subset p.Cone.Partition.nets s.Cone.Partition.nets)
+        pruned structural
+      (* still a partition of the batch indices *)
+      && (let flat = List.concat_map Array.to_list (Array.to_list groups) in
+          List.sort_uniq compare flat = List.init n Fun.id)
+      (* groups match the pruned-cone overlap graph *)
+      && Array.length groups = overlap_components pruned
+      (* edits in different groups have disjoint pruned cones *)
+      && (let ok = ref true in
+          Array.iteri
+            (fun gi ga ->
+              Array.iteri
+                (fun gj gb ->
+                  if gi < gj then
+                    Array.iter
+                      (fun ei ->
+                        Array.iter
+                          (fun ej ->
+                            if cones_overlap pruned.(ei) pruned.(ej) then
+                              ok := false)
+                          gb)
+                      ga)
+                groups)
+            groups;
+          !ok)
+      (* same deterministic ordering contract as the structural partition *)
+      && Array.for_all
+           (fun g -> strictly_increasing (Array.to_list g))
+           groups
+      && strictly_increasing
+           (List.map (fun g -> g.(0)) (Array.to_list groups))
+      (* pruned cones only shrink, so the pruned partition refines the
+         structural one: every pruned group sits inside one structural
+         group *)
+      && (let sgroups = Cone.Partition.groups nl edits in
+          let sroot = Array.make n (-1) in
+          Array.iter
+            (fun g -> Array.iter (fun e -> sroot.(e) <- g.(0)) g)
+            sgroups;
+          Array.for_all
+            (fun g -> Array.for_all (fun e -> sroot.(e) = sroot.(g.(0))) g)
+            groups))
+
+(* the canonical pruning scenario: a tapped chain under an all-zero pattern
+   is cut at every gateway, so edits in distinct segments form distinct
+   groups where the structural partition collapses them into one *)
+let test_partition_pruned_chain () =
+  let stages = 48 and tap_every = 8 in
+  let nl = Leakage_benchmarks.Trees.chain ~stages ~tap_every () in
+  let width = Array.length (Netlist.inputs nl) in
+  let pattern = Array.make width Logic.Zero in
+  let state = session_state nl pattern in
+  (* one INV->BUF retype mid-segment in segments 0, 2, 4 *)
+  let edits =
+    Array.map
+      (fun seg -> Edit.Retype ((seg * tap_every) + (tap_every / 2), Gate.Buf))
+      [| 0; 2; 4 |]
+  in
+  let sgroups = Cone.Partition.groups nl edits in
+  let pgroups = Cone.Partition.groups ~state nl edits in
+  Alcotest.(check int) "structural: one downstream-entangled group" 1
+    (Array.length sgroups);
+  Alcotest.(check int) "pruned: one group per segment" 3
+    (Array.length pgroups);
+  (* pruned cones stop at the next gateway: a segment's worth of gates,
+     not the rest of the chain *)
+  let c = Cone.Partition.cone ~state nl edits.(0) in
+  let reach = List.length c.Cone.Partition.gates in
+  Alcotest.(check bool)
+    (Printf.sprintf "pruned cone reach %d stays within a segment" reach)
+    true
+    (reach < 2 * tap_every);
+  let s = Cone.Partition.cone nl edits.(0) in
+  Alcotest.(check bool) "structural cone runs to the chain end" true
+    (List.length s.Cone.Partition.gates > stages - tap_every)
 
 let test_partition_singletons () =
   (* a one-edit batch is one group; an empty batch has no groups *)
@@ -253,6 +359,9 @@ let () =
       ( "partition",
         [
           prop_partition;
+          prop_partition_pruned;
+          Alcotest.test_case "pruned chain segments" `Quick
+            test_partition_pruned_chain;
           Alcotest.test_case "singletons" `Quick test_partition_singletons;
         ] );
       ( "interleave",

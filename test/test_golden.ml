@@ -16,6 +16,7 @@ module Characterize = Leakage_core.Characterize
 module Library = Leakage_core.Library
 module Report = Leakage_spice.Leakage_report
 module Suite = Leakage_benchmarks.Suite
+module Trees = Leakage_benchmarks.Trees
 
 let device = Params.d25
 let temp = 300.0
@@ -25,13 +26,23 @@ let vectors = 2
 let seed = 7
 let fixture = "golden_suite.json"
 
+(* the paper's suite plus a 16k-deep tapped chain: the depth stress case —
+   a recursive cone walk would blow the stack here, and the gateway taps
+   make it the canonical value-aware-pruning topology. Appended after
+   [Suite.all] so the earlier circuits keep their exact RNG streams (the
+   per-entry splits are drawn in order). *)
+let entries =
+  Suite.all
+  @ [ { Suite.label = "chain16k";
+        build = (fun () -> Trees.chain ~stages:16384 ~tap_every:64 ()) } ]
+
 (* components can legitimately sit many orders of magnitude apart, so each
    is compared relatively; an exactly-zero golden value demands (near) zero *)
 let tol = 1e-6
 
 let rel a b = if b = 0.0 then Float.abs a else Float.abs (a -. b) /. Float.abs b
 
-let runs = lazy (Suite.estimate_all ~vectors ~seed lib)
+let runs = lazy (Suite.estimate_all ~entries ~vectors ~seed lib)
 
 (* ------------------------------------------------------------- JSON emit *)
 
@@ -149,7 +160,7 @@ let test_fixture_settings () =
 let test_suite_matches_golden () =
   let chunks = circuit_chunks (read_fixture ()) in
   let rows = Lazy.force runs in
-  Alcotest.(check int) "circuit count" (List.length Suite.names)
+  Alcotest.(check int) "circuit count" (List.length entries)
     (List.length chunks);
   Alcotest.(check int) "one run per fixture entry" (List.length chunks)
     (Array.length rows);

@@ -13,6 +13,8 @@ module Library = Leakage_core.Library
 module Estimator = Leakage_core.Estimator
 module Incremental = Leakage_incremental.Incremental
 module Edit = Leakage_incremental.Edit
+module Cone = Leakage_incremental.Cone
+module Simulate = Leakage_circuit.Simulate
 module Dual_vth = Leakage_incremental.Dual_vth
 module Vector_mc = Leakage_incremental.Vector_mc
 module Trees = Leakage_benchmarks.Trees
@@ -230,6 +232,11 @@ let test_guards () =
   Alcotest.check_raises "non-positive strength"
     (Invalid_argument "Incremental: Resize strength must be positive")
     (fun () -> Incremental.apply s (Edit.Resize (0, 0.0)));
+  Alcotest.check_raises "strength beyond the library's packable range"
+    (Invalid_argument
+       "Incremental: Resize strength 300 exceeds the library's \
+        characterizable range (max 255.75)")
+    (fun () -> Incremental.apply s (Edit.Resize (0, 300.0)));
   Alcotest.check_raises "arity-changing retype"
     (Invalid_argument "Incremental: Retype g0 to INV changes arity") (fun () ->
       Incremental.apply s (Edit.Retype (0, Gate.Inv)));
@@ -314,6 +321,50 @@ let test_differential_replay () =
        (Logic.vector_of_string "01")
        [ Diff_harness.random_batch rng small 6 ])
 
+(* ------------------------------------------------------- deep chains *)
+
+(* Regression for the non-tail-recursive cone walk and union-find: both used
+   to overflow the stack on chains a few tens of thousands of gates deep.
+   The walk, the 64-way claim chain and the pruned variant must all survive
+   a 100k-stage chain. *)
+let test_deep_chain_structural () =
+  let stages = 100_000 in
+  let nl = Trees.chain ~stages () in
+  let c = Cone.Partition.cone nl (Edit.Retype (0, Gate.Buf)) in
+  Alcotest.(check int) "full-depth structural cone" stages
+    (List.length c.Cone.Partition.gates);
+  let edits =
+    Array.init 64 (fun i -> Edit.Retype (i * (stages / 64), Gate.Buf))
+  in
+  let groups = Cone.Partition.groups nl edits in
+  Alcotest.(check int) "one downstream-entangled group" 1 (Array.length groups);
+  Alcotest.(check int) "all 64 edits in it" 64 (Array.length groups.(0))
+
+let partition_state_of nl pattern =
+  {
+    Cone.Partition.values = Simulate.run nl pattern;
+    kinds =
+      Array.map (fun (g : Netlist.gate) -> g.Netlist.kind) (Netlist.gates nl);
+  }
+
+let test_deep_chain_pruned () =
+  let stages = 100_000 and tap_every = 1_000 in
+  let nl = Trees.chain ~stages ~tap_every () in
+  let width = Array.length (Netlist.inputs nl) in
+  (* all-zero pattern: every gateway NAND sees a controlling 0 tap *)
+  let state = partition_state_of nl (Array.make width Logic.Zero) in
+  let edits =
+    Array.init 16 (fun i -> Edit.Retype ((i * 6 * tap_every) + 500, Gate.Buf))
+  in
+  let groups = Cone.Partition.groups ~state nl edits in
+  Alcotest.(check int) "one pruned group per edited segment" 16
+    (Array.length groups);
+  Array.iter
+    (fun (c : Cone.Partition.cone) ->
+      Alcotest.(check bool) "pruned cone bounded by its segment" true
+        (List.length c.Cone.Partition.gates <= tap_every))
+    (Cone.Partition.cones ~state nl edits)
+
 (* ------------------------------------------------------------ properties *)
 
 let circuit_pool =
@@ -338,6 +389,56 @@ let random_edit rng nl =
        Edit.Retype
          (g.Netlist.id, if Rng.bool rng then Gate.Nand 2 else Gate.Nor 2)
      | _ -> Edit.Relib (g.Netlist.id, if Rng.bool rng then hvt_lib else lib))
+
+(* groups as a set of sets of original batch indices *)
+let canonical map groups =
+  List.sort compare
+    (List.map
+       (fun g -> List.sort compare (List.map map (Array.to_list g)))
+       (Array.to_list groups))
+
+let shuffled_perm rng n =
+  let perm = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let x = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- x
+  done;
+  perm
+
+(* The partition is a function of the batch as a set and the observable
+   pre-batch state (values + kinds) — identical for any edit order within
+   the batch, and for any session history that settles to the same state. *)
+let prop_partition_deterministic (pick, seed) =
+  let nl = circuit_pool.(pick mod Array.length circuit_pool) () in
+  let rng = Rng.create (seed + 1) in
+  let width = Array.length (Netlist.inputs nl) in
+  let pattern = Logic.random_vector rng width in
+  let n = 2 + Rng.int rng 8 in
+  let edits = List.init n (fun _ -> random_edit rng nl) in
+  let earr = Array.of_list edits in
+  let s0 = Incremental.create lib nl pattern in
+  let reference = canonical Fun.id (Incremental.preview_groups s0 edits) in
+  (* edit order within the batch *)
+  let perm = shuffled_perm rng n in
+  let shuffled = List.init n (fun i -> earr.(perm.(i))) in
+  let by_perm =
+    canonical (fun i -> perm.(i)) (Incremental.preview_groups s0 shuffled)
+  in
+  (* prior session edits, all undone: same settled state, same groups *)
+  let s1 = Incremental.create lib nl pattern in
+  let cp = Incremental.checkpoint s1 in
+  for _ = 1 to 4 do
+    Incremental.apply s1 (random_edit rng nl)
+  done;
+  Incremental.rollback s1 cp;
+  let after_detour = canonical Fun.id (Incremental.preview_groups s1 edits) in
+  (* a different starting vector moved to the same pattern *)
+  let s2 = Incremental.create lib nl (Logic.random_vector rng width) in
+  Incremental.set_vector s2 pattern;
+  let after_move = canonical Fun.id (Incremental.preview_groups s2 edits) in
+  reference = by_perm && reference = after_detour && reference = after_move
 
 (* Random edit sequences on random netlists stay equivalent to a fresh
    estimate — including at intermediate points, after a batch, and after
@@ -370,6 +471,11 @@ let prop_tests =
       (QCheck2.Test.make ~count:8 ~name:"random edit sequences match fresh estimates"
          QCheck2.Gen.(tup2 (int_bound 1000) (int_bound 10_000))
          prop_random_edits);
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:20
+         ~name:"partition groups independent of edit order and history"
+         QCheck2.Gen.(tup2 (int_bound 1000) (int_bound 10_000))
+         prop_partition_deterministic);
   ]
 
 let () =
@@ -406,6 +512,13 @@ let () =
       ( "differential",
         [
           Alcotest.test_case "replay harness" `Quick test_differential_replay;
+        ] );
+      ( "deep chain",
+        [
+          Alcotest.test_case "100k structural walk" `Quick
+            test_deep_chain_structural;
+          Alcotest.test_case "100k pruned partition" `Quick
+            test_deep_chain_pruned;
         ] );
       ("properties", prop_tests);
     ]
