@@ -1,7 +1,8 @@
 (* leakctl: command-line front end for the loading-aware leakage estimator.
 
    Subcommands: list, stats, generate, estimate, characterize, sweep, mc,
-   vectors. Run `leakctl --help` or `leakctl CMD --help`. *)
+   vectors, incr, serve, client, ... Run `leakctl --help` or
+   `leakctl CMD --help`. *)
 
 open Cmdliner
 
@@ -802,6 +803,257 @@ let incr_cmd =
           $ seed_arg $ edits_arg $ refresh_arg $ flip_arg $ batch_arg
           $ jobs_arg)
 
+(* ---------------------------------------------------------------- serve *)
+
+module Server = Leakage_server.Server
+module Sproto = Leakage_server.Protocol
+module Sclient = Leakage_server.Client
+
+let socket_arg =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let port_arg =
+  Arg.(value & opt (some int) None
+       & info [ "port" ] ~docv:"N" ~doc:"Loopback TCP port.")
+
+let serve_cmd =
+  let run socket port executors quota max_sessions state_dir jobs =
+    let socket =
+      match socket with
+      | Some s -> s
+      | None -> failwith "--socket PATH is required"
+    in
+    (* the metrics op answers from the live telemetry registry *)
+    Telemetry.set_enabled true;
+    (* a client hanging up mid-reply must not kill the daemon *)
+    ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+    let server =
+      Server.create ?port ~executors
+        ?jobs:(if jobs <= 0 then None else Some jobs)
+        ~quota ~max_sessions ?state_dir ~socket ()
+    in
+    let stop _ = Server.request_stop server in
+    ignore (Sys.signal Sys.sigint (Sys.Signal_handle stop));
+    ignore (Sys.signal Sys.sigterm (Sys.Signal_handle stop));
+    Format.printf "leakctl serve: listening on %s%s@." socket
+      (match port with
+       | Some p -> Printf.sprintf " and 127.0.0.1:%d" p
+       | None -> "");
+    Format.print_flush ();
+    Server.run server;
+    Format.printf "leakctl serve: drained, checkpoints flushed, stopped@."
+  in
+  let executors =
+    Arg.(value & opt int 2
+         & info [ "executors" ] ~docv:"N"
+             ~doc:"Executor domains; sessions stick to one by digest hash.")
+  in
+  let quota =
+    Arg.(value & opt int 8
+         & info [ "quota" ] ~docv:"N"
+             ~doc:"Per-tenant in-flight request cap (over it, requests are \
+                   rejected with a retriable over_quota error).")
+  in
+  let max_sessions =
+    Arg.(value & opt int 8
+         & info [ "max-sessions" ] ~docv:"N"
+             ~doc:"Live warm sessions before idle LRU eviction.")
+  in
+  let state_dir =
+    Arg.(value & opt (some string) None
+         & info [ "state-dir" ] ~docv:"DIR"
+             ~doc:"Checkpoint directory: evicted or killed sessions restore \
+                   from here on the next open. Without it nothing survives \
+                   eviction or a restart.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the estimation daemon: warm incremental sessions keyed by \
+             netlist digest behind a binary protocol on a Unix-domain socket \
+             (and optionally a loopback TCP port). SIGINT/SIGTERM shut down \
+             gracefully: drain queued work, flush checkpoints, close \
+             sockets.")
+    Term.(const run $ socket_arg $ port_arg $ executors $ quota
+          $ max_sessions $ state_dir $ jobs_arg)
+
+(* --------------------------------------------------------------- client *)
+
+let client_cmd =
+  let parse_pair what conv s =
+    match String.index_opt s ':' with
+    | None -> failwith (what ^ " expects ID:VALUE, got " ^ s)
+    | Some i ->
+      ( int_of_string (String.sub s 0 i),
+        conv (String.sub s (i + 1) (String.length s - i - 1)) )
+  in
+  let run socket port op session tenant device temp pattern circuit bench
+      resizes retypes sets refresh ckpt =
+    let client =
+      match socket, port with
+      | Some path, _ -> Sclient.connect_unix path
+      | None, Some p -> Sclient.connect_tcp p
+      | None, None -> failwith "--socket PATH or --port N is required"
+    in
+    Fun.protect ~finally:(fun () -> Sclient.close client) @@ fun () ->
+    let sid () =
+      match session with
+      | Some s -> s
+      | None -> failwith ("--session is required for " ^ op)
+    in
+    try
+      match op with
+      | "ping" ->
+        Sclient.ping client;
+        Format.printf "pong@."
+      | "open" ->
+        let circuit =
+          match circuit, bench with
+          | Some name, None -> Sproto.Builtin name
+          | None, Some path ->
+            let ic = open_in_bin path in
+            let text = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            Sproto.Bench
+              { name = Filename.remove_extension (Filename.basename path);
+                text }
+          | Some _, Some _ -> failwith "give either --circuit or --bench, not both"
+          | None, None -> failwith "open needs --circuit NAME or --bench FILE"
+        in
+        let o =
+          Sclient.open_session client ~tenant ~device ~temp_c:temp ~pattern
+            ~circuit ()
+        in
+        Format.printf "session %d: %s, digest %s, %d gates@."
+          o.Sclient.session
+          (Sproto.session_status_name o.Sclient.status)
+          o.Sclient.digest o.Sclient.gates
+      | "apply" ->
+        (* flags of one kind keep their order; kinds apply in the order
+           resize, retype, set-input *)
+        let edits =
+          List.map
+            (fun s ->
+              let g, f = parse_pair "--resize" float_of_string s in
+              Sproto.Resize (g, f))
+            resizes
+          @ List.map
+              (fun s ->
+                let g, k = parse_pair "--retype" Fun.id s in
+                Sproto.Retype (g, k))
+              retypes
+          @ List.map
+              (fun s ->
+                let n, b =
+                  parse_pair "--set-input"
+                    (function
+                      | "0" -> false
+                      | "1" -> true
+                      | v -> failwith ("bit must be 0 or 1, got " ^ v))
+                    s
+                in
+                Sproto.Set_input (n, b))
+              sets
+        in
+        if edits = [] then
+          failwith "apply needs at least one --resize/--retype/--set-input";
+        let groups = Sclient.apply_batch client ~session:(sid ()) edits in
+        Format.printf "applied %d edits in %d cone groups@."
+          (List.length edits) groups
+      | "query" ->
+        let loaded, baseline =
+          Sclient.query client ~session:(sid ()) ~refresh ()
+        in
+        pp_components "loaded (with fan-out)" loaded;
+        pp_components "baseline (unloaded)" baseline;
+        Format.printf "  loading penalty: %+.2f%%@."
+          ((Report.total loaded /. Report.total baseline -. 1.) *. 100.)
+      | "checkpoint" ->
+        Format.printf "checkpoint %d@."
+          (Sclient.checkpoint client ~session:(sid ()))
+      | "rollback" ->
+        let ck =
+          match ckpt with
+          | Some c -> c
+          | None -> failwith "--ckpt N is required for rollback"
+        in
+        Sclient.rollback client ~session:(sid ()) ~checkpoint:ck;
+        Format.printf "rolled back to checkpoint %d@." ck
+      | "close" ->
+        Sclient.close_session client ~session:(sid ());
+        Format.printf "closed@."
+      | "metrics" ->
+        print_string (Sclient.metrics client);
+        print_newline ()
+      | "shutdown" ->
+        Sclient.shutdown_server client;
+        Format.printf "server draining@."
+      | other -> failwith ("unknown op " ^ other)
+    with Sclient.Server_error (code, msg) ->
+      failwith
+        (Printf.sprintf "server error (%s%s): %s"
+           (Sproto.error_code_name code)
+           (if Sproto.retriable code then ", retriable" else "")
+           msg)
+  in
+  let op =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"OP"
+             ~doc:"One of: ping, open, apply, query, checkpoint, rollback, \
+                   close, metrics, shutdown.")
+  in
+  let session =
+    Arg.(value & opt (some int) None
+         & info [ "session" ] ~docv:"ID" ~doc:"Session id from open.")
+  in
+  let tenant =
+    Arg.(value & opt string "anon"
+         & info [ "tenant" ] ~docv:"NAME"
+             ~doc:"Tenant name for admission control.")
+  in
+  let device =
+    Arg.(value & opt string "d25"
+         & info [ "device" ] ~docv:"DEV"
+             ~doc:"Device corner name: d25, d50, d25-s, d25-g, d25-jn.")
+  in
+  let pattern =
+    Arg.(value & opt string ""
+         & info [ "pattern" ] ~docv:"BITS"
+             ~doc:"Primary-input vector; empty keeps/zeroes the vector.")
+  in
+  let resize =
+    Arg.(value & opt_all string []
+         & info [ "resize" ] ~docv:"GATE:FACTOR"
+             ~doc:"Resize gate $(i,GATE) by $(i,FACTOR) (repeatable).")
+  in
+  let retype =
+    Arg.(value & opt_all string []
+         & info [ "retype" ] ~docv:"GATE:KIND"
+             ~doc:"Retype gate $(i,GATE) to cell $(i,KIND) (repeatable).")
+  in
+  let set_input =
+    Arg.(value & opt_all string []
+         & info [ "set-input" ] ~docv:"INPUT:BIT"
+             ~doc:"Drive primary input $(i,INPUT) to $(i,BIT) (repeatable).")
+  in
+  let refresh =
+    Arg.(value & flag
+         & info [ "refresh" ]
+             ~doc:"Re-sum totals from state before answering the query.")
+  in
+  let ckpt =
+    Arg.(value & opt (some int) None
+         & info [ "ckpt" ] ~docv:"N" ~doc:"Checkpoint id for rollback.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Talk to a running $(b,leakctl serve) daemon: open a warm \
+             session, apply edit batches, query loaded/baseline totals, \
+             checkpoint/rollback, fetch metrics, or shut the daemon down.")
+    Term.(const run $ socket_arg $ port_arg $ op $ session $ tenant $ device
+          $ temp_arg $ pattern $ circuit_arg $ bench_file_arg $ resize
+          $ retype $ set_input $ refresh $ ckpt)
+
 (* ------------------------------------------------------------ telemetry *)
 
 type telemetry_opts = {
@@ -881,7 +1133,8 @@ let () =
       (Cmd.group info
          [ list_cmd; stats_cmd; generate_cmd; sim_cmd; estimate_cmd; characterize_cmd;
            sweep_cmd; mc_cmd; suite_cmd; stat_cmd; mtcmos_cmd; thermal_cmd;
-           dualvth_cmd; prob_cmd; corners_cmd; vectors_cmd; incr_cmd ])
+           dualvth_cmd; prob_cmd; corners_cmd; vectors_cmd; incr_cmd;
+           serve_cmd; client_cmd ])
   in
   (match opts.trace_path with
    | Some path ->

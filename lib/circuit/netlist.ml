@@ -127,6 +127,79 @@ let with_gates t gates' =
   | Ok () -> t'
   | Error e -> failwith ("Netlist.with_gates: " ^ e)
 
+(* ---------------------------------------------------------------- digest *)
+
+(* FNV-1a over 64 bits: not cryptographic, but stable across runs and
+   platforms, and two independently seeded passes give 128 bits of
+   registry-key space — far beyond what a session registry can collide. *)
+let fnv_prime = 0x100000001b3L
+
+let fnv_byte h b =
+  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+
+let fnv_int64 h v =
+  let h = ref h in
+  for shift = 0 to 7 do
+    h := fnv_byte !h (Int64.to_int (Int64.shift_right_logical v (shift * 8)))
+  done;
+  !h
+
+let fnv_int h v = fnv_int64 h (Int64.of_int v)
+
+let fnv_string h s =
+  let h = ref (fnv_int h (String.length s)) in
+  String.iter (fun c -> h := fnv_byte !h (Char.code c)) s;
+  !h
+
+(* One digest pass: label every net bottom-up — primary inputs by their
+   (interface) name, every driven net by the shape of its driver (kind,
+   strength, fan-in labels in pin order) — then hash the *sorted* label
+   multisets. Sorting is what makes the digest canonical: gate ids, net
+   numbering and declaration order all disappear, only structure and the
+   interface names survive. *)
+let digest_with seed t =
+  let labels = Array.make (Stdlib.max 1 t.nnet_count) 0L in
+  Array.iter
+    (fun n ->
+      labels.(n) <- fnv_string (fnv_byte seed (Char.code 'I')) t.nnet_names.(n))
+    t.ninputs;
+  let order =
+    match
+      Topo_check.sort ~net_count:t.nnet_count ~source_nets:t.ninputs
+        ~gate_inputs:(gate_inputs_arr t) ~gate_outputs:(gate_outputs_arr t)
+    with
+    | Some o -> o
+    | None -> invalid_arg "Netlist.digest: not a valid DAG"
+  in
+  let gate_labels = Array.make (Array.length t.ngates) 0L in
+  Array.iter
+    (fun gi ->
+      let g = t.ngates.(gi) in
+      let h = fnv_byte seed (Char.code 'G') in
+      let h = fnv_int h (Gate.code g.kind) in
+      let h = fnv_int64 h (Int64.bits_of_float g.strength) in
+      let h = Array.fold_left (fun h n -> fnv_int64 h labels.(n)) h g.fan_in in
+      labels.(g.out) <- h;
+      gate_labels.(gi) <- h)
+    order;
+  let fold_sorted h arr =
+    let c = Array.copy arr in
+    Array.sort Int64.compare c;
+    Array.fold_left fnv_int64 h c
+  in
+  let h = fnv_int seed (Array.length t.ngates) in
+  let h = fnv_int h (Array.length t.ninputs) in
+  let h = fnv_int h (Array.length t.noutputs) in
+  let h = fold_sorted h gate_labels in
+  let h = fold_sorted h (Array.map (fun n -> labels.(n)) t.ninputs) in
+  let h = fold_sorted h (Array.map (fun n -> labels.(n)) t.noutputs) in
+  h
+
+let digest t =
+  Printf.sprintf "%016Lx%016Lx"
+    (digest_with 0xcbf29ce484222325L t)
+    (digest_with 0x6c62272e07bb0142L t)
+
 type stats = {
   n_gates : int;
   n_nets : int;

@@ -65,6 +65,18 @@ val with_gates : t -> gate array -> t
 val gate_count : t -> int
 val transistor_count : t -> int
 
+val digest : t -> string
+(** Stable structural digest: 32 lowercase hex characters, identical across
+    process runs and platforms. The digest is {e canonical} — independent of
+    construction order (input/gate declaration order, net numbering, the
+    internal net names a builder invents, and the netlist's own name).
+    Primary inputs are identified by their net names (the circuit's
+    interface); every driven net purely by the shape of its fan-in cone:
+    gate kind, drive strength, and fan-in labels in pin order. Two netlists
+    share a digest iff they describe the same circuit at the same interface
+    — which is what keys the warm-session registry of [leakctl serve].
+    Cost: one topological pass per call; not cached. *)
+
 type stats = {
   n_gates : int;
   n_nets : int;

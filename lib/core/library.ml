@@ -9,6 +9,8 @@ module Trace = Leakage_telemetry.Trace
 let m_hits = Tm.counter "library.hits"
 let m_misses = Tm.counter "library.misses"
 let m_adopted = Tm.counter "library.adopted"
+let m_shared_hits = Tm.counter "library.shared_hits"
+let m_published = Tm.counter "library.published"
 let h_build_us = Tm.histogram "library.build_us"
 
 type t = {
@@ -20,6 +22,13 @@ type t = {
       (* Per-domain caches: characterization is a pure function of the key,
          so domains may characterize the same entry redundantly but never
          disagree — and the hot lookup path stays lock-free. *)
+  published : (int, Characterize.entry) Hashtbl.t;
+  publish_mutex : Mutex.t;
+      (* Publish-once snapshot shared by every domain. A domain that misses
+         its own cache adopts from here before paying for a characterization
+         (ms-scale DC solves), and publishes what it does build — so N
+         domains warm each entry once, not N times. Only the miss path takes
+         the mutex; cache hits stay lock-free. *)
 }
 
 let create ?(grid = Characterize.default_grid) ~device ~temp ?vdd () =
@@ -29,6 +38,8 @@ let create ?(grid = Characterize.default_grid) ~device ~temp ?vdd () =
     temp;
     vdd = Option.value vdd ~default:device.Leakage_device.Params.vdd;
     cache = Domain.DLS.new_key (fun () -> Hashtbl.create 64);
+    published = Hashtbl.create 64;
+    publish_mutex = Mutex.create ();
   }
 
 let device t = t.device
@@ -75,6 +86,20 @@ let characterize_key t kind strength vector =
   Characterize.characterize ~grid:t.grid ~strength:quantized ~device:t.device
     ~temp:t.temp ~vdd:t.vdd kind vector
 
+let published_find t k =
+  Mutex.lock t.publish_mutex;
+  let e = Hashtbl.find_opt t.published k in
+  Mutex.unlock t.publish_mutex;
+  e
+
+let publish t k e =
+  Mutex.lock t.publish_mutex;
+  if not (Hashtbl.mem t.published k) then begin
+    Tm.incr m_published;
+    Hashtbl.replace t.published k e
+  end;
+  Mutex.unlock t.publish_mutex
+
 let entry ?(strength = 1.0) t kind vector =
   let cache = cache t in
   let k = key kind strength vector in
@@ -83,15 +108,25 @@ let entry ?(strength = 1.0) t kind vector =
     Tm.incr m_hits;
     e
   | None ->
-    Tm.incr m_misses;
-    let e =
-      Trace.with_span ~cat:"library" "characterize"
-        ~args:[ ("cell", Gate.name kind) ]
-      @@ fun () ->
-      Tm.time h_build_us (fun () -> characterize_key t kind strength vector)
-    in
-    Hashtbl.replace cache k e;
-    e
+    (* This domain is cold on the key; another domain may already have paid
+       for it. Two domains can still race to build the same entry (both miss
+       before either publishes) — harmless, characterization is pure. *)
+    (match published_find t k with
+     | Some e ->
+       Tm.incr m_shared_hits;
+       Hashtbl.replace cache k e;
+       e
+     | None ->
+       Tm.incr m_misses;
+       let e =
+         Trace.with_span ~cat:"library" "characterize"
+           ~args:[ ("cell", Gate.name kind) ]
+         @@ fun () ->
+         Tm.time h_build_us (fun () -> characterize_key t kind strength vector)
+       in
+       Hashtbl.replace cache k e;
+       publish t k e;
+       e)
 
 let precharacterize ?pool ?(kinds = Gate.all_kinds) t =
   let work =

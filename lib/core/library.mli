@@ -6,10 +6,17 @@
     actually occur.
 
     The cache is {e per-domain} ([Domain.DLS]): characterization is a pure
-    function of the key, so domains may redundantly characterize the same
-    entry but can never observe a torn table — and lookups stay lock-free.
-    A library value can therefore be shared freely across a
-    {!Leakage_parallel.Pool}. *)
+    function of the key, so domains can never observe a torn table — and
+    hit-path lookups stay lock-free. A library value can therefore be shared
+    freely across a {!Leakage_parallel.Pool}.
+
+    Behind the per-domain caches sits one shared {e publish-once snapshot}:
+    a domain that misses its own cache first adopts the entry another domain
+    already built (counter [library.shared_hits]) and only characterizes —
+    and publishes — when nobody has ([library.misses] therefore counts
+    actual characterization solves). This is what stops a suite fan-out from
+    warming the same entries independently on every lane; only the rare miss
+    path takes the snapshot's mutex. *)
 
 type t
 

@@ -1,0 +1,92 @@
+exception Server_error of Protocol.error_code * string
+
+type t = { fd : Unix.file_descr; mutable connected : bool }
+
+let connect sockaddr domain =
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd sockaddr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; connected = true }
+
+let connect_unix path = connect (Unix.ADDR_UNIX path) Unix.PF_UNIX
+
+let connect_tcp ?(host = "127.0.0.1") port =
+  connect
+    (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+    Unix.PF_INET
+
+let close t =
+  if t.connected then begin
+    t.connected <- false;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let rpc t req =
+  if not t.connected then invalid_arg "Client.rpc: closed";
+  Wire.write_frame t.fd (Protocol.encode_request req);
+  Protocol.decode_response (Wire.read_frame t.fd)
+
+(* unwrap an Error frame into an exception; anything else falls through *)
+let ok t req k =
+  match rpc t req with
+  | Protocol.Error { code; message } -> raise (Server_error (code, message))
+  | resp -> k resp
+
+let unexpected what = failwith ("Client: unexpected response to " ^ what)
+
+type opened = {
+  session : int;
+  digest : string;
+  status : Protocol.session_status;
+  gates : int;
+}
+
+let ping t =
+  ok t Protocol.Ping (function
+    | Protocol.Pong -> ()
+    | _ -> unexpected "ping")
+
+let open_session t ?(tenant = "anon") ?(device = "d25") ?(temp_c = 25.0)
+    ?(pattern = "") ~circuit () =
+  ok t (Protocol.Open_session { tenant; circuit; device; temp_c; pattern })
+    (function
+    | Protocol.Session_opened { session; digest; status; gates } ->
+      { session; digest; status; gates }
+    | _ -> unexpected "open_session")
+
+let apply_batch t ~session edits =
+  ok t (Protocol.Apply_batch { session; edits }) (function
+    | Protocol.Applied { groups; _ } -> groups
+    | _ -> unexpected "apply_batch")
+
+let query t ~session ?(refresh = false) () =
+  ok t (Protocol.Query { session; refresh }) (function
+    | Protocol.Queried { loaded; baseline; _ } -> (loaded, baseline)
+    | _ -> unexpected "query")
+
+let checkpoint t ~session =
+  ok t (Protocol.Checkpoint { session }) (function
+    | Protocol.Checkpointed { checkpoint; _ } -> checkpoint
+    | _ -> unexpected "checkpoint")
+
+let rollback t ~session ~checkpoint =
+  ok t (Protocol.Rollback { session; checkpoint }) (function
+    | Protocol.Rolled_back _ -> ()
+    | _ -> unexpected "rollback")
+
+let close_session t ~session =
+  ok t (Protocol.Close { session }) (function
+    | Protocol.Closed _ -> ()
+    | _ -> unexpected "close_session")
+
+let metrics t =
+  ok t Protocol.Metrics (function
+    | Protocol.Metrics_report json -> json
+    | _ -> unexpected "metrics")
+
+let shutdown_server t =
+  ok t Protocol.Shutdown (function
+    | Protocol.Shutdown_ack -> ()
+    | _ -> unexpected "shutdown")

@@ -1,0 +1,83 @@
+(** Blocking client for the [leakctl serve] protocol.
+
+    One {!t} wraps one connected socket and performs strict
+    request/response round-trips; it is not thread-safe — use one client
+    per thread (the server is happy to hold many connections).
+
+    The typed helpers unwrap their expected response and raise
+    {!Server_error} on an [Error] frame, so calling code reads like the
+    straight-line session it is:
+
+    {[
+      let c = Client.connect_unix "/tmp/leak.sock" in
+      let s = Client.open_session c ~circuit:(Builtin "s838") () in
+      Client.apply_batch c ~session:s.session [ Resize (0, 2.0) ];
+      let q = Client.query c ~session:s.session () in
+      ...
+    ]} *)
+
+exception Server_error of Protocol.error_code * string
+(** The server answered with an [Error] frame.
+    [Protocol.retriable] classifies the code. *)
+
+type t
+
+val connect_unix : string -> t
+(** Connect to a Unix-domain socket path. Raises [Unix.Unix_error]. *)
+
+val connect_tcp : ?host:string -> int -> t
+(** Connect to a TCP port ([host] defaults to ["127.0.0.1"]). *)
+
+val close : t -> unit
+(** Close the connection (idempotent). Live server sessions survive — they
+    belong to the registry, not the connection. *)
+
+val rpc : t -> Protocol.request -> Protocol.response
+(** One raw round-trip. Raises {!Wire.Truncated} / [End_of_file] when the
+    server hangs up mid-reply. Does NOT turn [Error] frames into
+    exceptions — the typed helpers below do. *)
+
+type opened = {
+  session : int;
+  digest : string;
+  status : Protocol.session_status;
+  gates : int;
+}
+
+val ping : t -> unit
+
+val open_session :
+  t ->
+  ?tenant:string ->
+  ?device:string ->
+  ?temp_c:float ->
+  ?pattern:string ->
+  circuit:Protocol.circuit_spec ->
+  unit ->
+  opened
+(** Defaults: [tenant "anon"], [device "d25"], [temp_c 25.0],
+    [pattern ""]. *)
+
+val apply_batch : t -> session:int -> Protocol.edit list -> int
+(** Returns the number of cone groups the batch partitioned into. *)
+
+val query :
+  t ->
+  session:int ->
+  ?refresh:bool ->
+  unit ->
+  Leakage_spice.Leakage_report.components
+  * Leakage_spice.Leakage_report.components
+(** [(loaded, baseline)] totals; [refresh] defaults to [false]. *)
+
+val checkpoint : t -> session:int -> int
+(** Returns the new checkpoint id. *)
+
+val rollback : t -> session:int -> checkpoint:int -> unit
+val close_session : t -> session:int -> unit
+
+val metrics : t -> string
+(** The server's {!Leakage_telemetry.Telemetry.Snapshot} as JSON. *)
+
+val shutdown_server : t -> unit
+(** Ask the server to drain and exit; returns once it acknowledges. *)

@@ -1,0 +1,121 @@
+module Tm = Leakage_telemetry.Telemetry
+
+let m_submitted = Tm.counter "serve.jobs_submitted"
+let m_run = Tm.counter "serve.jobs_run"
+let m_errors = Tm.counter "serve.executor_job_errors"
+
+type executor = {
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  ready : Condition.t;
+  mutable stopping : bool;
+}
+
+type t = {
+  execs : executor array;
+  domains : unit Domain.t array;
+  quota : int;
+  tenants : (string, int) Hashtbl.t;
+  tenants_mutex : Mutex.t;
+  mutable stopped : bool;
+}
+
+let executor_loop e () =
+  let running = ref true in
+  while !running do
+    Mutex.lock e.mutex;
+    while Queue.is_empty e.queue && not e.stopping do
+      Condition.wait e.ready e.mutex
+    done;
+    if Queue.is_empty e.queue then begin
+      (* stopping and drained *)
+      Mutex.unlock e.mutex;
+      running := false
+    end
+    else begin
+      let job = Queue.pop e.queue in
+      Mutex.unlock e.mutex;
+      Tm.incr m_run;
+      (* Jobs carry their own error handling (they answer the client); a
+         leak here must never kill the executor. *)
+      try job () with _ -> Tm.incr m_errors
+    end
+  done
+
+let create ?(executors = 2) ?(quota = 8) () =
+  if executors < 1 then invalid_arg "Scheduler.create: executors >= 1";
+  if quota < 1 then invalid_arg "Scheduler.create: quota >= 1";
+  let execs =
+    Array.init executors (fun _ ->
+        {
+          queue = Queue.create ();
+          mutex = Mutex.create ();
+          ready = Condition.create ();
+          stopping = false;
+        })
+  in
+  {
+    execs;
+    domains = Array.map (fun e -> Domain.spawn (executor_loop e)) execs;
+    quota;
+    tenants = Hashtbl.create 16;
+    tenants_mutex = Mutex.create ();
+    stopped = false;
+  }
+
+let executors t = Array.length t.execs
+
+(* FNV-1a over the key: stable across runs, so a session sticks to one
+   executor (and that executor's warm library cache) for its whole life. *)
+let route t key =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code c)))
+          0x100000001b3L)
+    key;
+  t.execs.(Int64.to_int (Int64.logand !h 0x3fffffffL) mod Array.length t.execs)
+
+let try_admit t tenant =
+  Mutex.lock t.tenants_mutex;
+  let current = Option.value ~default:0 (Hashtbl.find_opt t.tenants tenant) in
+  let admitted = current < t.quota in
+  if admitted then Hashtbl.replace t.tenants tenant (current + 1);
+  Mutex.unlock t.tenants_mutex;
+  admitted
+
+let release t tenant =
+  Mutex.lock t.tenants_mutex;
+  (match Hashtbl.find_opt t.tenants tenant with
+  | Some n when n > 1 -> Hashtbl.replace t.tenants tenant (n - 1)
+  | Some _ -> Hashtbl.remove t.tenants tenant
+  | None -> ());
+  Mutex.unlock t.tenants_mutex
+
+let submit t ~key job =
+  if t.stopped then invalid_arg "Scheduler.submit: shut down";
+  let e = route t key in
+  Mutex.lock e.mutex;
+  if e.stopping then begin
+    Mutex.unlock e.mutex;
+    invalid_arg "Scheduler.submit: shut down"
+  end;
+  Queue.push job e.queue;
+  Tm.incr m_submitted;
+  Condition.signal e.ready;
+  Mutex.unlock e.mutex
+
+let shutdown t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Array.iter
+      (fun e ->
+        Mutex.lock e.mutex;
+        e.stopping <- true;
+        Condition.broadcast e.ready;
+        Mutex.unlock e.mutex)
+      t.execs;
+    Array.iter Domain.join t.domains
+  end

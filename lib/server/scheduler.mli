@@ -1,0 +1,46 @@
+(** Multi-tenant request scheduler: per-session serialization, cross-session
+    parallelism, per-tenant admission control.
+
+    The scheduler owns a fixed set of {e executor domains}, each with its own
+    FIFO queue. A job is routed by a stable hash of its session key, so every
+    request for one session lands on one queue — that alone serializes a
+    session without any per-session lock, while sessions hashed to different
+    executors run concurrently. Executors submit their sessions' cone groups
+    to the one shared {!Leakage_parallel.Pool} passed by the server; the
+    pool's busy-flag contract makes concurrent submissions safe (the loser
+    runs its region inline), so distinct sessions' disjoint cone groups
+    multiplex onto one set of worker domains.
+
+    Digest-affinity is also what keeps characterization caches warm: a
+    session always re-estimates on the same executor domain, whose
+    {!Leakage_core.Library} DLS cache it already filled (the publish-once
+    snapshot covers the cross-executor case).
+
+    Admission control is per tenant: each tenant may have at most [quota]
+    requests in flight (queued or running) across all sessions. {!try_admit}
+    beyond the quota fails, and the server answers with a retriable
+    [Over_quota] error frame instead of queueing unboundedly. *)
+
+type t
+
+val create : ?executors:int -> ?quota:int -> unit -> t
+(** [executors] defaults to 2, [quota] (per-tenant in-flight cap) to 8.
+    Raises [Invalid_argument] when either is below 1. *)
+
+val executors : t -> int
+
+val try_admit : t -> string -> bool
+(** [try_admit t tenant] reserves one in-flight slot for [tenant]; [false]
+    when the tenant is at quota (nothing is reserved). Always pair a [true]
+    with {!release}. *)
+
+val release : t -> string -> unit
+
+val submit : t -> key:string -> (unit -> unit) -> unit
+(** Enqueue a job on the executor owning [key] (stable hash). Jobs on one
+    key run in submission order, one at a time. Raises [Invalid_argument]
+    after {!shutdown}. A job must not raise; exceptions escaping it are
+    caught and dropped after counting [serve.executor_job_errors]. *)
+
+val shutdown : t -> unit
+(** Drain: executors finish every queued job, then stop and join. Idempotent. *)

@@ -1,0 +1,344 @@
+module Incremental = Leakage_incremental.Incremental
+module Pool = Leakage_parallel.Pool
+module Tm = Leakage_telemetry.Telemetry
+
+let m_requests = Tm.counter "serve.requests"
+let m_rejected = Tm.counter "serve.rejected"
+let m_bad_frames = Tm.counter "serve.bad_frames"
+let m_connections = Tm.counter "serve.connections"
+let h_open_us = Tm.histogram "serve.open_us"
+let h_apply_us = Tm.histogram "serve.apply_us"
+let h_query_us = Tm.histogram "serve.query_us"
+
+type t = {
+  socket_path : string;
+  port : int option;
+  registry : Registry.t;
+  scheduler : Scheduler.t;
+  pool : Pool.t option;
+  mutable listeners : Unix.file_descr list;
+  stop_requested : bool Atomic.t;
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  is_running : bool Atomic.t;
+}
+
+let create ?port ?(executors = 2) ?jobs ?(quota = 8) ?(max_sessions = 8)
+    ?state_dir ~socket () =
+  let jobs =
+    match jobs with Some j -> Pool.clamp_jobs j | None -> Pool.default_jobs ()
+  in
+  let pool = if jobs > 1 then Some (Pool.create ~jobs ()) else None in
+  let registry = Registry.create ?state_dir ~max_sessions () in
+  let scheduler = Scheduler.create ~executors ~quota () in
+  if Sys.file_exists socket then Unix.unlink socket;
+  let unix_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind unix_fd (Unix.ADDR_UNIX socket);
+  Unix.listen unix_fd 64;
+  let listeners =
+    match port with
+    | None -> [ unix_fd ]
+    | Some p ->
+      let tcp = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt tcp Unix.SO_REUSEADDR true;
+      Unix.bind tcp (Unix.ADDR_INET (Unix.inet_addr_loopback, p));
+      Unix.listen tcp 64;
+      [ unix_fd; tcp ]
+  in
+  let stop_r, stop_w = Unix.pipe () in
+  {
+    socket_path = socket;
+    port;
+    registry;
+    scheduler;
+    pool;
+    listeners;
+    stop_requested = Atomic.make false;
+    stop_r;
+    stop_w;
+    is_running = Atomic.make false;
+  }
+
+let request_stop t =
+  if not (Atomic.exchange t.stop_requested true) then
+    (* one byte on the self-pipe wakes the select loop; both operations are
+       async-signal-safe, so SIGINT/SIGTERM handlers may call this *)
+    ignore (Unix.write t.stop_w (Bytes.make 1 '!') 0 1)
+
+let running t = Atomic.get t.is_running
+
+let stopping t = Atomic.get t.stop_requested
+
+(* ------------------------------------------------------------ mailbox *)
+
+type mailbox = {
+  m : Mutex.t;
+  c : Condition.t;
+  mutable value : Protocol.response option;
+}
+
+let mailbox () = { m = Mutex.create (); c = Condition.create (); value = None }
+
+let mailbox_put mb v =
+  Mutex.lock mb.m;
+  mb.value <- Some v;
+  Condition.signal mb.c;
+  Mutex.unlock mb.m
+
+let mailbox_wait mb =
+  Mutex.lock mb.m;
+  while mb.value = None do
+    Condition.wait mb.c mb.m
+  done;
+  let v = Option.get mb.value in
+  Mutex.unlock mb.m;
+  v
+
+(* ------------------------------------------------------------ handlers *)
+
+let err code fmt =
+  Printf.ksprintf
+    (fun message -> Protocol.Error { code; message })
+    fmt
+
+(* Run [f] on the session's executor, serialized with every other request
+   for that session, and hand the result back through a mailbox. The
+   latency histogram sees queue wait plus execution — what a client feels. *)
+let on_session t (session : Registry.session) histo f =
+  let mb = mailbox () in
+  Registry.begin_request t.registry session;
+  let t0 = Tm.now_us () in
+  (try
+     Scheduler.submit t.scheduler ~key:session.Registry.key (fun () ->
+         let resp =
+           try f ()
+           with
+           | Invalid_argument m -> err Protocol.Bad_request "%s" m
+           | Failure m -> err Protocol.Internal "%s" m
+         in
+         Tm.observe histo (Tm.now_us () -. t0);
+         Registry.end_request t.registry session;
+         mailbox_put mb resp)
+   with Invalid_argument _ ->
+     Registry.end_request t.registry session;
+     mailbox_put mb (err Protocol.Shutting_down "server is draining"));
+  mailbox_wait mb
+
+let with_admission t tenant k =
+  if stopping t then err Protocol.Shutting_down "server is draining"
+  else if not (Scheduler.try_admit t.scheduler tenant) then begin
+    Tm.incr m_rejected;
+    err Protocol.Over_quota "tenant %s is at its in-flight quota" tenant
+  end
+  else
+    Fun.protect ~finally:(fun () -> Scheduler.release t.scheduler tenant) k
+
+let find_session t id k =
+  match Registry.find t.registry id with
+  | None -> err Protocol.Unknown_session "no live session %d" id
+  | Some session -> k session
+
+let handle_open t ~tenant ~circuit ~device ~temp_c ~pattern =
+  match Protocol.device_of_name device with
+  | None -> err Protocol.Bad_request "unknown device corner %s" device
+  | Some dev ->
+    let spec =
+      {
+        Registry.circuit;
+        device_name = String.lowercase_ascii device;
+        device = dev;
+        temp_c;
+      }
+    in
+    (match Registry.resolve t.registry spec with
+     | exception Not_found ->
+       err Protocol.Bad_request "unknown built-in circuit"
+     | exception Leakage_circuit.Bench_format.Parse_error (line, msg) ->
+       err Protocol.Bad_request "bench parse error, line %d: %s" line msg
+     | exception Failure m -> err Protocol.Bad_request "%s" m
+     | exception Invalid_argument m -> err Protocol.Bad_request "%s" m
+     | resolved ->
+       let mb = mailbox () in
+       let t0 = Tm.now_us () in
+       (try
+          Scheduler.submit t.scheduler ~key:resolved.Registry.rkey (fun () ->
+              let resp =
+                try
+                  let session, status =
+                    Registry.open_session ?pool:t.pool t.registry resolved
+                      ~pattern
+                  in
+                  ignore tenant;
+                  Protocol.Session_opened
+                    {
+                      session = session.Registry.id;
+                      digest = session.Registry.digest;
+                      status;
+                      gates =
+                        Leakage_circuit.Netlist.gate_count
+                          resolved.Registry.netlist;
+                    }
+                with
+                | Invalid_argument m -> err Protocol.Bad_request "%s" m
+                | Failure m -> err Protocol.Internal "%s" m
+              in
+              Tm.observe h_open_us (Tm.now_us () -. t0);
+              mailbox_put mb resp)
+        with Invalid_argument _ ->
+          mailbox_put mb (err Protocol.Shutting_down "server is draining"));
+       mailbox_wait mb)
+
+let handle_apply t ~session_id ~edits =
+  match
+    List.map Protocol.edit_to_incremental edits
+  with
+  | exception Invalid_argument m -> err Protocol.Bad_request "%s" m
+  | incr_edits ->
+    find_session t session_id @@ fun session ->
+    on_session t session h_apply_us (fun () ->
+        let before = (Incremental.stats session.Registry.incr).Incremental.batch_groups in
+        Incremental.apply_batch ?pool:t.pool session.Registry.incr incr_edits;
+        let after = (Incremental.stats session.Registry.incr).Incremental.batch_groups in
+        Registry.checkpoint_to_disk t.registry session;
+        Protocol.Applied
+          {
+            session = session_id;
+            edits = List.length edits;
+            groups = after - before;
+          })
+
+let handle_query t ~session_id ~refresh =
+  find_session t session_id @@ fun session ->
+  on_session t session h_query_us (fun () ->
+      if refresh then Incremental.refresh session.Registry.incr;
+      Protocol.Queried
+        {
+          session = session_id;
+          loaded = Incremental.totals session.Registry.incr;
+          baseline = Incremental.baseline_totals session.Registry.incr;
+        })
+
+let handle_checkpoint t ~session_id =
+  find_session t session_id @@ fun session ->
+  on_session t session h_query_us (fun () ->
+      let id = session.Registry.next_checkpoint in
+      session.Registry.next_checkpoint <- id + 1;
+      Hashtbl.replace session.Registry.checkpoints id
+        (Incremental.checkpoint session.Registry.incr);
+      Protocol.Checkpointed { session = session_id; checkpoint = id })
+
+let handle_rollback t ~session_id ~checkpoint =
+  find_session t session_id @@ fun session ->
+  on_session t session h_query_us (fun () ->
+      match Hashtbl.find_opt session.Registry.checkpoints checkpoint with
+      | None ->
+        err Protocol.Unknown_checkpoint "no checkpoint %d in session %d"
+          checkpoint session_id
+      | Some c ->
+        (match Incremental.rollback session.Registry.incr c with
+         | () -> Protocol.Rolled_back { session = session_id }
+         | exception Invalid_argument _ ->
+           Hashtbl.remove session.Registry.checkpoints checkpoint;
+           err Protocol.Unknown_checkpoint
+             "checkpoint %d was invalidated by an earlier rollback" checkpoint))
+
+let handle_close t ~session_id =
+  find_session t session_id @@ fun session ->
+  on_session t session h_query_us (fun () ->
+      Registry.close_session t.registry session;
+      Protocol.Closed { session = session_id })
+
+let handle_request t ~tenant req =
+  Tm.incr m_requests;
+  match (req : Protocol.request) with
+  | Protocol.Ping -> Protocol.Pong
+  | Protocol.Metrics ->
+    Protocol.Metrics_report (Tm.Snapshot.to_json (Tm.Snapshot.take ()))
+  | Protocol.Shutdown ->
+    request_stop t;
+    Protocol.Shutdown_ack
+  | Protocol.Open_session { tenant = tn; circuit; device; temp_c; pattern } ->
+    tenant := tn;
+    with_admission t !tenant (fun () ->
+        handle_open t ~tenant:tn ~circuit ~device ~temp_c ~pattern)
+  | Protocol.Apply_batch { session; edits } ->
+    with_admission t !tenant (fun () -> handle_apply t ~session_id:session ~edits)
+  | Protocol.Query { session; refresh } ->
+    with_admission t !tenant (fun () -> handle_query t ~session_id:session ~refresh)
+  | Protocol.Checkpoint { session } ->
+    with_admission t !tenant (fun () -> handle_checkpoint t ~session_id:session)
+  | Protocol.Rollback { session; checkpoint } ->
+    with_admission t !tenant (fun () ->
+        handle_rollback t ~session_id:session ~checkpoint)
+  | Protocol.Close { session } ->
+    with_admission t !tenant (fun () -> handle_close t ~session_id:session)
+
+(* --------------------------------------------------------- connections *)
+
+let handle_connection t fd =
+  Tm.incr m_connections;
+  let tenant = ref "anon" in
+  let continue = ref true in
+  (try
+     while !continue do
+       match Wire.read_frame fd with
+       | exception End_of_file -> continue := false
+       | exception Wire.Truncated -> continue := false
+       | frame ->
+         let resp =
+           match Protocol.decode_request frame with
+           | req -> handle_request t ~tenant req
+           | exception Wire.Bad_frame m ->
+             Tm.incr m_bad_frames;
+             err Protocol.Bad_request "malformed request: %s" m
+           | exception Wire.Truncated ->
+             Tm.incr m_bad_frames;
+             err Protocol.Bad_request "truncated request payload"
+         in
+         Wire.write_frame fd (Protocol.encode_response resp)
+     done
+   with
+  | Wire.Bad_frame _ ->
+    (* garbage at the framing layer: answer if possible, then hang up *)
+    Tm.incr m_bad_frames;
+    (try
+       Wire.write_frame fd
+         (Protocol.encode_response (err Protocol.Bad_request "bad frame"))
+     with _ -> ())
+  | Unix.Unix_error _ | Sys_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let graceful_stop t =
+  (* 1. stop accepting and tear the endpoints down *)
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.listeners;
+  t.listeners <- [];
+  if Sys.file_exists t.socket_path then (try Unix.unlink t.socket_path with _ -> ());
+  (* 2. drain: every queued job still answers its client *)
+  Scheduler.shutdown t.scheduler;
+  (* 3. flush session state so a restart resumes warm *)
+  Registry.flush_all t.registry;
+  (* 4. park the worker domains *)
+  Option.iter Pool.shutdown t.pool;
+  Atomic.set t.is_running false
+
+let run t =
+  Atomic.set t.is_running true;
+  (try
+     while not (stopping t) do
+       match Unix.select (t.stop_r :: t.listeners) [] [] (-1.0) with
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       | readable, _, _ ->
+         List.iter
+           (fun fd ->
+             if fd <> t.stop_r && not (stopping t) then begin
+               match Unix.accept fd with
+               | conn, _ ->
+                 ignore (Thread.create (fun () -> handle_connection t conn) ())
+               | exception Unix.Unix_error _ -> ()
+             end)
+           readable
+     done
+   with e ->
+     graceful_stop t;
+     raise e);
+  graceful_stop t

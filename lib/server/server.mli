@@ -1,0 +1,50 @@
+(** The [leakctl serve] daemon: estimation-as-a-service on a Unix-domain
+    socket (and optionally a loopback TCP port).
+
+    One daemon owns one {!Registry} of warm sessions, one {!Scheduler} of
+    executor domains, and one shared {!Leakage_parallel.Pool} for intra-batch
+    cone groups. Connections are handled by lightweight reader threads: each
+    reads one {!Wire} frame, decodes the {!Protocol} request, and either
+    answers inline (ping, metrics) or routes the job through the scheduler
+    and waits for its reply. Per-request latency lands in the
+    [serve.open_us] / [serve.apply_us] / [serve.query_us] histograms, and the
+    [metrics] op returns the exact JSON snapshot [leakctl --metrics-json]
+    writes.
+
+    Shutdown is graceful by construction: {!request_stop} (safe to call from
+    a signal handler — it only flips an atomic and writes one byte to a
+    self-pipe) makes {!run} stop accepting, answer new work with a retriable
+    [Shutting_down] error, drain every queued job, flush all session
+    checkpoints to disk, close the sockets and shut the pool down before
+    returning. *)
+
+type t
+
+val create :
+  ?port:int ->
+  ?executors:int ->
+  ?jobs:int ->
+  ?quota:int ->
+  ?max_sessions:int ->
+  ?state_dir:string ->
+  socket:string ->
+  unit ->
+  t
+(** Bind the listeners and spin up the scheduler and pool — but accept
+    nothing until {!run}. [jobs] sizes the shared pool
+    ({!Leakage_parallel.Pool.default_jobs} when omitted; [1] means no
+    worker domains), [executors] the scheduler (default 2), [quota] the
+    per-tenant in-flight cap (default 8), [max_sessions] the registry's
+    live-session cap (default 8). Raises [Unix.Unix_error] when the socket
+    cannot be bound. *)
+
+val run : t -> unit
+(** Accept and serve until {!request_stop}; performs the graceful shutdown
+    sequence before returning. Call at most once. *)
+
+val request_stop : t -> unit
+(** Ask {!run} to shut down gracefully. Async-signal-safe and idempotent. *)
+
+val running : t -> bool
+(** [true] between {!run} starting to accept and the shutdown completing —
+    what a test harness polls instead of sleeping. *)

@@ -568,6 +568,114 @@ let test_verilog_unique_names_under_collision () =
   in
   Alcotest.(check bool) "second net renamed" true (count "a_b_2" >= 1)
 
+(* --------------------------------------------------------------- digest *)
+
+(* One structure, many constructions: the digest must depend only on the
+   shape (PIs by name, gates by kind/strength/fan-in, output marking). *)
+
+let digest_reference () =
+  let b = Netlist.Builder.create "ref" in
+  let a = Netlist.Builder.input ~name:"a" b in
+  let bb = Netlist.Builder.input ~name:"b" b in
+  let c = Netlist.Builder.input ~name:"c" b in
+  let g1 = Netlist.Builder.gate ~name:"g1" b (Gate.Nand 2) [| a; bb |] in
+  let g2 = Netlist.Builder.gate ~name:"g2" ~strength:2.0 b (Gate.Nor 2) [| bb; c |] in
+  let g3 = Netlist.Builder.gate ~name:"g3" b Gate.Xor [| g1; g2 |] in
+  Netlist.Builder.mark_output b g3;
+  Netlist.Builder.finish b
+
+let test_digest_shape () =
+  let d = Netlist.digest (digest_reference ()) in
+  Alcotest.(check int) "32 hex chars" 32 (String.length d);
+  String.iter
+    (fun ch ->
+      Alcotest.(check bool) "hex digit" true
+        (match ch with 'a' .. 'f' | '0' .. '9' -> true | _ -> false))
+    d;
+  Alcotest.(check string) "deterministic" d
+    (Netlist.digest (digest_reference ()))
+
+let test_digest_input_order_insensitive () =
+  let b = Netlist.Builder.create "swapped-inputs" in
+  (* same PI names declared in reverse order *)
+  let c = Netlist.Builder.input ~name:"c" b in
+  let bb = Netlist.Builder.input ~name:"b" b in
+  let a = Netlist.Builder.input ~name:"a" b in
+  let g1 = Netlist.Builder.gate ~name:"g1" b (Gate.Nand 2) [| a; bb |] in
+  let g2 = Netlist.Builder.gate ~name:"g2" ~strength:2.0 b (Gate.Nor 2) [| bb; c |] in
+  let g3 = Netlist.Builder.gate ~name:"g3" b Gate.Xor [| g1; g2 |] in
+  Netlist.Builder.mark_output b g3;
+  Alcotest.(check string) "digest ignores PI declaration order"
+    (Netlist.digest (digest_reference ()))
+    (Netlist.digest (Netlist.Builder.finish b))
+
+let test_digest_gate_order_insensitive () =
+  let b = Netlist.Builder.create "swapped-gates" in
+  let a = Netlist.Builder.input ~name:"a" b in
+  let bb = Netlist.Builder.input ~name:"b" b in
+  let c = Netlist.Builder.input ~name:"c" b in
+  (* the two independent first-level gates instantiated in the other order *)
+  let g2 = Netlist.Builder.gate ~name:"g2" ~strength:2.0 b (Gate.Nor 2) [| bb; c |] in
+  let g1 = Netlist.Builder.gate ~name:"g1" b (Gate.Nand 2) [| a; bb |] in
+  let g3 = Netlist.Builder.gate ~name:"g3" b Gate.Xor [| g1; g2 |] in
+  Netlist.Builder.mark_output b g3;
+  Alcotest.(check string) "digest ignores gate construction order"
+    (Netlist.digest (digest_reference ()))
+    (Netlist.digest (Netlist.Builder.finish b))
+
+let test_digest_name_insensitive () =
+  let b = Netlist.Builder.create "other-netlist-name" in
+  let a = Netlist.Builder.input ~name:"a" b in
+  let bb = Netlist.Builder.input ~name:"b" b in
+  let c = Netlist.Builder.input ~name:"c" b in
+  (* internal nets renamed; PI names must stay, they label the interface *)
+  let g1 = Netlist.Builder.gate ~name:"w9" b (Gate.Nand 2) [| a; bb |] in
+  let g2 = Netlist.Builder.gate ~name:"w8" ~strength:2.0 b (Gate.Nor 2) [| bb; c |] in
+  let g3 = Netlist.Builder.gate ~name:"w7" b Gate.Xor [| g1; g2 |] in
+  Netlist.Builder.mark_output b g3;
+  Alcotest.(check string) "digest ignores netlist and internal net names"
+    (Netlist.digest (digest_reference ()))
+    (Netlist.digest (Netlist.Builder.finish b))
+
+let test_digest_bench_roundtrip () =
+  let nl = digest_reference () in
+  let nl' = Bench_format.parse_string ~name:"rt" (Bench_format.to_string nl) in
+  Alcotest.(check string) "digest survives a .bench round trip"
+    (Netlist.digest nl) (Netlist.digest nl');
+  (* the suite's s838 holds complex cells that to_string decomposes, so the
+     first serialization changes the structure — but after that, round trips
+     must be digest-stable *)
+  let s838 = (Leakage_benchmarks.Suite.find "s838").Leakage_benchmarks.Suite.build () in
+  let once =
+    Bench_format.parse_string ~name:"s838rt" (Bench_format.to_string s838)
+  in
+  let twice =
+    Bench_format.parse_string ~name:"s838rt2" (Bench_format.to_string once)
+  in
+  Alcotest.(check string) "s838 digest stable once .bench-representable"
+    (Netlist.digest once) (Netlist.digest twice)
+
+let test_digest_sensitivity () =
+  let build ?(kind = Gate.Nand 2) ?(strength = 1.0) ?(pins = false)
+      ?(mark = true) () =
+    let b = Netlist.Builder.create "sens" in
+    let a = Netlist.Builder.input ~name:"a" b in
+    let bb = Netlist.Builder.input ~name:"b" b in
+    let ins = if pins then [| bb; a |] else [| a; bb |] in
+    let g1 = Netlist.Builder.gate ~name:"g1" ~strength b kind ins in
+    let g2 = Netlist.Builder.gate ~name:"g2" b Gate.Inv [| g1 |] in
+    if mark then Netlist.Builder.mark_output b g2;
+    Netlist.Builder.finish b
+  in
+  let base = Netlist.digest (build ()) in
+  let differs label nl =
+    Alcotest.(check bool) label true (Netlist.digest nl <> base)
+  in
+  differs "kind changes digest" (build ~kind:(Gate.Nor 2) ());
+  differs "strength changes digest" (build ~strength:1.5 ());
+  differs "pin order changes digest" (build ~pins:true ());
+  differs "output marking changes digest" (build ~mark:false ())
+
 let () =
   Alcotest.run "circuit"
     [
@@ -624,6 +732,15 @@ let () =
           Alcotest.test_case "structure" `Quick test_verilog_structure;
           Alcotest.test_case "complex cells" `Quick test_verilog_complex_cells_decomposed;
           Alcotest.test_case "name collisions" `Quick test_verilog_unique_names_under_collision;
+        ] );
+      ( "digest",
+        [
+          Alcotest.test_case "shape" `Quick test_digest_shape;
+          Alcotest.test_case "input order" `Quick test_digest_input_order_insensitive;
+          Alcotest.test_case "gate order" `Quick test_digest_gate_order_insensitive;
+          Alcotest.test_case "names" `Quick test_digest_name_insensitive;
+          Alcotest.test_case "bench roundtrip" `Quick test_digest_bench_roundtrip;
+          Alcotest.test_case "sensitivity" `Quick test_digest_sensitivity;
         ] );
       ( "bench-format",
         [

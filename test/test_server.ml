@@ -1,0 +1,565 @@
+(* Tests of the serve layer: wire framing codecs, protocol round trips,
+   scheduler admission and ordering, registry restore-after-kill, and an
+   in-process loopback client/server session checked bit-for-bit against a
+   direct Incremental session and the full Estimator. *)
+
+module Wire = Leakage_server.Wire
+module Protocol = Leakage_server.Protocol
+module Scheduler = Leakage_server.Scheduler
+module Registry = Leakage_server.Registry
+module Server = Leakage_server.Server
+module Client = Leakage_server.Client
+module Params = Leakage_device.Params
+module Physics = Leakage_device.Physics
+module Gate = Leakage_circuit.Gate
+module Logic = Leakage_circuit.Logic
+module Netlist = Leakage_circuit.Netlist
+module Bench_format = Leakage_circuit.Bench_format
+module Report = Leakage_spice.Leakage_report
+module Library = Leakage_core.Library
+module Estimator = Leakage_core.Estimator
+module Incremental = Leakage_incremental.Incremental
+module Edit = Leakage_incremental.Edit
+
+let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let components =
+  Alcotest.testable
+    (fun ppf (c : Report.components) ->
+      Format.fprintf ppf "{isub=%h; igate=%h; ibtbt=%h}" c.Report.isub
+        c.Report.igate c.Report.ibtbt)
+    (fun a b ->
+      Float.equal a.Report.isub b.Report.isub
+      && Float.equal a.Report.igate b.Report.igate
+      && Float.equal a.Report.ibtbt b.Report.ibtbt)
+
+(* ----------------------------------------------------------------- wire *)
+
+let gen_frame =
+  QCheck2.Gen.(
+    map2
+      (fun op payload -> { Wire.op; payload })
+      (int_bound 255)
+      (string_size (int_bound 80)))
+
+let prop_frame_roundtrip =
+  qtest "frame encode/decode round trip" gen_frame (fun f ->
+      Wire.frame_of_string (Wire.frame_to_string f) = f)
+
+let prop_frame_truncation =
+  qtest "every strict prefix is Truncated" gen_frame (fun f ->
+      let s = Wire.frame_to_string f in
+      (* check a handful of prefix lengths, including header cuts *)
+      List.for_all
+        (fun keep ->
+          match Wire.frame_of_string (String.sub s 0 keep) with
+          | _ -> false
+          | exception Wire.Truncated -> true)
+        [ 0; 3; Wire.header_size - 1; String.length s - 1 ])
+
+let test_frame_bad_magic () =
+  let s = Wire.frame_to_string { Wire.op = 1; payload = "x" } in
+  let bad = "XKS1" ^ String.sub s 4 (String.length s - 4) in
+  Alcotest.check_raises "magic" (Wire.Bad_frame "bad magic") (fun () ->
+      ignore (Wire.frame_of_string bad))
+
+let test_frame_bad_version () =
+  let s = Bytes.of_string (Wire.frame_to_string { Wire.op = 1; payload = "" }) in
+  Bytes.set s 4 '\x7f';
+  Alcotest.check_raises "version" (Wire.Bad_frame "version 127") (fun () ->
+      ignore (Wire.frame_of_string (Bytes.to_string s)))
+
+let test_frame_oversize_declaration () =
+  let b = Buffer.create 16 in
+  Buffer.add_string b Wire.magic;
+  Wire.put_u8 b Wire.version;
+  Wire.put_u8 b 1;
+  Wire.put_u32 b (Wire.max_payload + 1);
+  Alcotest.(check bool) "oversize is Bad_frame, not an allocation" true
+    (match Wire.frame_of_string (Buffer.contents b) with
+     | _ -> false
+     | exception Wire.Bad_frame _ -> true)
+
+let test_frame_trailing_bytes () =
+  let s = Wire.frame_to_string { Wire.op = 1; payload = "hi" } in
+  Alcotest.(check bool) "trailing byte rejected" true
+    (match Wire.frame_of_string (s ^ "!") with
+     | _ -> false
+     | exception Wire.Bad_frame _ -> true)
+
+let prop_primitive_roundtrip =
+  qtest "u32/u64/f64/bool/string codec round trip"
+    QCheck2.Gen.(
+      tup4 (int_bound 0xffff_ffff) (map Int64.of_int int)
+        (map (fun i -> float_of_int i /. 16.0) int)
+        (string_size (int_bound 40)))
+    (fun (u, i64, f, s) ->
+      let b = Buffer.create 64 in
+      Wire.put_u32 b u;
+      Wire.put_u64 b i64;
+      Wire.put_f64 b f;
+      Wire.put_bool b true;
+      Wire.put_string b s;
+      let r = Wire.reader (Buffer.contents b) in
+      let u' = Wire.get_u32 r in
+      let i64' = Wire.get_u64 r in
+      let f' = Wire.get_f64 r in
+      let t' = Wire.get_bool r in
+      let s' = Wire.get_string r in
+      Wire.expect_end r;
+      u' = u && i64' = i64 && Float.equal f' f && t' && s' = s)
+
+(* ------------------------------------------------------------- protocol *)
+
+let gen_small_float =
+  QCheck2.Gen.(map (fun i -> float_of_int i /. 64.0) (int_range (-100000) 100000))
+
+let gen_edit =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2 (fun g f -> Protocol.Resize (g, abs_float f +. 0.125)) small_nat gen_small_float;
+        map2 (fun g k -> Protocol.Retype (g, k)) small_nat (string_size (int_bound 8));
+        map2 (fun n b -> Protocol.Set_input (n, b)) small_nat bool;
+      ])
+
+let gen_circuit =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun s -> Protocol.Builtin s) (string_size (int_bound 10));
+        map2
+          (fun name text -> Protocol.Bench { name; text })
+          (string_size (int_bound 10))
+          (string_size (int_bound 60));
+      ])
+
+let gen_request =
+  QCheck2.Gen.(
+    oneof
+      [
+        return Protocol.Ping;
+        return Protocol.Metrics;
+        return Protocol.Shutdown;
+        map3
+          (fun tenant circuit (device, temp_c, pattern) ->
+            Protocol.Open_session { tenant; circuit; device; temp_c; pattern })
+          (string_size (int_bound 12))
+          gen_circuit
+          (tup3 (string_size (int_bound 8)) gen_small_float
+             (string_size (int_bound 12)));
+        map2
+          (fun session edits -> Protocol.Apply_batch { session; edits })
+          small_nat (list_size (int_bound 8) gen_edit);
+        map2
+          (fun session refresh -> Protocol.Query { session; refresh })
+          small_nat bool;
+        map (fun session -> Protocol.Checkpoint { session }) small_nat;
+        map2
+          (fun session checkpoint -> Protocol.Rollback { session; checkpoint })
+          small_nat small_nat;
+        map (fun session -> Protocol.Close { session }) small_nat;
+      ])
+
+let gen_components =
+  QCheck2.Gen.(
+    map3
+      (fun isub igate ibtbt -> { Report.isub; igate; ibtbt })
+      gen_small_float gen_small_float gen_small_float)
+
+let gen_response =
+  QCheck2.Gen.(
+    oneof
+      [
+        return Protocol.Pong;
+        return Protocol.Shutdown_ack;
+        map3
+          (fun session digest (status, gates) ->
+            Protocol.Session_opened { session; digest; status; gates })
+          small_nat
+          (string_size (int_bound 32))
+          (tup2
+             (oneofl [ Protocol.Cold; Protocol.Warm; Protocol.Restored ])
+             small_nat);
+        map3
+          (fun session edits groups ->
+            Protocol.Applied { session; edits; groups })
+          small_nat small_nat small_nat;
+        map3
+          (fun session loaded baseline ->
+            Protocol.Queried { session; loaded; baseline })
+          small_nat gen_components gen_components;
+        map2
+          (fun session checkpoint ->
+            Protocol.Checkpointed { session; checkpoint })
+          small_nat small_nat;
+        map (fun session -> Protocol.Rolled_back { session }) small_nat;
+        map (fun session -> Protocol.Closed { session }) small_nat;
+        map (fun s -> Protocol.Metrics_report s) (string_size (int_bound 60));
+        map2
+          (fun code message -> Protocol.Error { code; message })
+          (oneofl
+             [
+               Protocol.Bad_request; Protocol.Unknown_session;
+               Protocol.Unknown_checkpoint; Protocol.Over_quota;
+               Protocol.Shutting_down; Protocol.Internal;
+             ])
+          (string_size (int_bound 40));
+      ])
+
+let prop_request_roundtrip =
+  qtest "request encode/decode round trip" gen_request (fun r ->
+      Protocol.decode_request (Protocol.encode_request r) = r)
+
+let prop_response_roundtrip =
+  qtest "response encode/decode round trip" gen_response (fun r ->
+      Protocol.decode_response (Protocol.encode_response r) = r)
+
+let test_protocol_rejects_unknown_opcode () =
+  Alcotest.(check bool) "opcode 0x70" true
+    (match Protocol.decode_request { Wire.op = 0x70; payload = "" } with
+     | _ -> false
+     | exception Wire.Bad_frame _ -> true)
+
+let test_protocol_rejects_trailing_payload () =
+  let f = Protocol.encode_request Protocol.Ping in
+  Alcotest.(check bool) "trailing payload bytes" true
+    (match
+       Protocol.decode_request { f with Wire.payload = f.Wire.payload ^ "x" }
+     with
+     | _ -> false
+     | exception Wire.Bad_frame _ -> true)
+
+let test_protocol_rejects_truncated_payload () =
+  let f =
+    Protocol.encode_request
+      (Protocol.Open_session
+         { tenant = "t"; circuit = Protocol.Builtin "s838"; device = "d25";
+           temp_c = 25.0; pattern = "" })
+  in
+  let cut = { f with Wire.payload = String.sub f.Wire.payload 0 3 } in
+  Alcotest.check_raises "payload cut mid-field" Wire.Truncated (fun () ->
+      ignore (Protocol.decode_request cut))
+
+(* ------------------------------------------------------------ scheduler *)
+
+let test_scheduler_quota () =
+  let s = Scheduler.create ~executors:1 ~quota:2 () in
+  Alcotest.(check bool) "first" true (Scheduler.try_admit s "a");
+  Alcotest.(check bool) "second" true (Scheduler.try_admit s "a");
+  Alcotest.(check bool) "third is over quota" false (Scheduler.try_admit s "a");
+  Alcotest.(check bool) "other tenant unaffected" true (Scheduler.try_admit s "b");
+  Scheduler.release s "a";
+  Alcotest.(check bool) "slot freed" true (Scheduler.try_admit s "a");
+  Scheduler.shutdown s
+
+let test_scheduler_serializes_one_key () =
+  let s = Scheduler.create ~executors:3 ~quota:8 () in
+  let log = ref [] in
+  let m = Mutex.create () in
+  for i = 0 to 199 do
+    Scheduler.submit s ~key:"one-session" (fun () ->
+        Mutex.lock m;
+        log := i :: !log;
+        Mutex.unlock m)
+  done;
+  Scheduler.shutdown s;
+  Alcotest.(check (list int)) "jobs on one key ran in submission order"
+    (List.init 200 Fun.id) (List.rev !log)
+
+let test_scheduler_drains_on_shutdown () =
+  let s = Scheduler.create ~executors:2 ~quota:8 () in
+  let hits = Atomic.make 0 in
+  for _ = 1 to 50 do
+    Scheduler.submit s ~key:"a" (fun () -> Atomic.incr hits);
+    Scheduler.submit s ~key:"b" (fun () -> Atomic.incr hits)
+  done;
+  Scheduler.shutdown s;
+  Alcotest.(check int) "every queued job ran" 100 (Atomic.get hits);
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Scheduler.submit: shut down") (fun () ->
+      Scheduler.submit s ~key:"a" (fun () -> ()))
+
+(* ------------------------------------------------------------- registry *)
+
+let bench_text =
+  "INPUT(a)\nINPUT(b)\nINPUT(c)\n\
+   g1 = NAND(a, b)\n\
+   g2 = NOR(b, c)\n\
+   g3 = XOR(g1, g2)\n\
+   g4 = NAND(g3, a)\n\
+   OUTPUT(g4)\n"
+
+let fresh_dir tag =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "leak-%s-%d-%.0f" tag (Unix.getpid ())
+         (Unix.gettimeofday () *. 1e6))
+  in
+  Unix.mkdir dir 0o755;
+  dir
+
+let rm_rf dir =
+  let rec go path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> go (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  if Sys.file_exists dir then go dir
+
+let spec () =
+  {
+    Registry.circuit = Protocol.Bench { name = "mini"; text = bench_text };
+    device_name = "d25";
+    device = Params.d25;
+    temp_c = 25.0;
+  }
+
+let test_registry_restores_last_checkpoint () =
+  let dir = fresh_dir "restore" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let r1 = Registry.create ~state_dir:dir () in
+  let resolved = Registry.resolve r1 (spec ()) in
+  let s, status = Registry.open_session r1 resolved ~pattern:"010" in
+  Alcotest.(check string) "first open is cold" "cold"
+    (Protocol.session_status_name status);
+  Incremental.apply_batch s.Registry.incr [ Edit.Resize (0, 2.0) ];
+  Registry.checkpoint_to_disk r1 s;
+  Incremental.refresh s.Registry.incr;
+  let want = Incremental.totals s.Registry.incr in
+  (* more edits that never reach disk — the batch in flight when the
+     daemon dies *)
+  Incremental.apply_batch s.Registry.incr
+    [ Edit.Resize (2, 3.0); Edit.Retype (1, Gate.Nand 2) ];
+  (* no flush, no close: r1 is simply abandoned, as a kill would *)
+  let r2 = Registry.create ~state_dir:dir () in
+  let resolved2 = Registry.resolve r2 (spec ()) in
+  let s2, status2 = Registry.open_session r2 resolved2 ~pattern:"" in
+  Alcotest.(check string) "reopen restores from disk" "restored"
+    (Protocol.session_status_name status2);
+  Alcotest.(check string) "restored pattern comes from the checkpoint" "010"
+    (Logic.vector_to_string (Incremental.pattern s2.Registry.incr));
+  Incremental.refresh s2.Registry.incr;
+  Alcotest.check components "state is exactly the last checkpoint" want
+    (Incremental.totals s2.Registry.incr)
+
+let test_registry_evicts_idle_lru () =
+  let r = Registry.create ~max_sessions:1 () in
+  let resolved = Registry.resolve r (spec ()) in
+  let s1, _ = Registry.open_session r resolved ~pattern:"000" in
+  let other =
+    { (spec ()) with
+      Registry.circuit =
+        Protocol.Bench { name = "mini2"; text = bench_text ^ "OUTPUT(g1)\n" } }
+  in
+  let resolved2 = Registry.resolve r other in
+  Alcotest.(check bool) "different structure, different key" true
+    (resolved.Registry.rkey <> resolved2.Registry.rkey);
+  let _s2, _ = Registry.open_session r resolved2 ~pattern:"000" in
+  Alcotest.(check int) "cap held by evicting the idle LRU" 1
+    (Registry.live_count r);
+  Alcotest.(check bool) "evicted session no longer found" true
+    (Registry.find r s1.Registry.id = None)
+
+(* ----------------------------------------------------- loopback session *)
+
+let with_server ?state_dir f =
+  let dir = fresh_dir "srv" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let sock = Filename.concat dir "leak.sock" in
+  let server =
+    Server.create ~executors:2 ~jobs:1 ~quota:4 ~max_sessions:4 ?state_dir
+      ~socket:sock ()
+  in
+  let th = Thread.create Server.run server in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.request_stop server;
+      Thread.join th)
+    (fun () -> f sock)
+
+let oracle () =
+  let nl = Bench_format.parse_string ~name:"mini" bench_text in
+  let lib =
+    Library.create ~device:Params.d25 ~temp:(Physics.celsius_to_kelvin 25.0) ()
+  in
+  Incremental.create lib nl (Logic.vector_of_string "010")
+
+let test_loopback_session_matches_oracle () =
+  with_server @@ fun sock ->
+  let c = Client.connect_unix sock in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  Client.ping c;
+  let o =
+    Client.open_session c
+      ~circuit:(Protocol.Bench { name = "mini"; text = bench_text })
+      ~pattern:"010" ()
+  in
+  Alcotest.(check string) "cold open" "cold"
+    (Protocol.session_status_name o.Client.status);
+  Alcotest.(check int) "gate count" 4 o.Client.gates;
+  let direct = oracle () in
+  (* batch 1: all three edit kinds through the wire *)
+  let edits1 =
+    [ Protocol.Resize (0, 2.0); Protocol.Retype (1, "nand2");
+      Protocol.Set_input (0, true) ]
+  in
+  ignore (Client.apply_batch c ~session:o.Client.session edits1);
+  Incremental.apply_batch direct (List.map Protocol.edit_to_incremental edits1);
+  let loaded, baseline = Client.query c ~session:o.Client.session () in
+  Alcotest.check components "loaded matches the direct session bit-for-bit"
+    (Incremental.totals direct) loaded;
+  Alcotest.check components "so does the baseline"
+    (Incremental.baseline_totals direct) baseline;
+  (* checkpoint, drift away, roll back *)
+  let ck = Client.checkpoint c ~session:o.Client.session in
+  let dck = Incremental.checkpoint direct in
+  let edits2 = [ Protocol.Resize (2, 4.0); Protocol.Set_input (2, true) ] in
+  ignore (Client.apply_batch c ~session:o.Client.session edits2);
+  Incremental.apply_batch direct (List.map Protocol.edit_to_incremental edits2);
+  let loaded2, _ = Client.query c ~session:o.Client.session () in
+  Alcotest.check components "after the second batch"
+    (Incremental.totals direct) loaded2;
+  Client.rollback c ~session:o.Client.session ~checkpoint:ck;
+  Incremental.rollback direct dck;
+  let loaded3, _ = Client.query c ~session:o.Client.session ~refresh:true () in
+  Incremental.refresh direct;
+  Alcotest.check components "rolled-back refreshed state"
+    (Incremental.totals direct) loaded3;
+  (* the refreshed reply equals a from-scratch Estimator pass on the same
+     state: the wire, registry and scheduler added nothing numeric *)
+  let full =
+    Estimator.estimate
+      (Library.create ~device:Params.d25
+         ~temp:(Physics.celsius_to_kelvin 25.0) ())
+      (Incremental.current_netlist direct)
+      (Incremental.pattern direct)
+  in
+  Alcotest.check components "matches the full Estimator oracle"
+    full.Estimator.totals loaded3;
+  (* a second client with byte-different .bench text of the same structure
+     attaches warm to the same session *)
+  let c2 = Client.connect_unix sock in
+  Fun.protect ~finally:(fun () -> Client.close c2) @@ fun () ->
+  let o2 =
+    Client.open_session c2
+      ~circuit:
+        (Protocol.Bench
+           { name = "other-name"; text = "# comment\n" ^ bench_text })
+      ()
+  in
+  Alcotest.(check string) "second open is warm" "warm"
+    (Protocol.session_status_name o2.Client.status);
+  Alcotest.(check int) "same session id" o.Client.session o2.Client.session;
+  Alcotest.(check string) "same digest" o.Client.digest o2.Client.digest;
+  Client.close_session c ~session:o.Client.session
+
+let test_loopback_errors () =
+  (* the daemon enables telemetry itself; in-process we must, or the
+     metrics reply has no serve counters to mention *)
+  Leakage_telemetry.Telemetry.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Leakage_telemetry.Telemetry.set_enabled false)
+  @@ fun () ->
+  with_server @@ fun sock ->
+  let c = Client.connect_unix sock in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let check_code label want f =
+    match f () with
+    | _ -> Alcotest.fail (label ^ ": expected a server error")
+    | exception Client.Server_error (code, _) ->
+      Alcotest.(check string) label want (Protocol.error_code_name code)
+  in
+  check_code "unknown session" "unknown-session" (fun () ->
+      Client.query c ~session:999 ());
+  check_code "unknown builtin circuit" "bad-request" (fun () ->
+      Client.open_session c ~circuit:(Protocol.Builtin "nope") ());
+  check_code "unparsable bench text" "bad-request" (fun () ->
+      Client.open_session c
+        ~circuit:(Protocol.Bench { name = "b"; text = "g1 = WAT(a)\n" })
+        ());
+  let o =
+    Client.open_session c
+      ~circuit:(Protocol.Bench { name = "mini"; text = bench_text })
+      ()
+  in
+  check_code "unknown cell name in retype" "bad-request" (fun () ->
+      Client.apply_batch c ~session:o.Client.session
+        [ Protocol.Retype (0, "bogus9") ]);
+  check_code "unknown checkpoint" "unknown-checkpoint" (fun () ->
+      Client.rollback c ~session:o.Client.session ~checkpoint:42);
+  (* metrics is plain JSON with serve counters in it *)
+  let json = Client.metrics c in
+  Alcotest.(check bool) "metrics mention serve.requests" true
+    (let needle = "serve.requests" in
+     let nl = String.length needle and hl = String.length json in
+     let rec scan i =
+       i + nl <= hl && (String.sub json i nl = needle || scan (i + 1))
+     in
+     scan 0)
+
+let test_loopback_rejects_garbage () =
+  with_server @@ fun sock ->
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ()) @@ fun () ->
+  let garbage = "this is not a LKS1 frame at all.." in
+  ignore (Unix.write_substring fd garbage 0 (String.length garbage));
+  match Protocol.decode_response (Wire.read_frame fd) with
+  | Protocol.Error { code = Protocol.Bad_request; _ } -> ()
+  | _ -> Alcotest.fail "expected a bad_request error frame"
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "wire",
+        [
+          prop_frame_roundtrip;
+          prop_frame_truncation;
+          prop_primitive_roundtrip;
+          Alcotest.test_case "bad magic" `Quick test_frame_bad_magic;
+          Alcotest.test_case "bad version" `Quick test_frame_bad_version;
+          Alcotest.test_case "oversize declaration" `Quick
+            test_frame_oversize_declaration;
+          Alcotest.test_case "trailing bytes" `Quick test_frame_trailing_bytes;
+        ] );
+      ( "protocol",
+        [
+          prop_request_roundtrip;
+          prop_response_roundtrip;
+          Alcotest.test_case "unknown opcode" `Quick
+            test_protocol_rejects_unknown_opcode;
+          Alcotest.test_case "trailing payload" `Quick
+            test_protocol_rejects_trailing_payload;
+          Alcotest.test_case "truncated payload" `Quick
+            test_protocol_rejects_truncated_payload;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "tenant quota" `Quick test_scheduler_quota;
+          Alcotest.test_case "per-key order" `Quick
+            test_scheduler_serializes_one_key;
+          Alcotest.test_case "drains on shutdown" `Quick
+            test_scheduler_drains_on_shutdown;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "restore after kill" `Quick
+            test_registry_restores_last_checkpoint;
+          Alcotest.test_case "idle LRU eviction" `Quick
+            test_registry_evicts_idle_lru;
+        ] );
+      ( "loopback",
+        [
+          Alcotest.test_case "session matches oracle" `Quick
+            test_loopback_session_matches_oracle;
+          Alcotest.test_case "error frames" `Quick test_loopback_errors;
+          Alcotest.test_case "garbage rejected" `Quick
+            test_loopback_rejects_garbage;
+        ] );
+    ]

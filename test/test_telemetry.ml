@@ -175,6 +175,38 @@ let test_trace_escapes_strings () =
       Alcotest.(check bool) ("contains " ^ needle) true (contains json needle))
     [ {|quote\"name|}; {|a\"b\\c\nd|} ]
 
+(* --------------------------------------------------- publish-once library *)
+
+module Library = Leakage_core.Library
+module Gate = Leakage_circuit.Gate
+module Logic = Leakage_circuit.Logic
+module Params = Leakage_device.Params
+
+let test_library_publish_once () =
+  with_recording (fun () ->
+      let lib = Library.create ~device:Params.d25 ~temp:300.0 () in
+      let vec = [| Logic.Zero; Logic.One |] in
+      ignore (Library.entry lib (Gate.Nand 2) vec);
+      let snap = Telemetry.Snapshot.take () in
+      let misses = Telemetry.Snapshot.counter_total snap "library.misses" in
+      Alcotest.(check int) "one characterization on this domain" 1 misses;
+      Alcotest.(check int) "published alongside" 1
+        (Telemetry.Snapshot.counter_total snap "library.published");
+      (* a fresh domain has a cold DLS cache, but the published snapshot
+         means it adopts the entry instead of re-characterizing *)
+      Domain.join (Domain.spawn (fun () -> ignore (Library.entry lib (Gate.Nand 2) vec)));
+      let snap = Telemetry.Snapshot.take () in
+      Alcotest.(check int) "no second characterization"
+        misses
+        (Telemetry.Snapshot.counter_total snap "library.misses");
+      Alcotest.(check int) "adopted from the published snapshot" 1
+        (Telemetry.Snapshot.counter_total snap "library.shared_hits");
+      (* a second lookup on the spawning domain is an ordinary cache hit *)
+      ignore (Library.entry lib (Gate.Nand 2) vec);
+      let snap = Telemetry.Snapshot.take () in
+      Alcotest.(check int) "warm hit stays local" 1
+        (Telemetry.Snapshot.counter_total snap "library.hits"))
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -190,6 +222,11 @@ let () =
           Alcotest.test_case "reset" `Quick test_reset_zeroes;
           Alcotest.test_case "per-domain shards" `Quick test_per_domain_shards;
           Alcotest.test_case "snapshot JSON" `Quick test_snapshot_json_shape;
+        ] );
+      ( "library",
+        [
+          Alcotest.test_case "publish once across domains" `Quick
+            test_library_publish_once;
         ] );
       ( "trace",
         [
