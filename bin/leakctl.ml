@@ -14,6 +14,8 @@ module Gate = Leakage_circuit.Gate
 module Netlist = Leakage_circuit.Netlist
 module Simulate = Leakage_circuit.Simulate
 module Bench_format = Leakage_circuit.Bench_format
+module Spice_format = Leakage_circuit.Spice_format
+module Snapshot = Leakage_circuit.Snapshot
 module Report = Leakage_spice.Leakage_report
 module Library = Leakage_core.Library
 module Estimator = Leakage_core.Estimator
@@ -69,7 +71,18 @@ let circuit_arg =
 
 let bench_file_arg =
   Arg.(value & opt (some file) None
-       & info [ "bench" ] ~docv:"FILE" ~doc:"ISCAS89 .bench netlist file.")
+       & info [ "bench" ] ~docv:"FILE"
+           ~doc:"Netlist file, dispatched on extension: .bench (ISCAS89), \
+                 .sp/.cir/.spice (structural SPICE subset), or .lkn (binary \
+                 snapshot, see $(b,leakctl snapshot)).")
+
+(* One ingestion point for every front-end: the extension picks the
+   parser. *)
+let parse_netlist_file path =
+  match String.lowercase_ascii (Filename.extension path) with
+  | ".lkn" -> Snapshot.load path
+  | ".sp" | ".cir" | ".spice" -> Spice_format.parse_file path
+  | _ -> Bench_format.parse_file path
 
 let jobs_arg =
   Arg.(value & opt int 0
@@ -87,7 +100,7 @@ let with_jobs jobs f =
 let load_circuit circuit bench_file =
   match circuit, bench_file with
   | Some name, None -> (Suite.find name).Suite.build ()
-  | None, Some path -> Bench_format.parse_file path
+  | None, Some path -> parse_netlist_file path
   | Some _, Some _ -> failwith "give either --circuit or --bench, not both"
   | None, None -> failwith "a circuit is required: --circuit NAME or --bench FILE"
 
@@ -159,6 +172,27 @@ let generate_cmd =
     (Cmd.info "generate"
        ~doc:"Write a benchmark circuit to an ISCAS89 .bench or Verilog file.")
     Term.(const run $ circuit_arg $ seed_arg $ output_arg $ verilog_arg)
+
+(* ------------------------------------------------------------- snapshot *)
+
+let snapshot_cmd =
+  let output_arg =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Snapshot output path (conventionally .lkn).")
+  in
+  let run circuit bench_file output =
+    let nl = load_circuit circuit bench_file in
+    Snapshot.save output nl;
+    Format.printf "wrote %s (%d gates, digest %s) to %s@." (Netlist.name nl)
+      (Netlist.gate_count nl) (Netlist.digest nl) output
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:"Compile a circuit into an mmap-able LKN1 binary snapshot. Any \
+             command taking $(b,--bench) accepts the resulting .lkn file and \
+             loads it without re-parsing.")
+    Term.(const run $ circuit_arg $ bench_file_arg $ output_arg)
 
 (* ------------------------------------------------------------------ sim *)
 
@@ -911,9 +945,15 @@ let client_cmd =
           match circuit, bench with
           | Some name, None -> Sproto.Builtin name
           | None, Some path ->
+            (* the wire protocol ships the bench text itself, so this one
+               read is necessarily whole-file; the channel must still not
+               leak when the read raises *)
             let ic = open_in_bin path in
-            let text = really_input_string ic (in_channel_length ic) in
-            close_in ic;
+            let text =
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () -> really_input_string ic (in_channel_length ic))
+            in
             Sproto.Bench
               { name = Filename.remove_extension (Filename.basename path);
                 text }
@@ -1074,6 +1114,17 @@ let extract_telemetry_args argv =
   let rest = ref [] in
   let n = Array.length argv in
   let i = ref 0 in
+  (* A malformed global option must not escape as an exception (these are
+     parsed before cmdliner ever runs): print a usage line and exit 124,
+     the same status cmdliner uses for its own CLI parse errors. *)
+  let usage_error key =
+    Printf.eprintf
+      "leakctl: option '%s' needs a FILE argument\n\
+       usage: leakctl [--trace FILE] [--metrics] [--metrics-json FILE] \
+       COMMAND ...\n"
+      key;
+    exit 124
+  in
   while !i < n do
     let arg = argv.(!i) in
     let key, inline =
@@ -1085,11 +1136,14 @@ let extract_telemetry_args argv =
     in
     let value_of () =
       match inline with
+      | Some "" -> usage_error key
       | Some v -> v
       | None ->
-        if !i + 1 >= n then failwith (key ^ " needs a FILE argument");
-        incr i;
-        argv.(!i)
+        if !i + 1 >= n then usage_error key
+        else begin
+          incr i;
+          argv.(!i)
+        end
     in
     (match key with
      | "--trace" -> trace := Some (value_of ())
@@ -1128,13 +1182,31 @@ let () =
           bit-identical." ]
   in
   let info = Cmd.info "leakctl" ~version:"1.0.0" ~doc ~man in
+  let group =
+    Cmd.group info
+      [ list_cmd; stats_cmd; generate_cmd; snapshot_cmd; sim_cmd;
+        estimate_cmd; characterize_cmd;
+        sweep_cmd; mc_cmd; suite_cmd; stat_cmd; mtcmos_cmd; thermal_cmd;
+        dualvth_cmd; prob_cmd; corners_cmd; vectors_cmd; incr_cmd;
+        serve_cmd; client_cmd ]
+  in
+  (* Expected failures (bad netlist file, bad usage, missing path) get one
+     clean stderr line and a distinct exit status, not a backtrace;
+     anything else still escapes loudly as the bug it is. *)
   let code =
-    Cmd.eval ~argv
-      (Cmd.group info
-         [ list_cmd; stats_cmd; generate_cmd; sim_cmd; estimate_cmd; characterize_cmd;
-           sweep_cmd; mc_cmd; suite_cmd; stat_cmd; mtcmos_cmd; thermal_cmd;
-           dualvth_cmd; prob_cmd; corners_cmd; vectors_cmd; incr_cmd;
-           serve_cmd; client_cmd ])
+    try Cmd.eval ~catch:false ~argv group with
+    | Bench_format.Parse_error (line, msg) ->
+      Format.eprintf "leakctl: parse error at line %d: %s@." line msg;
+      123
+    | Spice_format.Parse_error (line, msg) ->
+      Format.eprintf "leakctl: SPICE parse error at line %d: %s@." line msg;
+      123
+    | Snapshot.Snapshot_error msg | Failure msg ->
+      Format.eprintf "leakctl: %s@." msg;
+      123
+    | Sys_error msg ->
+      Format.eprintf "leakctl: %s@." msg;
+      123
   in
   (match opts.trace_path with
    | Some path ->
@@ -1149,9 +1221,11 @@ let () =
     match opts.metrics_json with
     | Some path ->
       let oc = open_out path in
-      output_string oc (Telemetry.Snapshot.to_json snap);
-      output_char oc '\n';
-      close_out oc;
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc (Telemetry.Snapshot.to_json snap);
+          output_char oc '\n');
       Format.eprintf "metrics: JSON report written to %s@." path
     | None -> ()
   end;

@@ -24,26 +24,14 @@ let op_of_string line_no s =
   | "DFF" -> Op_dff
   | other -> raise (Parse_error (line_no, "unknown operator " ^ other))
 
-type decl = {
-  line : int;
-  target : string;
-  op : op;
-  args : string list;
-  strength : float;
-}
+let op_code = function
+  | Op_and -> 0 | Op_or -> 1 | Op_nand -> 2 | Op_nor -> 3 | Op_not -> 4
+  | Op_buf -> 5 | Op_xor -> 6 | Op_xnor -> 7 | Op_dff -> 8
 
-type parsed = {
-  p_inputs : (int * string) list;  (* (line, name), in file order *)
-  p_outputs : string list;
-  p_decls : decl list;
-}
+let op_of_code = [| Op_and; Op_or; Op_nand; Op_nor; Op_not; Op_buf; Op_xor;
+                    Op_xnor; Op_dff |]
 
 let strip s = String.trim s
-
-let split_args s =
-  String.split_on_char ',' s
-  |> List.map strip
-  |> List.filter (fun a -> a <> "")
 
 (* Strength annotations ride in comments ("# strength=2") so sized netlists
    round-trip while plain ISCAS89 files stay untouched. *)
@@ -67,8 +55,114 @@ let strength_of_comment comment =
   in
   find 0
 
+(* ------------------------------------------------- streaming front-end *)
+
+(* The parser consumes the input one line at a time and never holds the
+   file — or a list of its lines — in memory. Every signal name is interned
+   into a dense id the moment it is first seen; declarations are stored as
+   flat int/float buffers (target id, op code, argument ids in a CSR
+   layout), so a million-gate file costs a few flat arrays plus one string
+   per distinct signal name, not a heap record per line. *)
+
+module Vec = struct
+  type t = { mutable a : int array; mutable len : int }
+
+  let create () = { a = Array.make 16 0; len = 0 }
+
+  let push v x =
+    if v.len = Array.length v.a then begin
+      let a = Array.make (2 * v.len) 0 in
+      Array.blit v.a 0 a 0 v.len;
+      v.a <- a
+    end;
+    v.a.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let get v i = v.a.(i)
+  let set v i x = v.a.(i) <- x
+end
+
+module Fvec = struct
+  type t = { mutable a : float array; mutable len : int }
+
+  let create () = { a = Array.make 16 0.0; len = 0 }
+
+  let push v x =
+    if v.len = Array.length v.a then begin
+      let a = Array.make (2 * v.len) 0.0 in
+      Array.blit v.a 0 a 0 v.len;
+      v.a <- a
+    end;
+    v.a.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let get v i = v.a.(i)
+end
+
+type stream = {
+  sig_id : (string, int) Hashtbl.t;
+  mutable sig_names : string array;     (* grows with the intern table *)
+  mutable sig_count : int;
+  sig_decl : Vec.t;     (* per signal: decl index or -1 *)
+  sig_out : Vec.t;      (* per signal: 1 if already OUTPUT-declared *)
+  (* declarations, flat *)
+  d_tgt : Vec.t;
+  d_op : Vec.t;
+  d_line : Vec.t;
+  d_strength : Fvec.t;
+  d_arg_off : Vec.t;    (* length d_count + 1 *)
+  d_args : Vec.t;
+  (* file-order interface declarations *)
+  in_lines : Vec.t;
+  in_sigs : Vec.t;
+  out_sigs : Vec.t;
+}
+
+let stream_create () =
+  let st = {
+    sig_id = Hashtbl.create 1024;
+    sig_names = Array.make 16 "";
+    sig_count = 0;
+    sig_decl = Vec.create ();
+    sig_out = Vec.create ();
+    d_tgt = Vec.create ();
+    d_op = Vec.create ();
+    d_line = Vec.create ();
+    d_strength = Fvec.create ();
+    d_arg_off = Vec.create ();
+    d_args = Vec.create ();
+    in_lines = Vec.create ();
+    in_sigs = Vec.create ();
+    out_sigs = Vec.create ();
+  } in
+  Vec.push st.d_arg_off 0;
+  st
+
+let intern st name =
+  match Hashtbl.find_opt st.sig_id name with
+  | Some id -> id
+  | None ->
+    let id = st.sig_count in
+    Hashtbl.add st.sig_id name id;
+    if id = Array.length st.sig_names then begin
+      let a = Array.make (2 * id) "" in
+      Array.blit st.sig_names 0 a 0 id;
+      st.sig_names <- a
+    end;
+    st.sig_names.(id) <- name;
+    st.sig_count <- id + 1;
+    Vec.push st.sig_decl (-1);
+    Vec.push st.sig_out 0;
+    id
+
 (* Recognize "NAME = OP(arg, ...)" / "INPUT(x)" / "OUTPUT(x)". *)
-let parse_line line_no raw acc =
+let process_line st line_no raw =
+  (* Windows-authored files end lines with \r\n: input_line keeps the \r,
+     so strip it explicitly before anything else looks at the line. *)
+  let raw =
+    let n = String.length raw in
+    if n > 0 && raw.[n - 1] = '\r' then String.sub raw 0 (n - 1) else raw
+  in
   let line, strength =
     match String.index_opt raw '#' with
     | Some i ->
@@ -78,7 +172,7 @@ let parse_line line_no raw acc =
     | None -> (raw, 1.0)
   in
   let line = strip line in
-  if line = "" then acc
+  if line = "" then ()
   else begin
     let paren_body prefix =
       let plen = String.length prefix in
@@ -93,10 +187,18 @@ let parse_line line_no raw acc =
       else None
     in
     match paren_body "INPUT" with
-    | Some name -> { acc with p_inputs = (line_no, name) :: acc.p_inputs }
+    | Some name ->
+      Vec.push st.in_lines line_no;
+      Vec.push st.in_sigs (intern st name)
     | None ->
       match paren_body "OUTPUT" with
-      | Some name -> { acc with p_outputs = name :: acc.p_outputs }
+      | Some name ->
+        let sid = intern st name in
+        if Vec.get st.sig_out sid <> 0 then
+          raise
+            (Parse_error (line_no, "duplicate OUTPUT declaration of " ^ name));
+        Vec.set st.sig_out sid 1;
+        Vec.push st.out_sigs sid
       | None ->
         match String.index_opt line '=' with
         | None -> raise (Parse_error (line_no, "expected assignment: " ^ line))
@@ -110,29 +212,28 @@ let parse_line line_no raw acc =
                raise (Parse_error (line_no, "missing ')': " ^ rhs));
              let opname = strip (String.sub rhs 0 lp) in
              let body = String.sub rhs (lp + 1) (String.length rhs - lp - 2) in
-             let args = split_args body in
              if target = "" then raise (Parse_error (line_no, "empty target"));
-             if args = [] then raise (Parse_error (line_no, "no arguments"));
-             let d =
-               { line = line_no; target; op = op_of_string line_no opname;
-                 args; strength }
-             in
-             { acc with p_decls = d :: acc.p_decls })
+             let tgt = intern st target in
+             if Vec.get st.sig_decl tgt >= 0 then
+               raise (Parse_error (line_no, "redefinition of " ^ target));
+             let op = op_of_string line_no opname in
+             let d = st.d_tgt.Vec.len in
+             let argc = ref 0 in
+             String.split_on_char ',' body
+             |> List.iter (fun a ->
+                    let a = strip a in
+                    if a <> "" then begin
+                      Vec.push st.d_args (intern st a);
+                      incr argc
+                    end);
+             if !argc = 0 then raise (Parse_error (line_no, "no arguments"));
+             Vec.push st.d_arg_off st.d_args.Vec.len;
+             Vec.push st.d_tgt tgt;
+             Vec.push st.d_op (op_code op);
+             Vec.push st.d_line line_no;
+             Fvec.push st.d_strength strength;
+             Vec.set st.sig_decl tgt d)
   end
-
-let parse_text text =
-  let lines = String.split_on_char '\n' text in
-  let acc = { p_inputs = []; p_outputs = []; p_decls = [] } in
-  let parsed, _ =
-    List.fold_left
-      (fun (acc, no) l -> (parse_line no l acc, no + 1))
-      (acc, 1) lines
-  in
-  {
-    p_inputs = List.rev parsed.p_inputs;
-    p_outputs = List.rev parsed.p_outputs;
-    p_decls = List.rev parsed.p_decls;
-  }
 
 (* Reduce a wide associative gate to a tree of <=4-input cells. The final
    cell carries the output polarity; inner levels use the plain AND/OR. *)
@@ -203,89 +304,181 @@ let build_gate b op ~strength (args : Netlist.net list) =
        gate Gate.Inv [| x |])
   | Op_dff, _ -> invalid_arg "bench: DFF handled separately"
 
-let parse_string ~name text =
-  let parsed = parse_text text in
+(* Elaborate the streamed declarations into a netlist. Same semantics as
+   the historical recursive elaboration — dependency-ordered, with cycle
+   and undefined-signal diagnostics carrying the referring line — but
+   iterative with an explicit frame stack, so a million-gate chain does not
+   overflow the OCaml stack. *)
+let elaborate ~name st =
+  if st.in_sigs.Vec.len = 0 && st.out_sigs.Vec.len = 0
+     && st.d_tgt.Vec.len = 0
+  then raise (Parse_error (0, "empty .bench: no INPUT, OUTPUT or gate lines"));
   let module B = Netlist.Builder in
   let b = B.create name in
-  let net_of_name : (string, Netlist.net) Hashtbl.t = Hashtbl.create 256 in
-  let decl_of_target : (string, decl) Hashtbl.t = Hashtbl.create 256 in
-  List.iter
-    (fun d ->
-      if Hashtbl.mem decl_of_target d.target then
-        raise (Parse_error (d.line, "redefinition of " ^ d.target));
-      Hashtbl.replace decl_of_target d.target d)
-    parsed.p_decls;
+  let sig_net = Array.make (Stdlib.max 1 st.sig_count) (-1) in
+  let in_progress = Bytes.make (Stdlib.max 1 st.sig_count) '\000' in
+  let sname sid = st.sig_names.(sid) in
+  let decl_of sid = Vec.get st.sig_decl sid in
+  let d_op d = op_of_code.(Vec.get st.d_op d) in
+  let d_argc d = Vec.get st.d_arg_off (d + 1) - Vec.get st.d_arg_off d in
+  let d_arg d i = Vec.get st.d_args (Vec.get st.d_arg_off d + i) in
   (* Primary inputs, then flip-flop Q nets as pseudo-inputs (file order).
      A name may be declared as an input at most once, and never also appear
-     as a combinational gate target — Hashtbl.replace would otherwise drop
-     one of the two declarations silently. *)
-  List.iter
-    (fun (line_no, n) ->
-      if Hashtbl.mem net_of_name n then
-        raise (Parse_error (line_no, "duplicate INPUT declaration of " ^ n));
-      (match Hashtbl.find_opt decl_of_target n with
-       | Some d when d.op <> Op_dff ->
-         raise
-           (Parse_error
-              (d.line, "gate output " ^ n ^ " shadows an INPUT of the same name"))
-       | _ -> ());
-      Hashtbl.replace net_of_name n (B.input ~name:n b))
-    parsed.p_inputs;
-  List.iter
-    (fun d ->
-      if d.op = Op_dff then begin
-        if Hashtbl.mem net_of_name d.target then
-          raise (Parse_error (d.line, "DFF output clashes with input " ^ d.target));
-        Hashtbl.replace net_of_name d.target (B.input ~name:d.target b)
-      end)
-    parsed.p_decls;
-  (* Recursive elaboration in dependency order. *)
-  let in_progress = Hashtbl.create 16 in
-  let rec net_of line_no target =
-    match Hashtbl.find_opt net_of_name target with
-    | Some n -> n
-    | None ->
-      if Hashtbl.mem in_progress target then
-        raise (Parse_error (line_no, "combinational cycle through " ^ target));
-      (match Hashtbl.find_opt decl_of_target target with
-       | None -> raise (Parse_error (line_no, "undefined signal " ^ target))
-       | Some d ->
-         Hashtbl.replace in_progress target ();
-         let args = List.map (net_of d.line) d.args in
-         let net =
-           try build_gate b d.op ~strength:d.strength args
-           with Invalid_argument msg -> raise (Parse_error (d.line, msg))
-         in
-         Hashtbl.remove in_progress target;
-         Hashtbl.replace net_of_name target net;
-         net)
+     as a combinational gate target. *)
+  for i = 0 to st.in_sigs.Vec.len - 1 do
+    let sid = Vec.get st.in_sigs i in
+    let line_no = Vec.get st.in_lines i in
+    if sig_net.(sid) >= 0 then
+      raise
+        (Parse_error (line_no, "duplicate INPUT declaration of " ^ sname sid));
+    (match decl_of sid with
+     | d when d >= 0 && d_op d <> Op_dff ->
+       raise
+         (Parse_error
+            ( Vec.get st.d_line d,
+              "gate output " ^ sname sid
+              ^ " shadows an INPUT of the same name" ))
+     | _ -> ());
+    sig_net.(sid) <- B.input ~name:(sname sid) b
+  done;
+  for d = 0 to st.d_tgt.Vec.len - 1 do
+    if d_op d = Op_dff then begin
+      let sid = Vec.get st.d_tgt d in
+      if sig_net.(sid) >= 0 then
+        raise
+          (Parse_error
+             (Vec.get st.d_line d, "DFF output clashes with input " ^ sname sid));
+      sig_net.(sid) <- B.input ~name:(sname sid) b
+    end
+  done;
+  (* Iterative dependency-ordered elaboration. A frame is a declaration
+     plus the index of the next argument to resolve; a signal is
+     in-progress while its frame is on the stack. *)
+  let fr_decl = Vec.create () and fr_pos = Vec.create () in
+  let emit d =
+    let args = List.init (d_argc d) (fun i -> sig_net.(d_arg d i)) in
+    let strength = Fvec.get st.d_strength d in
+    match build_gate b (d_op d) ~strength args with
+    | net ->
+      let tgt = Vec.get st.d_tgt d in
+      Bytes.set in_progress tgt '\000';
+      sig_net.(tgt) <- net
+    | exception Invalid_argument msg ->
+      raise (Parse_error (Vec.get st.d_line d, msg))
+  in
+  let resolve line_no sid =
+    if sig_net.(sid) < 0 then begin
+      (match decl_of sid with
+       | -1 -> raise (Parse_error (line_no, "undefined signal " ^ sname sid))
+       | d ->
+         Bytes.set in_progress sid '\001';
+         Vec.push fr_decl d;
+         Vec.push fr_pos 0);
+      while fr_decl.Vec.len > 0 do
+        let top = fr_decl.Vec.len - 1 in
+        let d = Vec.get fr_decl top in
+        let pos = Vec.get fr_pos top in
+        if pos < d_argc d then begin
+          Vec.set fr_pos top (pos + 1);
+          let a = d_arg d pos in
+          if sig_net.(a) < 0 then begin
+            if Bytes.get in_progress a <> '\000' then
+              raise
+                (Parse_error
+                   (Vec.get st.d_line d, "combinational cycle through " ^ sname a));
+            match decl_of a with
+            | -1 ->
+              raise
+                (Parse_error
+                   (Vec.get st.d_line d, "undefined signal " ^ sname a))
+            | da ->
+              Bytes.set in_progress a '\001';
+              Vec.push fr_decl da;
+              Vec.push fr_pos 0
+          end
+        end
+        else begin
+          emit d;
+          fr_decl.Vec.len <- top;
+          fr_pos.Vec.len <- top
+        end
+      done
+    end
   in
   (* Elaborate everything reachable from outputs and DFF data pins, then any
      remaining dangling definitions so validation sees a closed circuit. *)
-  List.iter (fun o -> ignore (net_of 0 o)) parsed.p_outputs;
-  List.iter
-    (fun d -> if d.op = Op_dff then
-        List.iter (fun a -> ignore (net_of d.line a)) d.args)
-    parsed.p_decls;
-  List.iter
-    (fun d -> if d.op <> Op_dff then ignore (net_of d.line d.target))
-    parsed.p_decls;
+  for i = 0 to st.out_sigs.Vec.len - 1 do
+    resolve 0 (Vec.get st.out_sigs i)
+  done;
+  for d = 0 to st.d_tgt.Vec.len - 1 do
+    if d_op d = Op_dff then
+      for i = 0 to d_argc d - 1 do
+        resolve (Vec.get st.d_line d) (d_arg d i)
+      done
+  done;
+  for d = 0 to st.d_tgt.Vec.len - 1 do
+    if d_op d <> Op_dff then resolve (Vec.get st.d_line d) (Vec.get st.d_tgt d)
+  done;
   (* POs, plus DFF D pins as pseudo-outputs. *)
-  List.iter (fun o -> B.mark_output b (net_of 0 o)) parsed.p_outputs;
-  List.iter
-    (fun d ->
-      if d.op = Op_dff then
-        List.iter (fun a -> B.mark_output b (net_of d.line a)) d.args)
-    parsed.p_decls;
+  for i = 0 to st.out_sigs.Vec.len - 1 do
+    B.mark_output b sig_net.(Vec.get st.out_sigs i)
+  done;
+  for d = 0 to st.d_tgt.Vec.len - 1 do
+    if d_op d = Op_dff then
+      for i = 0 to d_argc d - 1 do
+        B.mark_output b sig_net.(d_arg d i)
+      done
+  done;
   B.finish b
+
+let parse_lines ~name next =
+  let st = stream_create () in
+  let line_no = ref 0 in
+  let rec loop () =
+    match next () with
+    | None -> ()
+    | Some raw ->
+      incr line_no;
+      process_line st !line_no raw;
+      loop ()
+  in
+  loop ();
+  elaborate ~name st
+
+let parse_string ~name text =
+  (* Walk the text segment by segment instead of materializing a line
+     list; semantics match [String.split_on_char '\n']. *)
+  let len = String.length text in
+  let pos = ref 0 in
+  let next () =
+    if !pos > len then None
+    else
+      match String.index_from_opt text !pos '\n' with
+      | Some i ->
+        let s = String.sub text !pos (i - !pos) in
+        pos := i + 1;
+        Some s
+      | None ->
+        let s = String.sub text !pos (len - !pos) in
+        pos := len + 1;
+        Some s
+  in
+  parse_lines ~name next
 
 let parse_file path =
   let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  let name = Filename.remove_extension (Filename.basename path) in
-  parse_string ~name text
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let next () =
+        match input_line ic with
+        | line -> Some line
+        | exception End_of_file -> None
+      in
+      let name = Filename.remove_extension (Filename.basename path) in
+      parse_lines ~name next)
+
+(* ----------------------------------------------------------- writer *)
 
 let op_name_of_kind = function
   | Gate.Inv -> "NOT"
@@ -299,57 +492,64 @@ let op_name_of_kind = function
   | Gate.Aoi21 | Gate.Aoi22 | Gate.Oai21 | Gate.Oai22 ->
     invalid_arg "bench: complex cells are decomposed when written"
 
-let to_string t =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf (Printf.sprintf "# %s\n" (Netlist.name t));
+(* Emit through a callback so [write_file] streams straight to the channel
+   (never holding the rendered text in memory) while [to_string] collects
+   into a buffer. Iterates flat storage; no gate-record view. *)
+let emit t put =
+  put (Printf.sprintf "# %s\n" (Netlist.name t));
   Array.iter
-    (fun n -> Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" (Netlist.net_name t n)))
+    (fun n -> put (Printf.sprintf "INPUT(%s)\n" (Netlist.net_name t n)))
     (Netlist.inputs t);
   Array.iter
-    (fun n -> Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" (Netlist.net_name t n)))
+    (fun n -> put (Printf.sprintf "OUTPUT(%s)\n" (Netlist.net_name t n)))
     (Netlist.outputs t);
-  Buffer.add_char buf '\n';
+  put "\n";
   let line ?(strength = 1.0) target op args =
     let annotation =
       if strength = 1.0 then ""
       else Printf.sprintf "  # strength=%g" strength
     in
-    Buffer.add_string buf
+    put
       (Printf.sprintf "%s = %s(%s)%s\n" target op (String.concat ", " args)
          annotation)
   in
-  Array.iter
-    (fun (g : Netlist.gate) ->
-      let pin i = Netlist.net_name t g.fan_in.(i) in
-      let args = List.init (Array.length g.fan_in) pin in
-      let out = Netlist.net_name t g.out in
-      (* .bench has no complex-gate ops: AOI/OAI are emitted as their
-         AND/OR + NOR/NAND decomposition through fresh helper nets. The
-         round trip preserves the logic function (not the cell count). *)
-      let tmp i = Printf.sprintf "__%s_t%d" out i in
-      let strength = g.strength in
-      match g.kind with
-      | Gate.Aoi21 ->
-        line ~strength (tmp 0) "AND" [ pin 0; pin 1 ];
-        line ~strength out "NOR" [ tmp 0; pin 2 ]
-      | Gate.Aoi22 ->
-        line ~strength (tmp 0) "AND" [ pin 0; pin 1 ];
-        line ~strength (tmp 1) "AND" [ pin 2; pin 3 ];
-        line ~strength out "NOR" [ tmp 0; tmp 1 ]
-      | Gate.Oai21 ->
-        line ~strength (tmp 0) "OR" [ pin 0; pin 1 ];
-        line ~strength out "NAND" [ tmp 0; pin 2 ]
-      | Gate.Oai22 ->
-        line ~strength (tmp 0) "OR" [ pin 0; pin 1 ];
-        line ~strength (tmp 1) "OR" [ pin 2; pin 3 ];
-        line ~strength out "NAND" [ tmp 0; tmp 1 ]
-      | Gate.Inv | Gate.Buf | Gate.Nand _ | Gate.Nor _ | Gate.And _
-      | Gate.Or _ | Gate.Xor | Gate.Xnor ->
-        line ~strength out (op_name_of_kind g.kind) args)
-    (Netlist.gates t);
+  for g = 0 to Netlist.gate_count t - 1 do
+    let kind = Netlist.gate_kind t g in
+    let pin i = Netlist.net_name t (Netlist.gate_pin t g i) in
+    let args = List.init (Netlist.gate_arity t g) pin in
+    let out = Netlist.net_name t (Netlist.gate_out t g) in
+    (* .bench has no complex-gate ops: AOI/OAI are emitted as their
+       AND/OR + NOR/NAND decomposition through fresh helper nets. The
+       round trip preserves the logic function (not the cell count). *)
+    let tmp i = Printf.sprintf "__%s_t%d" out i in
+    let strength = Netlist.gate_strength t g in
+    match kind with
+    | Gate.Aoi21 ->
+      line ~strength (tmp 0) "AND" [ pin 0; pin 1 ];
+      line ~strength out "NOR" [ tmp 0; pin 2 ]
+    | Gate.Aoi22 ->
+      line ~strength (tmp 0) "AND" [ pin 0; pin 1 ];
+      line ~strength (tmp 1) "AND" [ pin 2; pin 3 ];
+      line ~strength out "NOR" [ tmp 0; tmp 1 ]
+    | Gate.Oai21 ->
+      line ~strength (tmp 0) "OR" [ pin 0; pin 1 ];
+      line ~strength out "NAND" [ tmp 0; pin 2 ]
+    | Gate.Oai22 ->
+      line ~strength (tmp 0) "OR" [ pin 0; pin 1 ];
+      line ~strength (tmp 1) "OR" [ pin 2; pin 3 ];
+      line ~strength out "NAND" [ tmp 0; tmp 1 ]
+    | Gate.Inv | Gate.Buf | Gate.Nand _ | Gate.Nor _ | Gate.And _
+    | Gate.Or _ | Gate.Xor | Gate.Xnor ->
+      line ~strength out (op_name_of_kind kind) args
+  done
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  emit t (Buffer.add_string buf);
   Buffer.contents buf
 
 let write_file path t =
   let oc = open_out path in
-  output_string oc (to_string t);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> emit t (output_string oc))

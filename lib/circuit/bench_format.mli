@@ -14,19 +14,34 @@
     Drive strengths are serialized as trailing comments
     ("y = NAND(a, b)  # strength=2") — plain ISCAS89 files parse unchanged
     (everything at strength 1), and files written here round-trip their
-    sizing. *)
+    sizing.
+
+    The reader is {e streaming}: input is consumed one line at a time and
+    interned into flat buffers, never holding the file (or a list of its
+    lines) in memory, and elaboration is iterative — deep gate chains
+    cannot overflow the stack. CRLF line endings are accepted (a trailing
+    [\r] is stripped), as is a final line without a newline. *)
 
 exception Parse_error of int * string
-(** Line number (1-based) and message. *)
+(** Line number (1-based; 0 for whole-file diagnostics) and message. *)
 
 val parse_string : name:string -> string -> Netlist.t
 (** Parse [.bench] text. Raises {!Parse_error} on malformed input —
     including conflicting declarations of one net name: a duplicated
-    [INPUT], a redefined gate target, or a gate target shadowing a declared
-    input — and [Failure] if the described circuit fails validation. *)
+    [INPUT] or [OUTPUT], a redefined gate target, or a gate target
+    shadowing a declared input — on an empty file (no INPUT, OUTPUT or
+    gate line at all), and [Failure] if the described circuit fails
+    validation. *)
 
 val parse_file : string -> Netlist.t
-(** Parse a file; the netlist is named after the basename. *)
+(** Parse a file; the netlist is named after the basename. Reads the file
+    line-at-a-time; the input channel is closed even when parsing raises. *)
+
+val parse_lines : name:string -> (unit -> string option) -> Netlist.t
+(** Core streaming entry point: [parse_lines ~name next] pulls lines from
+    [next] ([None] = end of input) — the producer for {!parse_file} and
+    {!parse_string}, exposed so other front-ends can feed pre-split
+    input. *)
 
 val to_string : Netlist.t -> string
 (** Render a netlist as [.bench] text (combinational: no DFF lines; pseudo

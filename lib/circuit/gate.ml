@@ -89,6 +89,24 @@ let all_kinds =
       (fun n -> [ Nand n; Nor n; And n; Or n ])
       [ 2; 3; 4 ]
 
+let max_code = 39
+
+(* Inverse of [code], memoized so struct-of-arrays consumers can turn a
+   stored code back into a kind without allocating (Nand/Nor/... carry an
+   argument and would otherwise box on every lookup). *)
+let kind_of_code_table =
+  let t = Array.make (max_code + 1) None in
+  List.iter (fun k -> t.(code k) <- Some k) all_kinds;
+  t
+
+let of_code c =
+  if c < 0 || c > max_code then
+    invalid_arg (Printf.sprintf "Gate.of_code: %d out of range" c)
+  else
+    match kind_of_code_table.(c) with
+    | Some k -> k
+    | None -> invalid_arg (Printf.sprintf "Gate.of_code: %d unassigned" c)
+
 let eval kind inputs =
   let n = arity kind in
   if Array.length inputs <> n then
@@ -113,6 +131,38 @@ let eval kind inputs =
 
 let eval_logic kind v =
   Logic.of_bool (eval kind (Array.map Logic.to_bool v))
+
+(* Same boolean function as [eval], but reads only the first [arity kind]
+   entries of [buf] — so one max-arity scratch buffer serves every gate of a
+   simulation sweep with zero per-gate allocation. *)
+let eval_prefix kind (buf : bool array) =
+  let conj n =
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      if not buf.(i) then ok := false
+    done;
+    !ok
+  in
+  let disj n =
+    let any = ref false in
+    for i = 0 to n - 1 do
+      if buf.(i) then any := true
+    done;
+    !any
+  in
+  match kind with
+  | Inv -> not buf.(0)
+  | Buf -> buf.(0)
+  | Nand n -> not (conj n)
+  | And n -> conj n
+  | Nor n -> not (disj n)
+  | Or n -> disj n
+  | Xor -> buf.(0) <> buf.(1)
+  | Xnor -> buf.(0) = buf.(1)
+  | Aoi21 -> not ((buf.(0) && buf.(1)) || buf.(2))
+  | Aoi22 -> not ((buf.(0) && buf.(1)) || (buf.(2) && buf.(3)))
+  | Oai21 -> not ((buf.(0) || buf.(1)) && buf.(2))
+  | Oai22 -> not ((buf.(0) || buf.(1)) && (buf.(2) || buf.(3)))
 
 let controlling_value = function
   | And _ | Nand _ -> Some Logic.Zero

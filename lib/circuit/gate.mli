@@ -38,8 +38,22 @@ val code : kind -> int
 (** Small dense integer stable across a run — an allocation-free cache key
     (used by the characterization library on the estimator's hot path). *)
 
+val max_code : int
+(** Largest value {!code} produces; codes live in [\[0, max_code\]]. *)
+
+val of_code : int -> kind
+(** Inverse of {!code}. Returns a preallocated value (no boxing per call),
+    so struct-of-arrays netlist storage can decode kinds on hot paths.
+    Raises [Invalid_argument] on codes no kind maps to. *)
+
 val eval : kind -> bool array -> bool
 (** Boolean function of the cell. Raises on arity mismatch. *)
+
+val eval_prefix : kind -> bool array -> bool
+(** Like {!eval} but reads only the first [arity kind] entries of the
+    buffer, which may be longer — lets a simulation sweep reuse one
+    max-arity scratch buffer with zero per-gate allocation. The extra
+    entries are ignored; no arity check is performed. *)
 
 val eval_logic : kind -> Logic.vector -> Logic.value
 

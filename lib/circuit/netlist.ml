@@ -1,3 +1,5 @@
+module Ba = Bigarray.Array1
+
 type net = int
 
 type gate = {
@@ -8,108 +10,465 @@ type gate = {
   out : net;
 }
 
+type int_arr = (int, Bigarray.int_elt, Bigarray.c_layout) Ba.t
+type f64_arr = (float, Bigarray.float64_elt, Bigarray.c_layout) Ba.t
+type byte_arr = (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Ba.t
+type char_arr = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Ba.t
+
+(* Struct-of-arrays storage: no per-gate heap records. Gate [g]'s pins live
+   in [pins.(pin_off.(g)) .. pins.(pin_off.(g+1)-1)]; net names are packed
+   into one blob addressed by [name_off]. The flat arrays are Bigarrays so
+   an on-disk snapshot can alias them straight out of an mmap. All arrays
+   are immutable after construction — derived lookups (driver ids, fanout
+   CSR, topological order, and the compatibility gate-record view) are
+   cached lazily with a benign single-threaded race; see {!warm}. *)
 type t = {
   nname : string;
-  ngates : gate array;
+  n_gates : int;
   nnet_count : int;
+  kind_code : byte_arr;     (* n_gates; Gate.code *)
+  strength_arr : f64_arr;   (* n_gates *)
+  pin_off : int_arr;        (* n_gates + 1; CSR offsets into pins *)
+  pins : int_arr;           (* pin_off.{n_gates} fan-in nets, pin order *)
+  out_net : int_arr;        (* n_gates *)
   ninputs : net array;
   noutputs : net array;
-  nnet_names : string array;
-  is_input_flag : bool array;
-  is_output_flag : bool array;
-  mutable driver_cache : gate option array option;
-  mutable fanout_cache : gate list array option;
+  name_off : int_arr;       (* nnet_count + 1; offsets into name_blob *)
+  name_blob : char_arr;
+  is_input_flag : Bytes.t;  (* nnet_count; '\001' = primary input *)
+  is_output_flag : Bytes.t;
+  mutable driver_ids : int_arr option;          (* net -> gate id or -1 *)
+  mutable fanout_csr : (int_arr * int_arr) option;
+  mutable topo_cache : int array option;
+  mutable gates_view : gate array option;
 }
 
 let name t = t.nname
-let gates t = t.ngates
 let net_count t = t.nnet_count
 let inputs t = t.ninputs
 let outputs t = t.noutputs
+let gate_count t = t.n_gates
 
 let net_name t n =
   if n < 0 || n >= t.nnet_count then invalid_arg "Netlist.net_name";
-  t.nnet_names.(n)
+  let off = Ba.get t.name_off n in
+  let stop = Ba.get t.name_off (n + 1) in
+  String.init (stop - off) (fun i -> Ba.get t.name_blob (off + i))
 
-let build_driver_cache t =
-  match t.driver_cache with
+(* ------------------------------------------- int-indexed gate accessors *)
+
+let check_gate_id t g =
+  if g < 0 || g >= t.n_gates then
+    invalid_arg (Printf.sprintf "Netlist: gate id %d out of range" g)
+
+let gate_kind_code t g =
+  check_gate_id t g;
+  Ba.get t.kind_code g
+
+let gate_kind t g = Gate.of_code (gate_kind_code t g)
+
+let gate_strength t g =
+  check_gate_id t g;
+  Ba.get t.strength_arr g
+
+let gate_arity t g =
+  check_gate_id t g;
+  Ba.get t.pin_off (g + 1) - Ba.get t.pin_off g
+
+let gate_pin t g p =
+  check_gate_id t g;
+  let off = Ba.get t.pin_off g in
+  if p < 0 || p >= Ba.get t.pin_off (g + 1) - off then
+    invalid_arg (Printf.sprintf "Netlist.gate_pin: pin %d of gate %d" p g);
+  Ba.get t.pins (off + p)
+
+let gate_out t g =
+  check_gate_id t g;
+  Ba.get t.out_net g
+
+let iter_pins t g f =
+  check_gate_id t g;
+  let off = Ba.get t.pin_off g in
+  let stop = Ba.get t.pin_off (g + 1) in
+  for k = off to stop - 1 do
+    f (k - off) (Ba.get t.pins k)
+  done
+
+let gate_fan_in t g =
+  let off = Ba.get t.pin_off g in
+  Array.init
+    (Ba.get t.pin_off (g + 1) - off)
+    (fun p -> Ba.get t.pins (off + p))
+
+(* ----------------------------------------------------- derived lookups *)
+
+let int_array1 n =
+  Ba.create Bigarray.int Bigarray.c_layout (Stdlib.max 0 n)
+
+let build_driver_ids t =
+  match t.driver_ids with
   | Some c -> c
   | None ->
-    let c = Array.make t.nnet_count None in
-    Array.iter (fun g -> c.(g.out) <- Some g) t.ngates;
-    t.driver_cache <- Some c;
-    c
-
-let build_fanout_cache t =
-  match t.fanout_cache with
-  | Some c -> c
-  | None ->
-    let c = Array.make t.nnet_count [] in
-    (* Iterate in reverse so each fanout list comes out in gate-id order;
-       a gate using one net on several pins appears once per pin. *)
-    for i = Array.length t.ngates - 1 downto 0 do
-      let g = t.ngates.(i) in
-      Array.iter (fun n -> c.(n) <- g :: c.(n)) g.fan_in
+    let c = int_array1 t.nnet_count in
+    Ba.fill c (-1);
+    for g = 0 to t.n_gates - 1 do
+      Ba.set c (Ba.get t.out_net g) g
     done;
-    t.fanout_cache <- Some c;
+    t.driver_ids <- Some c;
     c
 
-let driver t n = (build_driver_cache t).(n)
-let fanout t n = (build_fanout_cache t).(n)
+(* Fanout as CSR adjacency: the gidss for net [n] occupy
+   [gids.(off.(n)) .. gids.(off.(n+1)-1)], one entry per reading pin,
+   filled in ascending (gate, pin) order — the same observable order as
+   the historical per-net list cache. *)
+let build_fanout_csr t =
+  match t.fanout_csr with
+  | Some c -> c
+  | None ->
+    let n_pins = Ba.get t.pin_off t.n_gates in
+    let off = int_array1 (t.nnet_count + 1) in
+    Ba.fill off 0;
+    for k = 0 to n_pins - 1 do
+      let n = Ba.get t.pins k in
+      Ba.set off (n + 1) (Ba.get off (n + 1) + 1)
+    done;
+    for n = 0 to t.nnet_count - 1 do
+      Ba.set off (n + 1) (Ba.get off n + Ba.get off (n + 1))
+    done;
+    let gids = int_array1 n_pins in
+    let fill = Array.make (Stdlib.max 1 t.nnet_count) 0 in
+    for g = 0 to t.n_gates - 1 do
+      for k = Ba.get t.pin_off g to Ba.get t.pin_off (g + 1) - 1 do
+        let n = Ba.get t.pins k in
+        Ba.set gids (Ba.get off n + fill.(n)) g;
+        fill.(n) <- fill.(n) + 1
+      done
+    done;
+    let c = (off, gids) in
+    t.fanout_csr <- Some c;
+    c
 
-let warm t =
-  ignore (build_driver_cache t);
-  ignore (build_fanout_cache t)
+let driver_id t n =
+  if n < 0 || n >= t.nnet_count then invalid_arg "Netlist.driver_id";
+  Ba.get (build_driver_ids t) n
 
-let is_input t n = t.is_input_flag.(n)
-let is_output t n = t.is_output_flag.(n)
+let fanout_degree t n =
+  if n < 0 || n >= t.nnet_count then invalid_arg "Netlist.fanout_degree";
+  let off, _ = build_fanout_csr t in
+  Ba.get off (n + 1) - Ba.get off n
 
-let gate_count t = Array.length t.ngates
+let fanout_gate t n i =
+  let off, gids = build_fanout_csr t in
+  if n < 0 || n >= t.nnet_count then invalid_arg "Netlist.fanout_gate";
+  let base = Ba.get off n in
+  if i < 0 || i >= Ba.get off (n + 1) - base then
+    invalid_arg "Netlist.fanout_gate: index out of range";
+  Ba.get gids (base + i)
+
+let iter_fanout t n f =
+  if n < 0 || n >= t.nnet_count then invalid_arg "Netlist.iter_fanout";
+  let off, gids = build_fanout_csr t in
+  for k = Ba.get off n to Ba.get off (n + 1) - 1 do
+    f (Ba.get gids k)
+  done
+
+let rev_iter_fanout t n f =
+  if n < 0 || n >= t.nnet_count then invalid_arg "Netlist.rev_iter_fanout";
+  let off, gids = build_fanout_csr t in
+  for k = Ba.get off (n + 1) - 1 downto Ba.get off n do
+    f (Ba.get gids k)
+  done
+
+(* ------------------------------------------------- compatibility views *)
+
+let gates t =
+  match t.gates_view with
+  | Some v -> v
+  | None ->
+    let v =
+      Array.init t.n_gates (fun g ->
+          {
+            id = g;
+            kind = gate_kind t g;
+            strength = Ba.get t.strength_arr g;
+            fan_in = gate_fan_in t g;
+            out = Ba.get t.out_net g;
+          })
+    in
+    t.gates_view <- Some v;
+    v
+
+let driver t n =
+  match driver_id t n with -1 -> None | g -> Some (gates t).(g)
+
+let fanout t n =
+  let off, gids = build_fanout_csr t in
+  if n < 0 || n >= t.nnet_count then invalid_arg "Netlist.fanout";
+  let base = Ba.get off n in
+  let v = gates t in
+  List.init (Ba.get off (n + 1) - base) (fun i -> v.(Ba.get gids (base + i)))
+
+let is_input t n = Bytes.get t.is_input_flag n <> '\000'
+let is_output t n = Bytes.get t.is_output_flag n <> '\000'
 
 let transistor_count t =
-  Array.fold_left (fun acc g -> acc + Gate.transistor_count g.kind) 0 t.ngates
+  let acc = ref 0 in
+  for g = 0 to t.n_gates - 1 do
+    acc := !acc + Gate.transistor_count (gate_kind t g)
+  done;
+  !acc
 
-let gate_inputs_arr t = Array.map (fun g -> g.fan_in) t.ngates
-let gate_outputs_arr t = Array.map (fun g -> g.out) t.ngates
+(* ------------------------------------------------- topological order *)
+
+let topo_sort_opt t =
+  Topo_check.sort_flat ~net_count:t.nnet_count ~n_gates:t.n_gates
+    ~source_nets:t.ninputs
+    ~fanin_count:(fun g -> Ba.get t.pin_off (g + 1) - Ba.get t.pin_off g)
+    ~fanin:(fun g p -> Ba.get t.pins (Ba.get t.pin_off g + p))
+    ~gate_out:(fun g -> Ba.get t.out_net g)
+
+let topo_ids t =
+  match t.topo_cache with
+  | Some o -> o
+  | None ->
+    (match topo_sort_opt t with
+     | Some o ->
+       t.topo_cache <- Some o;
+       o
+     | None -> failwith ("Netlist.topo_ids: cycle in " ^ t.nname))
+
+let levelize t =
+  Topo_check.levelize_flat ~net_count:t.nnet_count ~n_gates:t.n_gates
+    ~source_nets:t.ninputs
+    ~fanin_count:(fun g -> Ba.get t.pin_off (g + 1) - Ba.get t.pin_off g)
+    ~fanin:(fun g p -> Ba.get t.pins (Ba.get t.pin_off g + p))
+    ~gate_out:(fun g -> Ba.get t.out_net g)
+
+let warm t =
+  ignore (build_driver_ids t);
+  ignore (build_fanout_csr t);
+  (match topo_sort_opt t with
+   | Some o when t.topo_cache = None -> t.topo_cache <- Some o
+   | _ -> ());
+  ignore (gates t)
+
+(* --------------------------------------------------------- validation *)
 
 let validate t =
   let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
-  let driver_count = Array.make t.nnet_count 0 in
-  Array.iter (fun g -> driver_count.(g.out) <- driver_count.(g.out) + 1) t.ngates;
+  let driver_count = Array.make (Stdlib.max 1 t.nnet_count) 0 in
+  for g = 0 to t.n_gates - 1 do
+    let o = Ba.get t.out_net g in
+    driver_count.(o) <- driver_count.(o) + 1
+  done;
   Array.iter (fun n -> driver_count.(n) <- driver_count.(n) + 1) t.ninputs;
   let problem = ref None in
   let record p = if !problem = None then problem := Some p in
-  Array.iteri
-    (fun n c ->
-      if c = 0 then
-        record (Printf.sprintf "net %d (%s) has no driver" n t.nnet_names.(n))
-      else if c > 1 then
-        record (Printf.sprintf "net %d (%s) has %d drivers" n t.nnet_names.(n) c))
-    driver_count;
-  Array.iter
-    (fun g ->
-      if Array.length g.fan_in <> Gate.arity g.kind then
-        record
-          (Printf.sprintf "gate %d (%s) has %d pins, expects %d" g.id
-             (Gate.name g.kind) (Array.length g.fan_in) (Gate.arity g.kind)))
-    t.ngates;
+  for n = 0 to t.nnet_count - 1 do
+    let c = driver_count.(n) in
+    if c = 0 then
+      record (Printf.sprintf "net %d (%s) has no driver" n (net_name t n))
+    else if c > 1 then
+      record (Printf.sprintf "net %d (%s) has %d drivers" n (net_name t n) c)
+  done;
+  for g = 0 to t.n_gates - 1 do
+    let pins = gate_arity t g in
+    let kind = gate_kind t g in
+    if pins <> Gate.arity kind then
+      record
+        (Printf.sprintf "gate %d (%s) has %d pins, expects %d" g
+           (Gate.name kind) pins (Gate.arity kind))
+  done;
   match !problem with
   | Some p -> err "%s: %s" t.nname p
   | None ->
-    (match
-       Topo_check.sort ~net_count:t.nnet_count ~source_nets:t.ninputs
-         ~gate_inputs:(gate_inputs_arr t) ~gate_outputs:(gate_outputs_arr t)
-     with
+    (match topo_sort_opt t with
      | Some _ -> Ok ()
      | None -> err "%s: combinational cycle" t.nname)
 
+(* --------------------------------------------------- raw construction *)
+
+module Repr = struct
+  type nonrec int_arr = int_arr
+  type nonrec f64_arr = f64_arr
+  type nonrec byte_arr = byte_arr
+  type nonrec char_arr = char_arr
+
+  type raw = {
+    r_name : string;
+    r_net_count : int;
+    r_kind_code : byte_arr;
+    r_strength : f64_arr;
+    r_pin_off : int_arr;
+    r_pins : int_arr;
+    r_out_net : int_arr;
+    r_inputs : int array;
+    r_outputs : int array;
+    r_name_off : int_arr;
+    r_name_blob : char_arr;
+  }
+
+  let flags net_count which =
+    let f = Bytes.make (Stdlib.max 0 net_count) '\000' in
+    Array.iter (fun n -> Bytes.set f n '\001') which;
+    f
+
+  (* Cheap O(n) structural checks: every index a later access could use is
+     proven in range here, so a corrupt snapshot fails with [Failure] —
+     never with an out-of-bounds surprise deep inside an estimator. *)
+  let check r =
+    let fail fmt = Printf.ksprintf failwith fmt in
+    let n_gates = Ba.dim r.r_kind_code in
+    let nets = r.r_net_count in
+    if nets < 0 then fail "Netlist.Repr: negative net count";
+    if Ba.dim r.r_strength <> n_gates then
+      fail "Netlist.Repr: strength array length mismatch";
+    if Ba.dim r.r_out_net <> n_gates then
+      fail "Netlist.Repr: out_net array length mismatch";
+    if Ba.dim r.r_pin_off <> n_gates + 1 then
+      fail "Netlist.Repr: pin_off array length mismatch";
+    if Ba.dim r.r_name_off <> nets + 1 then
+      fail "Netlist.Repr: name_off array length mismatch";
+    if n_gates > 0 || nets > 0 then begin
+      if Ba.get r.r_pin_off 0 <> 0 then fail "Netlist.Repr: pin_off.(0) <> 0";
+      for g = 0 to n_gates - 1 do
+        if Ba.get r.r_pin_off (g + 1) < Ba.get r.r_pin_off g then
+          fail "Netlist.Repr: pin_off not monotone at gate %d" g
+      done;
+      if Ba.get r.r_pin_off n_gates <> Ba.dim r.r_pins then
+        fail "Netlist.Repr: pin_off end disagrees with pins length";
+      if Ba.get r.r_name_off 0 <> 0 then
+        fail "Netlist.Repr: name_off.(0) <> 0";
+      for n = 0 to nets - 1 do
+        if Ba.get r.r_name_off (n + 1) < Ba.get r.r_name_off n then
+          fail "Netlist.Repr: name_off not monotone at net %d" n
+      done;
+      if Ba.get r.r_name_off nets <> Ba.dim r.r_name_blob then
+        fail "Netlist.Repr: name_off end disagrees with blob length"
+    end
+    else if Ba.dim r.r_pins <> 0 then
+      fail "Netlist.Repr: pins without gates";
+    for k = 0 to Ba.dim r.r_pins - 1 do
+      let n = Ba.get r.r_pins k in
+      if n < 0 || n >= nets then fail "Netlist.Repr: pin net %d out of range" n
+    done;
+    for g = 0 to n_gates - 1 do
+      let o = Ba.get r.r_out_net g in
+      if o < 0 || o >= nets then
+        fail "Netlist.Repr: output net %d out of range" o;
+      let code = Ba.get r.r_kind_code g in
+      (match Gate.of_code code with
+       | exception Invalid_argument _ ->
+         fail "Netlist.Repr: gate %d has unknown kind code %d" g code
+       | kind ->
+         let pins = Ba.get r.r_pin_off (g + 1) - Ba.get r.r_pin_off g in
+         if pins <> Gate.arity kind then
+           fail "Netlist.Repr: gate %d (%s) has %d pins, expects %d" g
+             (Gate.name kind) pins (Gate.arity kind));
+      let s = Ba.get r.r_strength g in
+      if not (s > 0.0) then
+        fail "Netlist.Repr: gate %d has non-positive strength" g
+    done;
+    Array.iter
+      (fun n ->
+        if n < 0 || n >= nets then
+          fail "Netlist.Repr: input net %d out of range" n)
+      r.r_inputs;
+    Array.iter
+      (fun n ->
+        if n < 0 || n >= nets then
+          fail "Netlist.Repr: output net %d out of range" n)
+      r.r_outputs
+
+  let of_raw ?validate:(do_validate = true) r =
+    check r;
+    let t =
+      {
+        nname = r.r_name;
+        n_gates = Ba.dim r.r_kind_code;
+        nnet_count = r.r_net_count;
+        kind_code = r.r_kind_code;
+        strength_arr = r.r_strength;
+        pin_off = r.r_pin_off;
+        pins = r.r_pins;
+        out_net = r.r_out_net;
+        ninputs = Array.copy r.r_inputs;
+        noutputs = Array.copy r.r_outputs;
+        name_off = r.r_name_off;
+        name_blob = r.r_name_blob;
+        is_input_flag = flags r.r_net_count r.r_inputs;
+        is_output_flag = flags r.r_net_count r.r_outputs;
+        driver_ids = None;
+        fanout_csr = None;
+        topo_cache = None;
+        gates_view = None;
+      }
+    in
+    if do_validate then (
+      match validate t with
+      | Ok () -> t
+      | Error e -> failwith ("Netlist.Repr.of_raw: " ^ e))
+    else t
+
+  let to_raw t =
+    {
+      r_name = t.nname;
+      r_net_count = t.nnet_count;
+      r_kind_code = t.kind_code;
+      r_strength = t.strength_arr;
+      r_pin_off = t.pin_off;
+      r_pins = t.pins;
+      r_out_net = t.out_net;
+      r_inputs = Array.copy t.ninputs;
+      r_outputs = Array.copy t.noutputs;
+      r_name_off = t.name_off;
+      r_name_blob = t.name_blob;
+    }
+end
+
+(* ---------------------------------------------------- attribute edits *)
+
+let with_kinds_strengths t ~kinds ~strengths =
+  if Array.length kinds <> t.n_gates || Array.length strengths <> t.n_gates
+  then invalid_arg "Netlist.with_kinds_strengths: gate count mismatch";
+  let kind_code =
+    Ba.create Bigarray.int8_unsigned Bigarray.c_layout t.n_gates
+  in
+  let strength_arr =
+    Ba.create Bigarray.float64 Bigarray.c_layout t.n_gates
+  in
+  Array.iteri
+    (fun g k ->
+      if Gate.arity k <> gate_arity t g then
+        failwith
+          (Printf.sprintf
+             "Netlist.with_kinds_strengths: gate %d retype to %s changes \
+              arity" g (Gate.name k));
+      Ba.set kind_code g (Gate.code k))
+    kinds;
+  Array.iteri
+    (fun g s ->
+      if s <= 0.0 then
+        invalid_arg "Netlist.with_kinds_strengths: strength must be positive";
+      Ba.set strength_arr g s)
+    strengths;
+  {
+    t with
+    kind_code;
+    strength_arr;
+    driver_ids = None;
+    fanout_csr = None;
+    topo_cache = None;
+    gates_view = None;
+  }
+
 let with_gates t gates' =
-  if Array.length gates' <> Array.length t.ngates then
+  if Array.length gates' <> t.n_gates then
     invalid_arg "Netlist.with_gates: gate count mismatch";
   Array.iteri
     (fun i (g : gate) ->
-      let orig = t.ngates.(i) in
-      if g.id <> i || g.out <> orig.out || g.fan_in <> orig.fan_in then
+      if g.id <> i || g.out <> gate_out t i || g.fan_in <> gate_fan_in t i
+      then
         invalid_arg
           (Printf.sprintf
              "Netlist.with_gates: gate %d changes structure (only kind and \
@@ -118,10 +477,11 @@ let with_gates t gates' =
         invalid_arg "Netlist.with_gates: strength must be positive")
     gates';
   let t' =
-    { t with
-      ngates = Array.map (fun g -> { g with fan_in = Array.copy g.fan_in }) gates';
-      driver_cache = None;
-      fanout_cache = None }
+    try
+      with_kinds_strengths t
+        ~kinds:(Array.map (fun g -> g.kind) gates')
+        ~strengths:(Array.map (fun g -> g.strength) gates')
+    with Failure e -> failwith ("Netlist.with_gates: " ^ e)
   in
   match validate t' with
   | Ok () -> t'
@@ -161,33 +521,32 @@ let digest_with seed t =
   let labels = Array.make (Stdlib.max 1 t.nnet_count) 0L in
   Array.iter
     (fun n ->
-      labels.(n) <- fnv_string (fnv_byte seed (Char.code 'I')) t.nnet_names.(n))
+      labels.(n) <- fnv_string (fnv_byte seed (Char.code 'I')) (net_name t n))
     t.ninputs;
   let order =
-    match
-      Topo_check.sort ~net_count:t.nnet_count ~source_nets:t.ninputs
-        ~gate_inputs:(gate_inputs_arr t) ~gate_outputs:(gate_outputs_arr t)
-    with
+    match topo_sort_opt t with
     | Some o -> o
     | None -> invalid_arg "Netlist.digest: not a valid DAG"
   in
-  let gate_labels = Array.make (Array.length t.ngates) 0L in
+  let gate_labels = Array.make t.n_gates 0L in
   Array.iter
     (fun gi ->
-      let g = t.ngates.(gi) in
       let h = fnv_byte seed (Char.code 'G') in
-      let h = fnv_int h (Gate.code g.kind) in
-      let h = fnv_int64 h (Int64.bits_of_float g.strength) in
-      let h = Array.fold_left (fun h n -> fnv_int64 h labels.(n)) h g.fan_in in
-      labels.(g.out) <- h;
-      gate_labels.(gi) <- h)
+      let h = fnv_int h (Ba.get t.kind_code gi) in
+      let h = fnv_int64 h (Int64.bits_of_float (Ba.get t.strength_arr gi)) in
+      let h = ref h in
+      for k = Ba.get t.pin_off gi to Ba.get t.pin_off (gi + 1) - 1 do
+        h := fnv_int64 !h labels.(Ba.get t.pins k)
+      done;
+      labels.(Ba.get t.out_net gi) <- !h;
+      gate_labels.(gi) <- !h)
     order;
   let fold_sorted h arr =
     let c = Array.copy arr in
     Array.sort Int64.compare c;
     Array.fold_left fnv_int64 h c
   in
-  let h = fnv_int seed (Array.length t.ngates) in
+  let h = fnv_int seed t.n_gates in
   let h = fnv_int h (Array.length t.ninputs) in
   let h = fnv_int h (Array.length t.noutputs) in
   let h = fold_sorted h gate_labels in
@@ -213,38 +572,38 @@ type stats = {
 }
 
 let stats t =
-  let fanouts = Array.map List.length (build_fanout_cache t) in
-  let max_fanout = Array.fold_left Stdlib.max 0 fanouts in
-  let total_fanout = Array.fold_left ( + ) 0 fanouts in
+  let off, _ = build_fanout_csr t in
+  let max_fanout = ref 0 and total_fanout = ref 0 in
+  for n = 0 to t.nnet_count - 1 do
+    let d = Ba.get off (n + 1) - Ba.get off n in
+    if d > !max_fanout then max_fanout := d;
+    total_fanout := !total_fanout + d
+  done;
   let histogram = Hashtbl.create 16 in
-  Array.iter
-    (fun g ->
-      let k = Gate.name g.kind in
-      Hashtbl.replace histogram k
-        (1 + Option.value ~default:0 (Hashtbl.find_opt histogram k)))
-    t.ngates;
+  for g = 0 to t.n_gates - 1 do
+    let k = Gate.name (gate_kind t g) in
+    Hashtbl.replace histogram k
+      (1 + Option.value ~default:0 (Hashtbl.find_opt histogram k))
+  done;
   let kind_histogram =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) histogram []
     |> List.sort compare
   in
   let levels =
-    match
-      Topo_check.levelize ~net_count:t.nnet_count ~source_nets:t.ninputs
-        ~gate_inputs:(gate_inputs_arr t) ~gate_outputs:(gate_outputs_arr t)
-    with
+    match levelize t with
     | Some l -> Array.fold_left Stdlib.max 0 l
     | None -> -1
   in
   {
-    n_gates = gate_count t;
+    n_gates = t.n_gates;
     n_nets = t.nnet_count;
     n_inputs = Array.length t.ninputs;
     n_outputs = Array.length t.noutputs;
     n_transistors = transistor_count t;
-    max_fanout;
+    max_fanout = !max_fanout;
     avg_fanout =
       (if t.nnet_count = 0 then 0.0
-       else float_of_int total_fanout /. float_of_int t.nnet_count);
+       else float_of_int !total_fanout /. float_of_int t.nnet_count);
     levels;
     kind_histogram;
   }
@@ -257,40 +616,81 @@ let pp_stats ppf s =
   List.iter (fun (k, c) -> Format.fprintf ppf "%s:%d " k c) s.kind_histogram
 
 module Builder = struct
+  (* Growable flat buffers — amortized O(1) append, no per-gate records. *)
+  type ivec = { mutable ia : int array; mutable ilen : int }
+  type fvec = { mutable fa : float array; mutable flen : int }
+
+  let ivec () = { ia = Array.make 16 0; ilen = 0 }
+  let fvec () = { fa = Array.make 16 0.0; flen = 0 }
+
+  let ipush v x =
+    if v.ilen = Array.length v.ia then begin
+      let a = Array.make (2 * v.ilen) 0 in
+      Array.blit v.ia 0 a 0 v.ilen;
+      v.ia <- a
+    end;
+    v.ia.(v.ilen) <- x;
+    v.ilen <- v.ilen + 1
+
+  let fpush v x =
+    if v.flen = Array.length v.fa then begin
+      let a = Array.make (2 * v.flen) 0.0 in
+      Array.blit v.fa 0 a 0 v.flen;
+      v.fa <- a
+    end;
+    v.fa.(v.flen) <- x;
+    v.flen <- v.flen + 1
+
   type builder = {
     bname : string;
-    mutable nets : string list; (* reversed names *)
+    names : Buffer.t;          (* packed net-name blob *)
+    bname_off : ivec;          (* net_count entries; end implied by blob *)
     mutable bnet_count : int;
-    mutable bgates : gate list; (* reversed *)
-    mutable bgate_count : int;
-    mutable binputs : net list; (* reversed *)
-    mutable boutputs : net list; (* reversed *)
+    bkinds : ivec;
+    bstrengths : fvec;
+    bpin_off : ivec;           (* gate_count entries; starts at 0 implied *)
+    bpins : ivec;
+    bouts : ivec;
+    binputs : ivec;
+    boutputs : ivec;
+    mutable output_flag : Bytes.t;  (* dedup for mark_output *)
   }
 
   type t = builder
 
-  let create bname = {
-    bname;
-    nets = [];
-    bnet_count = 0;
-    bgates = [];
-    bgate_count = 0;
-    binputs = [];
-    boutputs = [];
-  }
+  let create bname =
+    {
+      bname;
+      names = Buffer.create 256;
+      bname_off = ivec ();
+      bnet_count = 0;
+      bkinds = ivec ();
+      bstrengths = fvec ();
+      bpin_off = ivec ();
+      bpins = ivec ();
+      bouts = ivec ();
+      binputs = ivec ();
+      boutputs = ivec ();
+      output_flag = Bytes.make 16 '\000';
+    }
 
   let fresh_net b name_opt =
     let id = b.bnet_count in
-    let net_name =
-      match name_opt with Some n -> n | None -> Printf.sprintf "n%d" id
-    in
-    b.nets <- net_name :: b.nets;
+    ipush b.bname_off (Buffer.length b.names);
+    (match name_opt with
+     | Some n -> Buffer.add_string b.names n
+     | None -> Buffer.add_string b.names (Printf.sprintf "n%d" id));
     b.bnet_count <- id + 1;
+    if id >= Bytes.length b.output_flag then begin
+      let f = Bytes.make (2 * Bytes.length b.output_flag) '\000' in
+      Bytes.blit b.output_flag 0 f 0 (Bytes.length b.output_flag);
+      b.output_flag <- f
+    end;
     id
 
   let input ?name b =
     let n = fresh_net b name in
-    b.binputs <- n :: b.binputs;
+    ipush b.binputs n;
     n
 
   let gate ?name ?(strength = 1.0) b kind fan_in =
@@ -306,37 +706,82 @@ module Builder = struct
           invalid_arg (Printf.sprintf "Builder.gate: unknown net %d" n))
       fan_in;
     let out = fresh_net b name in
-    let g =
-      { id = b.bgate_count; kind; strength; fan_in = Array.copy fan_in; out }
-    in
-    b.bgates <- g :: b.bgates;
-    b.bgate_count <- b.bgate_count + 1;
+    ipush b.bkinds (Gate.code kind);
+    fpush b.bstrengths strength;
+    Array.iter (fun n -> ipush b.bpins n) fan_in;
+    ipush b.bpin_off b.bpins.ilen;
+    ipush b.bouts out;
     out
 
   let mark_output b n =
     if n < 0 || n >= b.bnet_count then
       invalid_arg "Builder.mark_output: unknown net";
-    if not (List.exists (fun o -> o = n) b.boutputs) then
-      b.boutputs <- n :: b.boutputs
+    if Bytes.get b.output_flag n = '\000' then begin
+      Bytes.set b.output_flag n '\001';
+      ipush b.boutputs n
+    end
+
+  let net_count b = b.bnet_count
+  let gate_count b = b.bkinds.ilen
 
   let finish b =
+    let n_gates = b.bkinds.ilen in
+    let kind_code =
+      Ba.create Bigarray.int8_unsigned Bigarray.c_layout n_gates
+    in
+    let strength_arr = Ba.create Bigarray.float64 Bigarray.c_layout n_gates in
+    let pin_off = int_array1 (n_gates + 1) in
+    let pins = int_array1 b.bpins.ilen in
+    let out_net = int_array1 n_gates in
+    Ba.set pin_off 0 0;
+    for g = 0 to n_gates - 1 do
+      Ba.set kind_code g b.bkinds.ia.(g);
+      Ba.set strength_arr g b.bstrengths.fa.(g);
+      Ba.set pin_off (g + 1) b.bpin_off.ia.(g);
+      Ba.set out_net g b.bouts.ia.(g)
+    done;
+    for k = 0 to b.bpins.ilen - 1 do
+      Ba.set pins k b.bpins.ia.(k)
+    done;
+    let name_off = int_array1 (b.bnet_count + 1) in
+    for n = 0 to b.bnet_count - 1 do
+      Ba.set name_off n b.bname_off.ia.(n)
+    done;
+    Ba.set name_off b.bnet_count (Buffer.length b.names);
+    let blob = Buffer.contents b.names in
+    let name_blob =
+      Ba.create Bigarray.char Bigarray.c_layout (String.length blob)
+    in
+    String.iteri (fun i c -> Ba.set name_blob i c) blob;
+    let ninputs = Array.sub b.binputs.ia 0 b.binputs.ilen in
+    let noutputs = Array.sub b.boutputs.ia 0 b.boutputs.ilen in
     let flags which =
-      let f = Array.make b.bnet_count false in
-      List.iter (fun n -> f.(n) <- true) which;
+      let f = Bytes.make (Stdlib.max 1 b.bnet_count) '\000' in
+      Array.iter (fun n -> Bytes.set f n '\001') which;
       f
     in
-    let t = {
-      nname = b.bname;
-      ngates = Array.of_list (List.rev b.bgates);
-      nnet_count = b.bnet_count;
-      ninputs = Array.of_list (List.rev b.binputs);
-      noutputs = Array.of_list (List.rev b.boutputs);
-      nnet_names = Array.of_list (List.rev b.nets);
-      is_input_flag = flags b.binputs;
-      is_output_flag = flags b.boutputs;
-      driver_cache = None;
-      fanout_cache = None;
-    } in
+    let t =
+      {
+        nname = b.bname;
+        n_gates;
+        nnet_count = b.bnet_count;
+        kind_code;
+        strength_arr;
+        pin_off;
+        pins;
+        out_net;
+        ninputs;
+        noutputs;
+        name_off;
+        name_blob;
+        is_input_flag = flags ninputs;
+        is_output_flag = flags noutputs;
+        driver_ids = None;
+        fanout_csr = None;
+        topo_cache = None;
+        gates_view = None;
+      }
+    in
     match validate t with
     | Ok () -> t
     | Error e -> failwith ("Netlist.Builder.finish: " ^ e)

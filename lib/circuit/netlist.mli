@@ -5,7 +5,15 @@
     gate output. Flip-flops from sequential benchmarks are modeled as a
     pseudo primary output (the D pin) plus a pseudo primary input (the Q
     net) — the standard reduction for DC leakage analysis, which only sees
-    a combinational snapshot. *)
+    a combinational snapshot.
+
+    Storage is int-indexed struct-of-arrays: gate kinds, strengths, pin
+    lists (CSR) and output nets live in flat [Bigarray]s, net names in one
+    packed blob — no per-gate heap objects, so million-gate netlists fit in
+    a few flat allocations and can be snapshotted to (and mmapped from)
+    disk. The historical record API ({!gate}, {!gates}, {!driver},
+    {!fanout}) is kept as a lazily materialized compatibility view; hot
+    paths should use the int-indexed accessors below. *)
 
 type net = int
 (** Dense net identifier in [\[0, net_count)]. *)
@@ -20,32 +28,89 @@ type gate = {
   fan_in : net array;
   out : net;
 }
+(** Compatibility record view of one gate; see {!gates}. *)
 
 type t
 (** Immutable netlist (internal lookup caches are built lazily). *)
 
 val name : t -> string
-val gates : t -> gate array
-(** Gate instances indexed by [gate.id]. Do not mutate. *)
 
 val net_count : t -> int
 val inputs : t -> net array
 val outputs : t -> net array
 val net_name : t -> net -> string
+val gate_count : t -> int
+val transistor_count : t -> int
+
+(** {2 Int-indexed access (the hot-path API)}
+
+    Gates are identified by dense ids in [\[0, gate_count)]. All accessors
+    are allocation-free except {!gate_kind} (which returns preallocated
+    kind values) and raise [Invalid_argument] on out-of-range ids. *)
+
+val gate_kind : t -> int -> Gate.kind
+val gate_kind_code : t -> int -> int
+(** [Gate.code] of the gate's kind, straight from flat storage. *)
+
+val gate_strength : t -> int -> float
+val gate_arity : t -> int -> int
+(** Number of input pins. *)
+
+val gate_pin : t -> int -> int -> net
+(** [gate_pin t g p] is the net on pin [p] of gate [g]. *)
+
+val gate_out : t -> int -> net
+val gate_fan_in : t -> int -> net array
+(** Fresh array of the gate's input nets (allocates; prefer {!iter_pins}
+    or {!gate_pin} on hot paths). *)
+
+val iter_pins : t -> int -> (int -> net -> unit) -> unit
+(** [iter_pins t g f] calls [f pin net] for every input pin in pin order. *)
+
+val driver_id : t -> net -> int
+(** Id of the gate driving a net, or [-1] for a primary input. O(1) after
+    the first call. *)
+
+val fanout_degree : t -> net -> int
+(** Number of reading pins on a net (a gate with two pins on the net counts
+    twice), from the CSR fanout adjacency. *)
+
+val fanout_gate : t -> net -> int -> int
+(** [fanout_gate t n i] is the gate id of the [i]-th reading pin
+    ([0 <= i < fanout_degree t n]), in ascending (gate, pin) order. *)
+
+val iter_fanout : t -> net -> (int -> unit) -> unit
+(** Iterate the reading gates of a net in ascending (gate, pin) order —
+    one call per pin, like the historical {!fanout} list. *)
+
+val rev_iter_fanout : t -> net -> (int -> unit) -> unit
+(** {!iter_fanout} in reverse order. *)
+
+val topo_ids : t -> int array
+(** Gate ids in topological order; computed once and cached (do not
+    mutate). Raises [Failure] on a cyclic netlist. *)
+
+(** {2 Record-view access (compatibility)} *)
+
+val gates : t -> gate array
+(** Gate instances indexed by [gate.id]. Materialized lazily from the flat
+    storage on first use and cached; do not mutate. *)
 
 val driver : t -> net -> gate option
 (** The gate driving a net, or [None] for a primary input. O(1) after the
-    first call. *)
+    first call; materializes the record view. *)
 
 val fanout : t -> net -> gate list
-(** Gates with an input pin on this net, one entry per pin. O(1) after the
-    first call. *)
+(** Gates with an input pin on this net, one entry per pin. Built from the
+    CSR adjacency on every call (allocates); hot paths should use
+    {!iter_fanout}. *)
 
 val warm : t -> unit
-(** Force both lookup caches ({!driver} and {!fanout}) to be built now.
-    The caches are initialized lazily by a benign single-threaded race;
-    call this before handing the netlist to multiple domains so no
-    concurrent lazy initialization can occur. *)
+(** Force the lazily built lookup caches ({!driver_id}, the fanout CSR,
+    {!topo_ids} and the {!gates} record view) to be built now. The caches
+    are initialized lazily by a benign single-threaded race; call this
+    before handing the netlist to multiple domains so no concurrent lazy
+    initialization can occur. *)
 
 val is_input : t -> net -> bool
 val is_output : t -> net -> bool
@@ -62,8 +127,12 @@ val with_gates : t -> gate array -> t
     [Invalid_argument] on structural changes and [Failure] if the result
     fails {!validate} (e.g. a retype to a different arity). *)
 
-val gate_count : t -> int
-val transistor_count : t -> int
+val with_kinds_strengths :
+  t -> kinds:Gate.kind array -> strengths:float array -> t
+(** Record-free {!with_gates}: replace every gate's kind and strength by
+    dense-id arrays, sharing the structural arrays with [t]. Raises
+    [Invalid_argument] on length mismatch or non-positive strengths and
+    [Failure] if a kind change alters arity. *)
 
 val digest : t -> string
 (** Stable structural digest: 32 lowercase hex characters, identical across
@@ -75,7 +144,8 @@ val digest : t -> string
     gate kind, drive strength, and fan-in labels in pin order. Two netlists
     share a digest iff they describe the same circuit at the same interface
     — which is what keys the warm-session registry of [leakctl serve].
-    Cost: one topological pass per call; not cached. *)
+    Cost: one hashing pass per call (topological order is cached); not
+    cached itself. *)
 
 type stats = {
   n_gates : int;
@@ -112,6 +182,50 @@ module Builder : sig
   val mark_output : t -> net -> unit
   (** Flag an existing net as a primary output. *)
 
+  val net_count : t -> int
+  val gate_count : t -> int
+
   val finish : t -> netlist
   (** Freeze. Raises [Failure] if {!validate} fails. *)
+end
+
+(** {2 Raw struct-of-arrays representation}
+
+    Internal exchange format for the binary snapshot layer ({!Snapshot}).
+    The arrays are the netlist's actual storage: treat them as immutable.
+    Not a stable public API. *)
+
+module Repr : sig
+  type int_arr = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+  type f64_arr =
+    (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+  type byte_arr =
+    (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+  type char_arr =
+    (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  type raw = {
+    r_name : string;
+    r_net_count : int;
+    r_kind_code : byte_arr;      (* n_gates *)
+    r_strength : f64_arr;        (* n_gates *)
+    r_pin_off : int_arr;         (* n_gates + 1, CSR offsets into pins *)
+    r_pins : int_arr;            (* flat fan-in nets in pin order *)
+    r_out_net : int_arr;         (* n_gates *)
+    r_inputs : int array;
+    r_outputs : int array;
+    r_name_off : int_arr;        (* net_count + 1 *)
+    r_name_blob : char_arr;      (* packed net names *)
+  }
+
+  val to_raw : t -> raw
+
+  val of_raw : ?validate:bool -> raw -> t
+  (** Rebuild a netlist around the given arrays (shared, not copied).
+      Always performs the cheap O(n) structural checks (lengths, offset
+      monotonicity, index ranges, kind codes, arities, strengths) and
+      raises [Failure] on any violation — a corrupt snapshot must fail
+      closed, never index out of bounds later. With [validate] (default
+      [true]) additionally runs the full {!Netlist.validate} pass
+      (single-driver and acyclicity). *)
 end

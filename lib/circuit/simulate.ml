@@ -11,11 +11,18 @@ let run_into t pattern values =
       (Printf.sprintf "Simulate.run_into: %d nets expected, buffer has %d"
          (Netlist.net_count t) (Array.length values));
   Array.iteri (fun i n -> values.(n) <- pattern.(i)) pis;
+  (* One max-arity scratch buffer serves the whole sweep: no per-gate
+     allocation, no gate records — just flat int-indexed reads. *)
+  let buf = Array.make 4 false in
   Array.iter
-    (fun (g : Netlist.gate) ->
-      let ins = Array.map (fun n -> values.(n)) g.fan_in in
-      values.(g.out) <- Gate.eval_logic g.kind ins)
-    (Topo.order t)
+    (fun g ->
+      let arity = Netlist.gate_arity t g in
+      for p = 0 to arity - 1 do
+        buf.(p) <- Logic.to_bool values.(Netlist.gate_pin t g p)
+      done;
+      values.(Netlist.gate_out t g) <-
+        Logic.of_bool (Gate.eval_prefix (Netlist.gate_kind t g) buf))
+    (Netlist.topo_ids t)
 
 let run t pattern =
   let values = Array.make (Netlist.net_count t) Logic.Zero in

@@ -1,19 +1,16 @@
-let raw_args t =
-  ( Netlist.net_count t,
-    Netlist.inputs t,
-    Array.map (fun (g : Netlist.gate) -> g.fan_in) (Netlist.gates t),
-    Array.map (fun (g : Netlist.gate) -> g.out) (Netlist.gates t) )
+let order_ids = Netlist.topo_ids
 
 let order t =
-  let net_count, source_nets, gate_inputs, gate_outputs = raw_args t in
-  match Topo_check.sort ~net_count ~source_nets ~gate_inputs ~gate_outputs with
-  | Some idx -> Array.map (fun i -> (Netlist.gates t).(i)) idx
-  | None -> failwith ("Topo.order: cycle in " ^ Netlist.name t)
+  let gates = Netlist.gates t in
+  Array.map (fun i -> gates.(i)) (order_ids t)
 
 let levels t =
-  let net_count, source_nets, gate_inputs, gate_outputs = raw_args t in
   match
-    Topo_check.levelize ~net_count ~source_nets ~gate_inputs ~gate_outputs
+    Topo_check.levelize_flat ~net_count:(Netlist.net_count t)
+      ~n_gates:(Netlist.gate_count t) ~source_nets:(Netlist.inputs t)
+      ~fanin_count:(Netlist.gate_arity t)
+      ~fanin:(Netlist.gate_pin t)
+      ~gate_out:(Netlist.gate_out t)
   with
   | Some l -> l
   | None -> failwith ("Topo.levels: cycle in " ^ Netlist.name t)
@@ -21,7 +18,7 @@ let levels t =
 let net_levels t =
   let gate_levels = levels t in
   let nl = Array.make (Netlist.net_count t) 0 in
-  Array.iter
-    (fun (g : Netlist.gate) -> nl.(g.out) <- gate_levels.(g.id))
-    (Netlist.gates t);
+  for g = 0 to Netlist.gate_count t - 1 do
+    nl.(Netlist.gate_out t g) <- gate_levels.(g)
+  done;
   nl

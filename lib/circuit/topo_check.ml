@@ -1,36 +1,66 @@
-(* Kahn's algorithm (CLRS topological sort, the paper's reference [11]). *)
+(* Kahn's algorithm (CLRS topological sort, the paper's reference [11]).
 
-let prepare ~net_count ~source_nets ~gate_inputs ~gate_outputs =
-  let n_gates = Array.length gate_inputs in
+   The core works over accessor functions so struct-of-arrays callers can
+   feed pins straight out of flat storage without materializing a per-gate
+   [net array]. Consumer edges are kept in a CSR layout; each consumer
+   slice is walked in reverse so the queue order — and with it the emitted
+   topological order — is bit-identical to the historical list-based
+   implementation (which prepended while scanning gates in ascending order
+   and then iterated head-first). *)
+
+let prepare_flat ~net_count ~n_gates ~source_nets ~fanin_count ~fanin
+    ~gate_out =
   let net_driver = Array.make net_count (-2) in
   Array.iter (fun n -> net_driver.(n) <- -1) source_nets;
-  Array.iteri (fun g out -> net_driver.(out) <- g) gate_outputs;
-  (* consumers.(g) = gates reading g's output; indegree counts gate-feeding
-     pins only. *)
-  let consumers = Array.make n_gates [] in
+  for g = 0 to n_gates - 1 do
+    net_driver.(gate_out g) <- g
+  done;
+  (* consumer edges driver-gate -> reading-gate; indegree counts
+     gate-feeding pins only. *)
+  let degree = Array.make (n_gates + 1) 0 in
   let indegree = Array.make n_gates 0 in
   let ok = ref true in
-  Array.iteri
-    (fun g ins ->
-      Array.iter
-        (fun net ->
-          if net < 0 || net >= net_count then ok := false
-          else
-            match net_driver.(net) with
-            | -2 -> ok := false (* undriven *)
-            | -1 -> ()          (* source *)
-            | d ->
-              consumers.(d) <- g :: consumers.(d);
-              indegree.(g) <- indegree.(g) + 1)
-        ins)
-    gate_inputs;
-  if !ok then Some (consumers, indegree) else None
+  for g = 0 to n_gates - 1 do
+    for p = 0 to fanin_count g - 1 do
+      let net = fanin g p in
+      if net < 0 || net >= net_count then ok := false
+      else
+        match net_driver.(net) with
+        | -2 -> ok := false (* undriven *)
+        | -1 -> ()          (* source *)
+        | d ->
+          degree.(d) <- degree.(d) + 1;
+          indegree.(g) <- indegree.(g) + 1
+    done
+  done;
+  if not !ok then None
+  else begin
+    let off = Array.make (n_gates + 1) 0 in
+    for g = 0 to n_gates - 1 do
+      off.(g + 1) <- off.(g) + degree.(g)
+    done;
+    let fill = Array.make n_gates 0 in
+    let edges = Array.make (Stdlib.max 1 off.(n_gates)) 0 in
+    for g = 0 to n_gates - 1 do
+      for p = 0 to fanin_count g - 1 do
+        let net = fanin g p in
+        match net_driver.(net) with
+        | -1 -> ()
+        | d ->
+          edges.(off.(d) + fill.(d)) <- g;
+          fill.(d) <- fill.(d) + 1
+      done
+    done;
+    Some (off, edges, indegree)
+  end
 
-let sort ~net_count ~source_nets ~gate_inputs ~gate_outputs =
-  match prepare ~net_count ~source_nets ~gate_inputs ~gate_outputs with
+let sort_flat ~net_count ~n_gates ~source_nets ~fanin_count ~fanin ~gate_out =
+  match
+    prepare_flat ~net_count ~n_gates ~source_nets ~fanin_count ~fanin
+      ~gate_out
+  with
   | None -> None
-  | Some (consumers, indegree) ->
-    let n_gates = Array.length gate_inputs in
+  | Some (off, edges, indegree) ->
     let queue = Queue.create () in
     Array.iteri (fun g d -> if d = 0 then Queue.add g queue) indegree;
     let order = Array.make n_gates 0 in
@@ -39,28 +69,49 @@ let sort ~net_count ~source_nets ~gate_inputs ~gate_outputs =
       let g = Queue.take queue in
       order.(!filled) <- g;
       incr filled;
-      List.iter
-        (fun c ->
-          indegree.(c) <- indegree.(c) - 1;
-          if indegree.(c) = 0 then Queue.add c queue)
-        consumers.(g)
+      (* reverse slice order: see header comment *)
+      for k = off.(g + 1) - 1 downto off.(g) do
+        let c = edges.(k) in
+        indegree.(c) <- indegree.(c) - 1;
+        if indegree.(c) = 0 then Queue.add c queue
+      done
     done;
     if !filled = n_gates then Some order else None
 
-let levelize ~net_count ~source_nets ~gate_inputs ~gate_outputs =
-  match sort ~net_count ~source_nets ~gate_inputs ~gate_outputs with
+let levelize_flat ~net_count ~n_gates ~source_nets ~fanin_count ~fanin
+    ~gate_out =
+  match
+    sort_flat ~net_count ~n_gates ~source_nets ~fanin_count ~fanin ~gate_out
+  with
   | None -> None
   | Some order ->
     let net_level = Array.make net_count 0 in
-    let gate_level = Array.make (Array.length gate_inputs) 0 in
+    let gate_level = Array.make n_gates 0 in
     Array.iter
       (fun g ->
-        let lvl =
-          1 + Array.fold_left
-                (fun acc net -> Stdlib.max acc net_level.(net))
-                0 gate_inputs.(g)
-        in
+        let lvl = ref 0 in
+        for p = 0 to fanin_count g - 1 do
+          let l = net_level.(fanin g p) in
+          if l > !lvl then lvl := l
+        done;
+        let lvl = !lvl + 1 in
         gate_level.(g) <- lvl;
-        net_level.(gate_outputs.(g)) <- lvl)
+        net_level.(gate_out g) <- lvl)
       order;
     Some gate_level
+
+let sort ~net_count ~source_nets ~gate_inputs ~gate_outputs =
+  sort_flat ~net_count
+    ~n_gates:(Array.length gate_inputs)
+    ~source_nets
+    ~fanin_count:(fun g -> Array.length gate_inputs.(g))
+    ~fanin:(fun g p -> gate_inputs.(g).(p))
+    ~gate_out:(fun g -> gate_outputs.(g))
+
+let levelize ~net_count ~source_nets ~gate_inputs ~gate_outputs =
+  levelize_flat ~net_count
+    ~n_gates:(Array.length gate_inputs)
+    ~source_nets
+    ~fanin_count:(fun g -> Array.length gate_inputs.(g))
+    ~fanin:(fun g p -> gate_inputs.(g).(p))
+    ~gate_out:(fun g -> gate_outputs.(g))

@@ -22,3 +22,28 @@ val levelize :
   int array option
 (** Logic depth per gate (sources at depth 0; a gate is 1 + max of its
     fan-in depths). [None] on cycles. *)
+
+(** {2 Accessor-based variants}
+
+    The same algorithms over pin accessors instead of materialized per-gate
+    arrays, so struct-of-arrays storage can be sorted without allocating one
+    [net array] per gate. [sort] and [levelize] are thin wrappers over
+    these; the emitted order is identical. *)
+
+val sort_flat :
+  net_count:int ->
+  n_gates:int ->
+  source_nets:int array ->
+  fanin_count:(int -> int) ->
+  fanin:(int -> int -> int) ->
+  gate_out:(int -> int) ->
+  int array option
+
+val levelize_flat :
+  net_count:int ->
+  n_gates:int ->
+  source_nets:int array ->
+  fanin_count:(int -> int) ->
+  fanin:(int -> int -> int) ->
+  gate_out:(int -> int) ->
+  int array option

@@ -58,11 +58,11 @@ let to_string ?module_name t =
     (fun n -> Buffer.add_string buf (Printf.sprintf "  output %s;\n" names.(n)))
     outputs;
   (* wires: every gate-driven net that is not a port *)
-  Array.iter
-    (fun (g : Netlist.gate) ->
-      if not (Netlist.is_output t g.out) then
-        Buffer.add_string buf (Printf.sprintf "  wire %s;\n" names.(g.out)))
-    (Netlist.gates t);
+  for g = 0 to Netlist.gate_count t - 1 do
+    let out = Netlist.gate_out t g in
+    if not (Netlist.is_output t out) then
+      Buffer.add_string buf (Printf.sprintf "  wire %s;\n" names.(out))
+  done;
   Buffer.add_char buf '\n';
   let counter = ref 0 in
   let instance prim out args =
@@ -71,16 +71,15 @@ let to_string ?module_name t =
       (Printf.sprintf "  %s g%d(%s, %s);\n" prim !counter out
          (String.concat ", " args))
   in
-  Array.iter
-    (fun (g : Netlist.gate) ->
-      let out = names.(g.out) in
-      let pin i = names.(g.fan_in.(i)) in
-      let args = List.init (Array.length g.fan_in) pin in
-      let helper i = Printf.sprintf "%s_t%d" out i in
-      let declare_helper i =
-        Buffer.add_string buf (Printf.sprintf "  wire %s;\n" (helper i))
-      in
-      match g.kind with
+  for g = 0 to Netlist.gate_count t - 1 do
+    let out = names.(Netlist.gate_out t g) in
+    let pin i = names.(Netlist.gate_pin t g i) in
+    let args = List.init (Netlist.gate_arity t g) pin in
+    let helper i = Printf.sprintf "%s_t%d" out i in
+    let declare_helper i =
+      Buffer.add_string buf (Printf.sprintf "  wire %s;\n" (helper i))
+    in
+    (match Netlist.gate_kind t g with
       | Gate.Inv -> instance "not" out args
       | Gate.Buf -> instance "buf" out args
       | Gate.Nand _ -> instance "nand" out args
@@ -109,11 +108,12 @@ let to_string ?module_name t =
         instance "or" (helper 0) [ pin 0; pin 1 ];
         instance "or" (helper 1) [ pin 2; pin 3 ];
         instance "nand" out [ helper 0; helper 1 ])
-    (Netlist.gates t);
+  done;
   Buffer.add_string buf "endmodule\n";
   Buffer.contents buf
 
 let write_file ?module_name path t =
   let oc = open_out path in
-  output_string oc (to_string ?module_name t);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string ?module_name t))

@@ -27,7 +27,24 @@ type result = {
   net_injection : float array;
 }
 
-let estimate ?(passes = 1) ?library_of_gate ?scratch lib netlist pattern =
+(* Shared flat-storage core of [estimate] / [estimate_totals]: logic
+   values, per-gate characterization entries, and the loading fixed point
+   over a single pin-aligned contribution array (CSR layout mirroring the
+   netlist's pin storage — no per-gate float array on the hot path).
+
+   Iteration is by ascending gate id and ascending pin everywhere, exactly
+   the order the record-based implementation used, so every float sum is
+   performed in the same order and totals stay bit-identical. *)
+
+type core = {
+  c_entries : Characterize.entry array; (* per gate id *)
+  c_contribution : float array;         (* flat, pin-aligned (CSR) *)
+  c_pin_base : int array;               (* gate id -> offset into c_contribution *)
+  c_net_injection : float array;        (* per net *)
+  c_is_pi_net : bool array;             (* per net *)
+}
+
+let run_core ~passes ~library_of_gate ~assignment lib netlist =
   if passes < 1 then invalid_arg "Estimator.estimate: passes must be >= 1";
   if Tm.enabled () then begin
     Tm.incr m_estimates;
@@ -35,6 +52,98 @@ let estimate ?(passes = 1) ?library_of_gate ?scratch lib netlist pattern =
     (* passes beyond the first are the loading fixed-point sweep *)
     Tm.add m_pass_steps (passes - 1)
   end;
+  let n_gates = Netlist.gate_count netlist in
+  let nets = Netlist.net_count netlist in
+  let arity = Netlist.gate_arity netlist in
+  let pin = Netlist.gate_pin netlist in
+  let vector_of g =
+    Array.init (arity g) (fun p -> assignment.(pin g p))
+  in
+  let lib_for g =
+    match library_of_gate with Some f -> f g | None -> lib
+  in
+  (* Resolve every gate's characterization entry once; the same array serves
+     the injection pass and the lookup pass. *)
+  let entries =
+    Array.init n_gates (fun g ->
+        Library.entry
+          ~strength:(Netlist.gate_strength netlist g)
+          (lib_for g)
+          (Netlist.gate_kind netlist g)
+          (vector_of g))
+  in
+  let pin_base = Array.make (n_gates + 1) 0 in
+  for g = 0 to n_gates - 1 do
+    pin_base.(g + 1) <- pin_base.(g) + arity g
+  done;
+  (* Loading current each net receives: the sum of the per-pin injections of
+     every fanout cell. Pass 1 uses the nominal pin currents; further passes
+     re-evaluate each pin's current under the loading seen on its net in the
+     previous pass (one extra level of propagation per pass). *)
+  let contribution = Array.make pin_base.(n_gates) 0.0 in
+  for g = 0 to n_gates - 1 do
+    let inj = entries.(g).Characterize.pin_injection in
+    Array.blit inj 0 contribution pin_base.(g) (Array.length inj)
+  done;
+  let net_injection = Array.make nets 0.0 in
+  let accumulate () =
+    Array.fill net_injection 0 nets 0.0;
+    for g = 0 to n_gates - 1 do
+      let base = pin_base.(g) in
+      for p = 0 to arity g - 1 do
+        let net = pin g p in
+        net_injection.(net) <- net_injection.(net) +. contribution.(base + p)
+      done
+    done
+  in
+  accumulate ();
+  for _ = 2 to passes do
+    for g = 0 to n_gates - 1 do
+      let e = entries.(g) in
+      let base = pin_base.(g) in
+      for p = 0 to arity g - 1 do
+        (* loading external to this cell on this net *)
+        let external_load =
+          net_injection.(pin g p) -. contribution.(base + p)
+        in
+        contribution.(base + p) <-
+          Leakage_numeric.Interp.eval1d
+            e.Characterize.pin_response.(p) external_load
+      done
+    done;
+    accumulate ()
+  done;
+  let is_pi_net =
+    let flags = Array.make nets true in
+    for g = 0 to n_gates - 1 do
+      flags.(Netlist.gate_out netlist g) <- false
+    done;
+    flags
+  in
+  {
+    c_entries = entries;
+    c_contribution = contribution;
+    c_pin_base = pin_base;
+    c_net_injection = net_injection;
+    c_is_pi_net = is_pi_net;
+  }
+
+(* I_L-IN of eq. (3): gate leakage of the *other* gates on the input net —
+   subtract this cell's own pin contribution, which the characterization
+   testbench already accounts for. Primary-input nets are ideal sources in
+   the real circuit, so there sibling loading is irrelevant; instead cancel
+   the characterization testbench's finite-driver self-droop by loading the
+   pin with the negation of the cell's own pin current. *)
+let loading_in_of c netlist g =
+  let base = c.c_pin_base.(g) in
+  Array.init
+    (Netlist.gate_arity netlist g)
+    (fun p ->
+      let net = Netlist.gate_pin netlist g p in
+      let own = c.c_contribution.(base + p) in
+      if c.c_is_pi_net.(net) then -.own else c.c_net_injection.(net) -. own)
+
+let estimate ?(passes = 1) ?library_of_gate ?scratch lib netlist pattern =
   let scratch_used = scratch <> None in
   let assignment =
     match scratch with
@@ -43,87 +152,17 @@ let estimate ?(passes = 1) ?library_of_gate ?scratch lib netlist pattern =
       Simulate.run_into netlist pattern buf;
       buf
   in
+  let c = run_core ~passes ~library_of_gate ~assignment lib netlist in
   let gates = Netlist.gates netlist in
-  let vector_of (g : Netlist.gate) =
-    Array.map (fun n -> assignment.(n)) g.fan_in
-  in
-  let lib_for (g : Netlist.gate) =
-    match library_of_gate with Some f -> f g.id | None -> lib
-  in
-  (* Resolve every gate's characterization entry once; the same array serves
-     the injection pass and the lookup pass. *)
-  let entries =
-    Array.map
-      (fun (g : Netlist.gate) ->
-        Library.entry ~strength:g.Netlist.strength (lib_for g) g.Netlist.kind
-          (vector_of g))
-      gates
-  in
-  (* Loading current each net receives: the sum of the per-pin injections of
-     every fanout cell. Pass 1 uses the nominal pin currents; further passes
-     re-evaluate each pin's current under the loading seen on its net in the
-     previous pass (one extra level of propagation per pass). *)
-  let contribution =
-    Array.map
-      (fun (g : Netlist.gate) ->
-        Array.copy entries.(g.id).Characterize.pin_injection)
-      gates
-  in
-  let net_injection = Array.make (Netlist.net_count netlist) 0.0 in
-  let accumulate () =
-    Array.fill net_injection 0 (Netlist.net_count netlist) 0.0;
-    Array.iter
-      (fun (g : Netlist.gate) ->
-        let c = contribution.(g.id) in
-        Array.iteri
-          (fun pin net -> net_injection.(net) <- net_injection.(net) +. c.(pin))
-          g.fan_in)
-      gates
-  in
-  accumulate ();
-  for _ = 2 to passes do
-    Array.iter
-      (fun (g : Netlist.gate) ->
-        let e = entries.(g.id) in
-        let c = contribution.(g.id) in
-        Array.iteri
-          (fun pin net ->
-            (* loading external to this cell on this net *)
-            let external_load = net_injection.(net) -. c.(pin) in
-            c.(pin) <-
-              Leakage_numeric.Interp.eval1d
-                e.Characterize.pin_response.(pin) external_load)
-          g.fan_in)
-      gates;
-    accumulate ()
-  done;
-  let is_pi_net =
-    let flags = Array.make (Netlist.net_count netlist) true in
-    Array.iter (fun (g : Netlist.gate) -> flags.(g.out) <- false) gates;
-    flags
-  in
   let per_gate =
     Array.map
       (fun (g : Netlist.gate) ->
-        let e = entries.(g.id) in
-        (* I_L-IN of eq. (3): gate leakage of the *other* gates on the input
-           net — subtract this cell's own pin contribution, which the
-           characterization testbench already accounts for. Primary-input
-           nets are ideal sources in the real circuit, so there sibling
-           loading is irrelevant; instead cancel the characterization
-           testbench's finite-driver self-droop by loading the pin with the
-           negation of the cell's own pin current. *)
-        let loading_in =
-          Array.mapi
-            (fun pin net ->
-              if is_pi_net.(net) then -.contribution.(g.id).(pin)
-              else net_injection.(net) -. contribution.(g.id).(pin))
-            g.fan_in
-        in
-        let loading_out = net_injection.(g.out) in
+        let e = c.c_entries.(g.id) in
+        let loading_in = loading_in_of c netlist g.id in
+        let loading_out = c.c_net_injection.(g.out) in
         {
           gate = g;
-          vector = vector_of g;
+          vector = Array.map (fun n -> assignment.(n)) g.fan_in;
           loading_in;
           loading_out;
           with_loading = Characterize.apply e ~loading_in ~loading_out;
@@ -145,7 +184,33 @@ let estimate ?(passes = 1) ?library_of_gate ?scratch lib netlist pattern =
      [run_into]; hand back a snapshot so previously returned results stay
      valid. Freshly allocated assignments are owned by the result already. *)
   let assignment = if scratch_used then Array.copy assignment else assignment in
-  { per_gate; totals; baseline_totals; assignment; net_injection }
+  {
+    per_gate;
+    totals;
+    baseline_totals;
+    assignment;
+    net_injection = c.c_net_injection;
+  }
+
+let estimate_totals ?(passes = 1) ?library_of_gate ?scratch lib netlist pattern
+    =
+  let assignment =
+    match scratch with
+    | None -> Simulate.run netlist pattern
+    | Some buf ->
+      Simulate.run_into netlist pattern buf;
+      buf
+  in
+  let c = run_core ~passes ~library_of_gate ~assignment lib netlist in
+  let totals = ref Report.zero and baseline = ref Report.zero in
+  for g = 0 to Netlist.gate_count netlist - 1 do
+    let e = c.c_entries.(g) in
+    let loading_in = loading_in_of c netlist g in
+    let loading_out = c.c_net_injection.(Netlist.gate_out netlist g) in
+    totals := Report.add !totals (Characterize.apply e ~loading_in ~loading_out);
+    baseline := Report.add !baseline e.Characterize.nominal_isolated
+  done;
+  (!totals, !baseline)
 
 (* Fixed chunk width for vector averaging. The chunk decomposition — and
    therefore the float-summation tree — depends only on the vector count,
@@ -163,15 +228,16 @@ let average_over_vectors ?pool lib netlist patterns =
         Trace.with_span ~cat:"core" "avg_chunk"
           ~args:[ ("vectors", string_of_int (hi - lo)) ]
         @@ fun () ->
-        (* One logic-simulation buffer per chunk: only totals survive. *)
+        (* One logic-simulation buffer per chunk: only totals survive, so
+           the lean no-record path serves here. *)
         let scratch =
           Array.make (Netlist.net_count netlist) Leakage_circuit.Logic.Zero
         in
         let acc_l = ref Report.zero and acc_b = ref Report.zero in
         for i = lo to hi - 1 do
-          let r = estimate ~scratch lib netlist patterns.(i) in
-          acc_l := Report.add !acc_l r.totals;
-          acc_b := Report.add !acc_b r.baseline_totals
+          let l, b = estimate_totals ~scratch lib netlist patterns.(i) in
+          acc_l := Report.add !acc_l l;
+          acc_b := Report.add !acc_b b
         done;
         (!acc_l, !acc_b))
   in

@@ -56,6 +56,18 @@ val estimate :
     [result.assignment] is a snapshot copy, so later estimates sharing the
     buffer never mutate previously returned results. *)
 
+val estimate_totals :
+  ?passes:int ->
+  ?library_of_gate:(int -> Library.t) ->
+  ?scratch:Leakage_circuit.Simulate.assignment ->
+  Library.t -> Leakage_circuit.Netlist.t -> Leakage_circuit.Logic.vector ->
+  Leakage_spice.Leakage_report.components * Leakage_spice.Leakage_report.components
+(** [(with-loading totals, baseline totals)] under one pattern — the same
+    numbers as {!estimate}'s [totals] / [baseline_totals], bit for bit
+    (identical summation order), without materializing per-gate records,
+    gate views or an assignment snapshot. This is the hot path for vector
+    sweeps; {!average_over_vectors} runs on it. *)
+
 val average_over_vectors :
   ?pool:Leakage_parallel.Pool.t ->
   Library.t -> Leakage_circuit.Netlist.t -> Leakage_circuit.Logic.vector list ->

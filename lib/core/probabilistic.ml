@@ -38,18 +38,22 @@ let propagate ?input_probability netlist =
   let prob = Array.make (Netlist.net_count netlist) 0.0 in
   Array.iteri (fun i net -> prob.(net) <- input_probability.(i)) pis;
   Array.iter
-    (fun (g : Netlist.gate) ->
-      let pin_probs = Array.map (fun net -> prob.(net)) g.fan_in in
+    (fun g ->
+      let kind = Netlist.gate_kind netlist g in
+      let pin_probs =
+        Array.init (Netlist.gate_arity netlist g) (fun p ->
+            prob.(Netlist.gate_pin netlist g p))
+      in
       let p_one =
         List.fold_left
           (fun acc (vector, p) ->
-            if Logic.to_bool (Gate.eval_logic g.kind vector) then acc +. p
+            if Logic.to_bool (Gate.eval_logic kind vector) then acc +. p
             else acc)
           0.0
-          (gate_state_distribution g.kind pin_probs)
+          (gate_state_distribution kind pin_probs)
       in
-      prob.(g.out) <- p_one)
-    (Topo.order netlist);
+      prob.(Netlist.gate_out netlist g) <- p_one)
+    (Netlist.topo_ids netlist);
   prob
 
 type expectation = {
@@ -61,19 +65,22 @@ type expectation = {
 
 let expected_leakage ?input_probability lib netlist =
   let prob = propagate ?input_probability netlist in
-  let gates = Netlist.gates netlist in
+  let n_gates = Netlist.gate_count netlist in
   (* per gate: the state distribution and its characterization entries *)
   let distributions =
-    Array.map
-      (fun (g : Netlist.gate) ->
-        let pin_probs = Array.map (fun net -> prob.(net)) g.fan_in in
-        gate_state_distribution g.kind pin_probs
+    Array.init n_gates (fun g ->
+        let kind = Netlist.gate_kind netlist g in
+        let pin_probs =
+          Array.init (Netlist.gate_arity netlist g) (fun p ->
+              prob.(Netlist.gate_pin netlist g p))
+        in
+        gate_state_distribution kind pin_probs
         |> List.filter (fun (_, p) -> p > 1e-12)
         |> List.map (fun (vector, p) ->
                ( p,
-                 Library.entry ~strength:g.Netlist.strength lib g.Netlist.kind
-                   vector )))
-      gates
+                 Library.entry
+                   ~strength:(Netlist.gate_strength netlist g)
+                   lib kind vector )))
   in
   (* expected injection per net from the state-weighted pin currents *)
   let net_injection = Array.make (Netlist.net_count netlist) 0.0 in
@@ -83,38 +90,36 @@ let expected_leakage ?input_probability lib netlist =
         acc +. (p *. e.Characterize.pin_injection.(pin)))
       0.0 distributions.(g_id)
   in
-  Array.iter
-    (fun (g : Netlist.gate) ->
-      Array.iteri
-        (fun pin net ->
-          net_injection.(net) <- net_injection.(net) +. expected_pin g.id pin)
-        g.fan_in)
-    gates;
+  for g = 0 to n_gates - 1 do
+    Netlist.iter_pins netlist g (fun pin net ->
+        net_injection.(net) <- net_injection.(net) +. expected_pin g pin)
+  done;
   let is_pi_net =
     let flags = Array.make (Netlist.net_count netlist) true in
-    Array.iter (fun (g : Netlist.gate) -> flags.(g.out) <- false) gates;
+    for g = 0 to n_gates - 1 do
+      flags.(Netlist.gate_out netlist g) <- false
+    done;
     flags
   in
   let totals = ref Report.zero and baseline = ref Report.zero in
-  Array.iter
-    (fun (g : Netlist.gate) ->
-      List.iter
-        (fun (p, (e : Characterize.entry)) ->
-          let loading_in =
-            Array.mapi
-              (fun pin net ->
-                if is_pi_net.(net) then -.e.Characterize.pin_injection.(pin)
-                else net_injection.(net) -. e.Characterize.pin_injection.(pin))
-              g.fan_in
-          in
-          let loading_out = net_injection.(g.out) in
-          let with_loading = Characterize.apply e ~loading_in ~loading_out in
-          totals := Report.add !totals (Report.scale p with_loading);
-          baseline :=
-            Report.add !baseline
-              (Report.scale p e.Characterize.nominal_isolated))
-        distributions.(g.id))
-    gates;
+  for g = 0 to n_gates - 1 do
+    List.iter
+      (fun (p, (e : Characterize.entry)) ->
+        let loading_in =
+          Array.init
+            (Netlist.gate_arity netlist g)
+            (fun pin ->
+              let net = Netlist.gate_pin netlist g pin in
+              if is_pi_net.(net) then -.e.Characterize.pin_injection.(pin)
+              else net_injection.(net) -. e.Characterize.pin_injection.(pin))
+        in
+        let loading_out = net_injection.(Netlist.gate_out netlist g) in
+        let with_loading = Characterize.apply e ~loading_in ~loading_out in
+        totals := Report.add !totals (Report.scale p with_loading);
+        baseline :=
+          Report.add !baseline (Report.scale p e.Characterize.nominal_isolated))
+      distributions.(g)
+  done;
   {
     totals = !totals;
     baseline_totals = !baseline;

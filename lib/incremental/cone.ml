@@ -132,8 +132,7 @@ module Partition = struct
       invalid_arg (Printf.sprintf "Cone.Partition: unknown net %d" m)
 
   let make_prune nl st (edits : Edit.t array) =
-    let gs = Netlist.gates nl in
-    let n_gates = Array.length gs in
+    let n_gates = Netlist.gate_count nl in
     let n_nets = Netlist.net_count nl in
     if Array.length st.values <> n_nets then
       invalid_arg "Cone.Partition: state.values length differs from net count";
@@ -160,20 +159,16 @@ module Partition = struct
         | Edit.Set_input (m, _) ->
           check_net ~n_nets m;
           may_flip.(m) <- true;
-          List.iter
-            (fun (c : Netlist.gate) -> push c.Netlist.id)
-            (Netlist.fanout nl m))
+          Netlist.iter_fanout nl m push)
       edits;
     let rec drain () =
       match !stack with
       | [] -> ()
       | g_id :: rest ->
         stack := rest;
-        let out = gs.(g_id).Netlist.out in
+        let out = Netlist.gate_out nl g_id in
         may_flip.(out) <- true;
-        List.iter
-          (fun (c : Netlist.gate) -> push c.Netlist.id)
-          (Netlist.fanout nl out);
+        Netlist.iter_fanout nl out push;
         drain ()
     in
     drain ();
@@ -182,16 +177,21 @@ module Partition = struct
   (* Can this gate's output change under the batch? Exact within the
      may-flip abstraction: enumerate the may-flip pins, hold the stable
      pins at their settled values. *)
-  let output_can_flip p (g : Netlist.gate) =
-    p.retyped.(g.Netlist.id)
+  let output_can_flip p nl g_id =
+    p.retyped.(g_id)
     ||
-    let inputs = Array.map (fun m -> Logic.to_bool p.st.values.(m)) g.Netlist.fan_in in
-    let free = Array.map (fun m -> p.may_flip.(m)) g.Netlist.fan_in in
-    Gate.pinned_output p.st.kinds.(g.Netlist.id) ~free inputs = None
+    let arity = Netlist.gate_arity nl g_id in
+    let inputs =
+      Array.init arity (fun i ->
+          Logic.to_bool p.st.values.(Netlist.gate_pin nl g_id i))
+    in
+    let free =
+      Array.init arity (fun i -> p.may_flip.(Netlist.gate_pin nl g_id i))
+    in
+    Gate.pinned_output p.st.kinds.(g_id) ~free inputs = None
 
   let cone_into ?prune nl ~gate_seen ~net_seen edit =
-    let gs = Netlist.gates nl in
-    let n_gates = Array.length gs in
+    let n_gates = Netlist.gate_count nl in
     let gates = ref [] and nets = ref [] in
     let add_gate g =
       if not gate_seen.(g) then begin
@@ -216,10 +216,12 @@ module Partition = struct
        it can, so the descent stops there. *)
     let closure = ref [] in
     let stack = ref [] in
+    (* Pushing consumers in reverse pin order leaves the first consumer on
+       top of the stack, so the pop order matches the historical recursive
+       preorder over the ascending fanout list exactly. *)
     let descend g_id =
-      List.iter
-        (fun (c : Netlist.gate) -> stack := c.Netlist.id :: !stack)
-        (List.rev (Netlist.fanout nl gs.(g_id).Netlist.out))
+      Netlist.rev_iter_fanout nl (Netlist.gate_out nl g_id) (fun c ->
+          stack := c :: !stack)
     in
     let visit g_id =
       if not gate_seen.(g_id) then begin
@@ -227,7 +229,7 @@ module Partition = struct
         closure := g_id :: !closure;
         match prune with
         | None -> descend g_id
-        | Some p -> if output_can_flip p gs.(g_id) then descend g_id
+        | Some p -> if output_can_flip p nl g_id then descend g_id
       end
     in
     let down g_id =
@@ -243,18 +245,12 @@ module Partition = struct
       walk ()
     in
     let sideways g_id =
-      let g = gs.(g_id) in
-      add_net g.Netlist.out;
-      Array.iter
-        (fun m ->
+      add_net (Netlist.gate_out nl g_id);
+      Netlist.iter_pins nl g_id (fun _pin m ->
           add_net m;
-          (match Netlist.driver nl m with
-           | Some d -> add_gate d.Netlist.id
-           | None -> ());
-          List.iter
-            (fun (c : Netlist.gate) -> add_gate c.Netlist.id)
-            (Netlist.fanout nl m))
-        g.Netlist.fan_in
+          let d = Netlist.driver_id nl m in
+          if d >= 0 then add_gate d;
+          Netlist.iter_fanout nl m add_gate)
     in
     (match (edit : Edit.t) with
      | Edit.Resize (g, _) | Edit.Relib (g, _) ->
@@ -268,9 +264,7 @@ module Partition = struct
      | Edit.Set_input (m, _) ->
        check_net ~n_nets:(Netlist.net_count nl) m;
        add_net m;
-       List.iter
-         (fun (c : Netlist.gate) -> down c.Netlist.id)
-         (Netlist.fanout nl m);
+       Netlist.iter_fanout nl m down;
        List.iter sideways !closure);
     { gates = List.rev !gates; nets = List.rev !nets }
 

@@ -12,20 +12,16 @@ let slack_assignment ~critical_margin netlist =
   if critical_margin < 0 then
     invalid_arg "Dual_vth.slack_assignment: negative margin";
   let levels = Topo.levels netlist in
-  let order = Topo.order netlist in
+  let order = Topo.order_ids netlist in
   let n_gates = Netlist.gate_count netlist in
   let tail = Array.make n_gates 0 in
   (* reverse topological pass over gates *)
   for i = Array.length order - 1 downto 0 do
     let g = order.(i) in
-    let downstream =
-      List.fold_left
-        (fun acc (consumer : Netlist.gate) ->
-          Stdlib.max acc (tail.(consumer.id) + 1))
-        0
-        (Netlist.fanout netlist g.Netlist.out)
-    in
-    tail.(g.Netlist.id) <- downstream
+    let downstream = ref 0 in
+    Netlist.iter_fanout netlist (Netlist.gate_out netlist g) (fun consumer ->
+        downstream := Stdlib.max !downstream (tail.(consumer) + 1));
+    tail.(g) <- !downstream
   done;
   let depth = Array.fold_left Stdlib.max 0 levels in
   Array.init n_gates (fun id ->

@@ -54,9 +54,9 @@ type scratch = {
 }
 
 type t = {
-  netlist : Netlist.t;
-  gates : Netlist.gate array;          (* structural info; kind/strength overridden below *)
-  order : Netlist.gate array;          (* topological order *)
+  netlist : Netlist.t;                 (* structural info; kind/strength overridden below *)
+  n_gates : int;
+  order_ids : int array;               (* gate ids in topological order *)
   base_lib : Library.t;
   refresh_every : int;
   input_index : int array;             (* net -> primary-input position, -1 otherwise *)
@@ -101,14 +101,16 @@ let sub_c (a : Report.components) (b : Report.components) =
     ibtbt = a.Report.ibtbt -. b.Report.ibtbt }
 
 let check_gate t g =
-  if g < 0 || g >= Array.length t.gates then
+  if g < 0 || g >= t.n_gates then
     invalid_arg (Printf.sprintf "Incremental: unknown gate id %d" g)
 
 let entry_of t g_id vector =
   Library.entry ~strength:t.strength.(g_id) t.libs.(g_id) t.kind.(g_id) vector
 
-let vector_of t (g : Netlist.gate) =
-  Array.map (fun n -> t.values.(n)) g.Netlist.fan_in
+let vector_of t g_id =
+  Array.init
+    (Netlist.gate_arity t.netlist g_id)
+    (fun p -> t.values.(Netlist.gate_pin t.netlist g_id p))
 
 (* -------------------------------------------------------------- scratch *)
 
@@ -116,7 +118,7 @@ let fresh_scratch t =
   {
     s_work = Cone.Worklist.create ~priority:t.priority;
     s_nets = Cone.Dirty_set.create (Array.length t.net_injection);
-    s_gates = Cone.Dirty_set.create (Array.length t.gates);
+    s_gates = Cone.Dirty_set.create t.n_gates;
     s_totals = Report.zero;
     s_baseline = Report.zero;
     s_logic = 0;
@@ -159,18 +161,18 @@ let merge t s =
 
 (* Loading-aware estimate of one gate at the current injections. *)
 let lookup_components t g_id =
-  let g = t.gates.(g_id) in
   let e = t.entries.(g_id) in
   let loading_in =
-    Array.mapi
-      (fun pin net ->
+    Array.init
+      (Netlist.gate_arity t.netlist g_id)
+      (fun pin ->
+        let net = Netlist.gate_pin t.netlist g_id pin in
         (* same I_L-IN bookkeeping as Estimator.estimate: siblings only on
            driven nets, self-droop cancellation on ideal primary inputs *)
         if t.is_pi_net.(net) then -.e.Characterize.pin_injection.(pin)
         else t.net_injection.(net) -. e.Characterize.pin_injection.(pin))
-      g.Netlist.fan_in
   in
-  let loading_out = t.net_injection.(g.Netlist.out) in
+  let loading_out = t.net_injection.(Netlist.gate_out t.netlist g_id) in
   Characterize.apply e ~loading_in ~loading_out
 
 let relookup t s g_id =
@@ -189,35 +191,30 @@ let refresh t =
   (* logic + entries in topological order so every gate sees settled input
      values (the netlist's gate-id order is not guaranteed topological) *)
   Array.iter
-    (fun (g : Netlist.gate) ->
-      let vec = vector_of t g in
-      t.values.(g.Netlist.out) <- Gate.eval_logic t.kind.(g.Netlist.id) vec;
-      t.entries.(g.Netlist.id) <- entry_of t g.Netlist.id vec;
-      t.entry_libs.(g.Netlist.id) <- t.libs.(g.Netlist.id);
-      t.isolated.(g.Netlist.id) <-
-        t.entries.(g.Netlist.id).Characterize.nominal_isolated)
-    t.order;
+    (fun g_id ->
+      let vec = vector_of t g_id in
+      t.values.(Netlist.gate_out t.netlist g_id) <-
+        Gate.eval_logic t.kind.(g_id) vec;
+      t.entries.(g_id) <- entry_of t g_id vec;
+      t.entry_libs.(g_id) <- t.libs.(g_id);
+      t.isolated.(g_id) <- t.entries.(g_id).Characterize.nominal_isolated)
+    t.order_ids;
   Array.fill t.net_injection 0 (Array.length t.net_injection) 0.0;
-  Array.iter
-    (fun (g : Netlist.gate) ->
-      let e = t.entries.(g.Netlist.id) in
-      Array.iteri
-        (fun pin net ->
-          t.net_injection.(net) <-
-            t.net_injection.(net) +. e.Characterize.pin_injection.(pin))
-        g.Netlist.fan_in)
-    t.gates;
+  for g_id = 0 to t.n_gates - 1 do
+    let e = t.entries.(g_id) in
+    Netlist.iter_pins t.netlist g_id (fun pin net ->
+        t.net_injection.(net) <-
+          t.net_injection.(net) +. e.Characterize.pin_injection.(pin))
+  done;
   t.totals <- Report.zero;
   t.baseline <- Report.zero;
-  Array.iter
-    (fun (g : Netlist.gate) ->
-      let id = g.Netlist.id in
-      let c = lookup_components t id in
-      t.loaded.(id) <- c;
-      t.totals <- Report.add t.totals c;
-      t.baseline <- Report.add t.baseline t.isolated.(id);
-      t.n_lookup <- t.n_lookup + 1)
-    t.gates;
+  for id = 0 to t.n_gates - 1 do
+    let c = lookup_components t id in
+    t.loaded.(id) <- c;
+    t.totals <- Report.add t.totals c;
+    t.baseline <- Report.add t.baseline t.isolated.(id);
+    t.n_lookup <- t.n_lookup + 1
+  done;
   t.n_refreshes <- t.n_refreshes + 1;
   t.since_refresh <- 0
 
@@ -234,8 +231,7 @@ let propagate t s =
     | None -> ()
     | Some g_id ->
       s.s_logic <- s.s_logic + 1;
-      let g = t.gates.(g_id) in
-      let vec = vector_of t g in
+      let vec = vector_of t g_id in
       let e = t.entries.(g_id) in
       let changed =
         t.entry_libs.(g_id) != t.libs.(g_id)
@@ -246,8 +242,7 @@ let propagate t s =
       if changed then begin
         s.s_entry <- s.s_entry + 1;
         let e' = entry_of t g_id vec in
-        Array.iteri
-          (fun pin net ->
+        Netlist.iter_pins t.netlist g_id (fun pin net ->
             let d =
               e'.Characterize.pin_injection.(pin)
               -. e.Characterize.pin_injection.(pin)
@@ -255,8 +250,7 @@ let propagate t s =
             if d <> 0.0 then begin
               t.net_injection.(net) <- t.net_injection.(net) +. d;
               Cone.Dirty_set.add s.s_nets net
-            end)
-          g.Netlist.fan_in;
+            end);
         t.entries.(g_id) <- e';
         t.entry_libs.(g_id) <- t.libs.(g_id);
         s.s_baseline <-
@@ -266,11 +260,10 @@ let propagate t s =
         Cone.Dirty_set.add s.s_gates g_id
       end;
       let out' = Gate.eval_logic t.kind.(g_id) vec in
-      if out' <> t.values.(g.Netlist.out) then begin
-        t.values.(g.Netlist.out) <- out';
-        List.iter
-          (fun (c : Netlist.gate) -> Cone.Worklist.push s.s_work c.Netlist.id)
-          (Netlist.fanout t.netlist g.Netlist.out)
+      let out_net = Netlist.gate_out t.netlist g_id in
+      if out' <> t.values.(out_net) then begin
+        t.values.(out_net) <- out';
+        Netlist.iter_fanout t.netlist out_net (Cone.Worklist.push s.s_work)
       end;
       drain ()
   in
@@ -278,12 +271,9 @@ let propagate t s =
   Cone.Dirty_set.iter
     (fun net ->
       s.s_net <- s.s_net + 1;
-      (match Netlist.driver t.netlist net with
-       | Some d -> Cone.Dirty_set.add s.s_gates d.Netlist.id
-       | None -> ());
-      List.iter
-        (fun (c : Netlist.gate) -> Cone.Dirty_set.add s.s_gates c.Netlist.id)
-        (Netlist.fanout t.netlist net))
+      let d = Netlist.driver_id t.netlist net in
+      if d >= 0 then Cone.Dirty_set.add s.s_gates d;
+      Netlist.iter_fanout t.netlist net (Cone.Dirty_set.add s.s_gates))
     s.s_nets;
   Cone.Dirty_set.iter (fun g_id -> relookup t s g_id) s.s_gates;
   Cone.Dirty_set.clear s.s_nets;
@@ -309,7 +299,7 @@ let validate t (edit : Edit.t) =
            s Library.max_strength)
   | Edit.Retype (g, k) ->
     check_gate t g;
-    if Gate.arity k <> Array.length t.gates.(g).Netlist.fan_in then
+    if Gate.arity k <> Netlist.gate_arity t.netlist g then
       invalid_arg
         (Printf.sprintf "Incremental: Retype g%d to %s changes arity" g
            (Gate.name k))
@@ -355,9 +345,7 @@ let stage t ~work edit =
       let v = Logic.of_bool b in
       t.values.(n) <- v;
       t.pattern.(t.input_index.(n)) <- v;
-      List.iter
-        (fun (c : Netlist.gate) -> Cone.Worklist.push work c.Netlist.id)
-        (Netlist.fanout t.netlist n)
+      Netlist.iter_fanout t.netlist n (Cone.Worklist.push work)
     end;
     inverse
 
@@ -516,13 +504,10 @@ let net_injection t = Array.copy t.net_injection
 let netlist t = t.netlist
 
 let current_netlist t =
-  Netlist.with_gates t.netlist
-    (Array.map
-       (fun (g : Netlist.gate) ->
-         { g with
-           Netlist.kind = t.kind.(g.Netlist.id);
-           strength = t.strength.(g.Netlist.id) })
-       t.gates)
+  (* copies: the session keeps mutating its kind/strength state, the
+     returned netlist must not follow along *)
+  Netlist.with_kinds_strengths t.netlist ~kinds:(Array.copy t.kind)
+    ~strengths:(Array.copy t.strength)
 
 let library_of_gate t g =
   check_gate t g;
@@ -552,16 +537,17 @@ let create ?(refresh_every = 64) ?library_of_gate base netlist pattern =
   (* force the lazy driver/fanout caches now: propagation may run on worker
      domains, which must only ever read them *)
   Netlist.warm netlist;
-  let gates = Netlist.gates netlist in
-  let n_gates = Array.length gates in
+  let n_gates = Netlist.gate_count netlist in
   let n_nets = Netlist.net_count netlist in
-  let order = Topo.order netlist in
+  let order_ids = Topo.order_ids netlist in
   let priority = Array.make n_gates 0 in
-  Array.iteri (fun pos (g : Netlist.gate) -> priority.(g.Netlist.id) <- pos) order;
+  Array.iteri (fun pos g_id -> priority.(g_id) <- pos) order_ids;
   let input_index = Array.make n_nets (-1) in
   Array.iteri (fun i n -> input_index.(n) <- i) inputs;
   let is_pi_net = Array.make n_nets true in
-  Array.iter (fun (g : Netlist.gate) -> is_pi_net.(g.Netlist.out) <- false) gates;
+  for g = 0 to n_gates - 1 do
+    is_pi_net.(Netlist.gate_out netlist g) <- false
+  done;
   let libs =
     match library_of_gate with
     | Some f -> Array.init n_gates f
@@ -573,25 +559,26 @@ let create ?(refresh_every = 64) ?library_of_gate base netlist pattern =
   let values = Array.make n_nets Logic.Zero in
   Leakage_circuit.Simulate.run_into netlist pattern values;
   let entries =
-    Array.map
-      (fun (g : Netlist.gate) ->
-        Library.entry ~strength:g.Netlist.strength libs.(g.Netlist.id)
-          g.Netlist.kind
-          (Array.map (fun n -> values.(n)) g.Netlist.fan_in))
-      gates
+    Array.init n_gates (fun g ->
+        Library.entry
+          ~strength:(Netlist.gate_strength netlist g)
+          libs.(g)
+          (Netlist.gate_kind netlist g)
+          (Array.init (Netlist.gate_arity netlist g) (fun p ->
+               values.(Netlist.gate_pin netlist g p))))
   in
   let t =
     {
       netlist;
-      gates;
-      order;
+      n_gates;
+      order_ids;
       base_lib = base;
       refresh_every;
       input_index;
       is_pi_net;
       priority;
-      kind = Array.map (fun (g : Netlist.gate) -> g.Netlist.kind) gates;
-      strength = Array.map (fun (g : Netlist.gate) -> g.Netlist.strength) gates;
+      kind = Array.init n_gates (Netlist.gate_kind netlist);
+      strength = Array.init n_gates (Netlist.gate_strength netlist);
       libs;
       pattern = Array.copy pattern;
       values;

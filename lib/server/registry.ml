@@ -132,13 +132,13 @@ let encode_checkpoint session =
      Wire.put_string b name;
      Wire.put_string b text);
   Wire.put_string b (Logic.vector_to_string (Incremental.pattern session.incr));
-  let gates = Netlist.gates (Incremental.current_netlist session.incr) in
-  Wire.put_u32 b (Array.length gates);
-  Array.iter
-    (fun (g : Netlist.gate) ->
-      Wire.put_string b (Gate.name g.Netlist.kind);
-      Wire.put_f64 b g.Netlist.strength)
-    gates;
+  let nl = Incremental.current_netlist session.incr in
+  let n = Netlist.gate_count nl in
+  Wire.put_u32 b n;
+  for g = 0 to n - 1 do
+    Wire.put_string b (Gate.name (Netlist.gate_kind nl g));
+    Wire.put_f64 b (Netlist.gate_strength nl g)
+  done;
   Buffer.contents b
 
 (* A checkpoint restores state, not history: stored are the spec, the
@@ -292,14 +292,11 @@ let open_session ?pool t resolved ~pattern =
             && Array.length kinds = Netlist.gate_count resolved.netlist ->
        (* restore: replay the stored kinds/strengths onto the freshly built
           base netlist and open the session in that state *)
-       let gates' =
-         Array.mapi
-           (fun i (g : Netlist.gate) ->
-             let kind, strength = kinds.(i) in
-             { g with Netlist.kind; strength })
-           (Netlist.gates resolved.netlist)
+       let nl' =
+         Netlist.with_kinds_strengths resolved.netlist
+           ~kinds:(Array.map fst kinds)
+           ~strengths:(Array.map snd kinds)
        in
-       let nl' = Netlist.with_gates resolved.netlist gates' in
        Netlist.warm nl';
        let vec =
          if pattern <> "" then parse_pattern resolved.netlist pattern

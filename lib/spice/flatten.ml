@@ -107,28 +107,34 @@ let flatten ?device_of_gate ?sleep ~device ~temp ?vdd netlist assignment =
   Array.iter
     (fun n -> net_node.(n) <- Fixed (rail_of_logic assignment.(n)))
     (Netlist.inputs netlist);
-  let topo_gates = Topo.order netlist in
+  let topo_gates = Topo.order_ids netlist in
   (* Pre-create output-net unknowns in topo order, then walk gates again to
      expand cells (cell internals sit next to their gate's output). *)
   Array.iter
-    (fun (g : Netlist.gate) ->
-      let init = rail_of_logic assignment.(g.out) in
-      net_node.(g.out) <- Unknown (fresh_unknown bld init))
+    (fun g_id ->
+      let out = Netlist.gate_out netlist g_id in
+      let init = rail_of_logic assignment.(out) in
+      net_node.(out) <- Unknown (fresh_unknown bld init))
     topo_gates;
-  let expand_gate (g : Netlist.gate) =
+  let expand_gate g_id =
+    let g_out = Netlist.gate_out netlist g_id in
+    let g_strength = Netlist.gate_strength netlist g_id in
     let block = ref [] in
     let record_unknown = function
       | Unknown i -> block := i :: !block
       | Ground | Rail | Fixed _ -> ()
     in
-    record_unknown net_node.(g.out);
+    record_unknown net_node.(g_out);
     let fresh_block_unknown init =
       let i = fresh_unknown bld init in
       block := i :: !block;
       i
     in
-    let cell = Gate.decompose g.kind in
-    let pin_logic = Array.map (fun n -> Logic.to_bool assignment.(n)) g.fan_in in
+    let cell = Gate.decompose (Netlist.gate_kind netlist g_id) in
+    let pin_logic =
+      Array.init (Netlist.gate_arity netlist g_id) (fun p ->
+          Logic.to_bool assignment.(Netlist.gate_pin netlist g_id p))
+    in
     (* Logic value per internal cell net, in stage order (stages are listed
        so that a stage's inputs are produced by earlier stages). *)
     let internal_logic = Array.make cell.internal_count false in
@@ -138,7 +144,7 @@ let flatten ?device_of_gate ?sleep ~device ~temp ?vdd netlist assignment =
       | Gate.Internal i -> internal_logic.(i)
     in
     let pin_node = function
-      | Gate.Cell_input i -> net_node.(g.fan_in.(i))
+      | Gate.Cell_input i -> net_node.(Netlist.gate_pin netlist g_id i)
       | Gate.Internal i -> internal_node.(i)
     in
     let pin_index = function
@@ -151,7 +157,7 @@ let flatten ?device_of_gate ?sleep ~device ~temp ?vdd netlist assignment =
         let out_logic = Gate.stage_eval st.stage_kind ins in
         let out_node =
           match st.stage_output with
-          | Gate.Cell_output -> net_node.(g.out)
+          | Gate.Cell_output -> net_node.(g_out)
           | Gate.Internal_out i ->
             internal_logic.(i) <- out_logic;
             let init = if out_logic then vdd else 0.0 in
@@ -160,8 +166,8 @@ let flatten ?device_of_gate ?sleep ~device ~temp ?vdd netlist assignment =
             u
         in
         let k = Array.length st.stage_inputs in
-        let wn = Gate.nmos_width st.stage_kind k *. g.strength in
-        let wp = Gate.pmos_width st.stage_kind k *. g.strength in
+        let wn = Gate.nmos_width st.stage_kind k *. g_strength in
+        let wp = Gate.pmos_width st.stage_kind k *. g_strength in
         let add pol ~w ~dn ~sn ~bn ~pin ~net_kind ~at_output =
           bld.trans <-
             {
@@ -171,7 +177,7 @@ let flatten ?device_of_gate ?sleep ~device ~temp ?vdd netlist assignment =
               d = dn;
               s = sn;
               b = bn;
-              owner = g.id;
+              owner = g_id;
               stage = stage_idx;
               net_kind;
               at_output;
