@@ -25,6 +25,7 @@ module Vector_control = Leakage_incremental.Vector_control
 module Incremental = Leakage_incremental.Incremental
 module Edit = Leakage_incremental.Edit
 module Characterize = Leakage_core.Characterize
+module Sensitivity = Leakage_core.Sensitivity
 module Suite = Leakage_benchmarks.Suite
 module Iscas = Leakage_benchmarks.Iscas
 module Reporting = Leakage_core.Reporting
@@ -110,6 +111,34 @@ let pp_components tag c =
   Format.printf "  %-24s sub %10.1f  gate %10.1f  btbt %10.1f  total %10.1f nA@."
     tag (na c.Report.isub) (na c.Report.igate) (na c.Report.ibtbt)
     (na (Report.total c))
+
+(* mean ± σ block from the analytic variance propagation (--sigma) *)
+let pp_sigma_stats tag (st : Sensitivity.stats) =
+  Format.printf "  %s@." tag;
+  let row name ?extra (s : Sensitivity.component_stat) =
+    Format.printf "    %-6s %12.1f +/- %10.1f nA%s%s@." name
+      (na s.Sensitivity.mean) (na s.Sensitivity.sigma)
+      (match extra with Some e -> e | None -> "")
+      (if s.Sensitivity.from_mc then "  [mc fallback]" else "")
+  in
+  row "sub" st.Sensitivity.s_isub;
+  row "gate" st.Sensitivity.s_igate;
+  row "btbt" st.Sensitivity.s_ibtbt;
+  let t = st.Sensitivity.s_total in
+  row "total" t
+    ~extra:
+      (Format.asprintf "  (inter %.1f, intra %.1f)" (na t.Sensitivity.sigma_inter)
+         (na t.Sensitivity.sigma_intra))
+
+let sigma_arg =
+  Arg.(value & flag
+       & info [ "sigma" ]
+           ~doc:"Also report the analytic mean +/- sigma of every leakage \
+                 component under the paper's process-variation sigmas \
+                 (closed-form variance propagation on the first vector, with \
+                 the inter-die / intra-die split of the total; components \
+                 whose linearization-error bound trips fall back to Monte \
+                 Carlo and are marked).")
 
 (* ----------------------------------------------------------------- list *)
 
@@ -258,7 +287,7 @@ let estimate_cmd =
              ~doc:"Print the N heaviest-leaking gates of the first vector.")
   in
   let run device celsius circuit bench_file vectors seed spice passes csv top
-      jobs =
+      jobs sigma =
     let nl = load_circuit circuit bench_file in
     let temp = kelvin celsius in
     let lib = Library.create ~device ~temp () in
@@ -286,6 +315,25 @@ let estimate_cmd =
     Format.printf "  loading shift: %+.2f%% total, %+.2f%% subthreshold@."
       ((Report.total loaded -. Report.total base) /. Report.total base *. 100.0)
       ((loaded.Report.isub -. base.Report.isub) /. base.Report.isub *. 100.0);
+    (if sigma then
+       match patterns with
+       | first :: _ ->
+         let _, _, res =
+           with_jobs jobs (fun pool ->
+               Sensitivity.estimate_totals ~passes ?pool
+                 ~sigmas:Variation.paper_sigmas lib nl first)
+         in
+         Format.printf
+           "variance under paper sigmas (first vector, %d response classes):@."
+           res.Sensitivity.groups;
+         pp_sigma_stats "sigma (loading-aware):" res.Sensitivity.loaded;
+         pp_sigma_stats "sigma (no loading):" res.Sensitivity.baseline;
+         if Sensitivity.flagged res then
+           Format.printf
+             "  linearization flags: sub %b, gate %b, btbt %b@."
+             res.Sensitivity.flagged_isub res.Sensitivity.flagged_igate
+             res.Sensitivity.flagged_ibtbt
+       | [] -> ());
     if spice then begin
       let sum =
         List.fold_left
@@ -306,7 +354,7 @@ let estimate_cmd =
        ~doc:"Estimate circuit leakage with the loading-aware Fig-13 algorithm.")
     Term.(const run $ device_arg $ temp_arg $ circuit_arg $ bench_file_arg
           $ vectors_arg $ seed_arg $ spice_arg $ passes_arg $ csv_arg
-          $ top_arg $ jobs_arg)
+          $ top_arg $ jobs_arg $ sigma_arg)
 
 (* --------------------------------------------------------- characterize *)
 
@@ -472,7 +520,7 @@ let stat_cmd =
     Arg.(value & opt int 1000
          & info [ "samples" ] ~docv:"N" ~doc:"Monte-Carlo sample count.")
   in
-  let run device celsius circuit bench_file samples seed =
+  let run device celsius circuit bench_file samples seed sigma =
     let nl = load_circuit circuit bench_file in
     let temp = kelvin celsius in
     let lib = Library.create ~device ~temp () in
@@ -495,13 +543,30 @@ let stat_cmd =
     show "no loading" unloaded;
     Format.printf "  loading shift: mean %+.2f%%, std %+.2f%%@."
       ((loaded.Stats.mean -. unloaded.Stats.mean) /. unloaded.Stats.mean *. 100.0)
-      ((loaded.Stats.std -. unloaded.Stats.std) /. unloaded.Stats.std *. 100.0)
+      ((loaded.Stats.std -. unloaded.Stats.std) /. unloaded.Stats.std *. 100.0);
+    if sigma then begin
+      (* same pattern, zero samples: the closed form next to the sampler *)
+      let _, _, res =
+        Sensitivity.estimate_totals ~sigmas:Variation.paper_sigmas lib nl
+          pattern
+      in
+      let row tag (t : Sensitivity.component_stat) =
+        Format.printf
+          "  %-14s mean %10.1f  std %10.1f  (inter %.1f, intra %.1f) nA%s@."
+          tag (na t.Sensitivity.mean) (na t.Sensitivity.sigma)
+          (na t.Sensitivity.sigma_inter) (na t.Sensitivity.sigma_intra)
+          (if t.Sensitivity.from_mc then "  [mc fallback]" else "")
+      in
+      Format.printf "analytic variance propagation (no sampling):@.";
+      row "with loading" res.Sensitivity.loaded.Sensitivity.s_total;
+      row "no loading" res.Sensitivity.baseline.Sensitivity.s_total
+    end
   in
   Cmd.v
     (Cmd.info "stat"
        ~doc:"Statistical circuit leakage under process variation (fast              sensitivity-based Monte Carlo, no per-sample DC solves).")
     Term.(const run $ device_arg $ temp_arg $ circuit_arg $ bench_file_arg
-          $ samples_arg $ seed_arg)
+          $ samples_arg $ seed_arg $ sigma_arg)
 
 (* --------------------------------------------------------------- mtcmos *)
 

@@ -137,6 +137,43 @@ let characterize ?(grid = default_grid) ?(strength = 1.0) ~device ~temp ?vdd
   { kind; strength; vector; nominal_isolated; nominal_driven; pin_injection;
     pin_response; delta_in; delta_out; vth_log_factor }
 
+(* Slope / curvature of a tabulated log-response at dv = 0, taken from the
+   grid nodes bracketing zero (the ±150 mV axis has an odd point count, so
+   zero is itself a node). These are the λ (first-order log-sensitivity) and
+   γ (second-difference curvature) the analytic variance propagation uses:
+   the slope of the very table the statistical sampler interpolates, so the
+   analytic model differentiates exactly what the MC samples. *)
+let node_slope_curvature (g : Interp.grid1d) =
+  let xs = Interp.grid1d_xs g and ys = Interp.grid1d_ys g in
+  let n = Array.length xs in
+  let i0 = ref 0 in
+  for i = 1 to n - 1 do
+    if Float.abs xs.(i) < Float.abs xs.(!i0) then i0 := i
+  done;
+  let i0 = Stdlib.max 1 (Stdlib.min (n - 2) !i0) in
+  let h_lo = xs.(i0) -. xs.(i0 - 1) and h_hi = xs.(i0 + 1) -. xs.(i0) in
+  let slope = (ys.(i0 + 1) -. ys.(i0 - 1)) /. (h_hi +. h_lo) in
+  let curvature =
+    2.0
+    *. (((ys.(i0 + 1) -. ys.(i0)) /. h_hi) -. ((ys.(i0) -. ys.(i0 - 1)) /. h_lo))
+    /. (h_hi +. h_lo)
+  in
+  (slope, curvature)
+
+let vth_log_slope entry =
+  {
+    Report.isub = fst (node_slope_curvature entry.vth_log_factor.d_isub);
+    igate = fst (node_slope_curvature entry.vth_log_factor.d_igate);
+    ibtbt = fst (node_slope_curvature entry.vth_log_factor.d_ibtbt);
+  }
+
+let vth_log_curvature entry =
+  {
+    Report.isub = snd (node_slope_curvature entry.vth_log_factor.d_isub);
+    igate = snd (node_slope_curvature entry.vth_log_factor.d_igate);
+    ibtbt = snd (node_slope_curvature entry.vth_log_factor.d_ibtbt);
+  }
+
 let vth_factor entry dv =
   {
     Report.isub = exp (Interp.eval1d entry.vth_log_factor.d_isub dv);

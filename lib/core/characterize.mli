@@ -55,6 +55,17 @@ val vth_factor :
   entry -> float -> Leakage_spice.Leakage_report.components
 (** Per-component multiplicative factor at a threshold shift (V). *)
 
+val vth_log_slope : entry -> Leakage_spice.Leakage_report.components
+(** Per-component slope of [vth_log_factor] at zero shift (1/V) — the λ of
+    the analytic variance propagation, i.e. ∂ln(I)/∂ΔVth of exactly the
+    table the statistical sampler interpolates. Central difference across
+    the grid nodes bracketing zero. *)
+
+val vth_log_curvature : entry -> Leakage_spice.Leakage_report.components
+(** Per-component second difference of [vth_log_factor] at zero shift
+    (1/V²) — the curvature γ the linearization-error bound tests against
+    its tolerance. *)
+
 type grid_spec = {
   max_current : float;  (** grid spans [-max_current, +max_current], A *)
   points : int;

@@ -212,6 +212,29 @@ let estimate_totals ?(passes = 1) ?library_of_gate ?scratch lib netlist pattern
   done;
   (!totals, !baseline)
 
+let estimate_fold ?(passes = 1) ?library_of_gate ?scratch ~init ~f lib netlist
+    pattern =
+  let assignment =
+    match scratch with
+    | None -> Simulate.run netlist pattern
+    | Some buf ->
+      Simulate.run_into netlist pattern buf;
+      buf
+  in
+  let c = run_core ~passes ~library_of_gate ~assignment lib netlist in
+  let totals = ref Report.zero and baseline = ref Report.zero in
+  let acc = ref init in
+  for g = 0 to Netlist.gate_count netlist - 1 do
+    let e = c.c_entries.(g) in
+    let loading_in = loading_in_of c netlist g in
+    let loading_out = c.c_net_injection.(Netlist.gate_out netlist g) in
+    let loaded = Characterize.apply e ~loading_in ~loading_out in
+    totals := Report.add !totals loaded;
+    baseline := Report.add !baseline e.Characterize.nominal_isolated;
+    acc := f !acc g e ~loaded ~isolated:e.Characterize.nominal_isolated
+  done;
+  (!acc, !totals, !baseline)
+
 (* Fixed chunk width for vector averaging. The chunk decomposition — and
    therefore the float-summation tree — depends only on the vector count,
    never on the pool size, so parallel and sequential means are

@@ -68,6 +68,26 @@ val estimate_totals :
     gate views or an assignment snapshot. This is the hot path for vector
     sweeps; {!average_over_vectors} runs on it. *)
 
+val estimate_fold :
+  ?passes:int ->
+  ?library_of_gate:(int -> Library.t) ->
+  ?scratch:Leakage_circuit.Simulate.assignment ->
+  init:'acc ->
+  f:
+    ('acc -> int -> Characterize.entry ->
+     loaded:Leakage_spice.Leakage_report.components ->
+     isolated:Leakage_spice.Leakage_report.components -> 'acc) ->
+  Library.t -> Leakage_circuit.Netlist.t -> Leakage_circuit.Logic.vector ->
+  'acc * Leakage_spice.Leakage_report.components
+  * Leakage_spice.Leakage_report.components
+(** {!estimate_totals} with a caller fold over the per-gate results: [f] is
+    called once per gate in ascending gate-id order with the gate's
+    characterization entry, its loading-aware components and its isolated
+    nominal components — no per-gate records are materialized. Returns
+    [(acc, with-loading totals, baseline totals)]; the totals are
+    bit-identical to {!estimate_totals} (same summation order). This is how
+    the variance-propagation layer rides the SoA hot path. *)
+
 val average_over_vectors :
   ?pool:Leakage_parallel.Pool.t ->
   Library.t -> Leakage_circuit.Netlist.t -> Leakage_circuit.Logic.vector list ->

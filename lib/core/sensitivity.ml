@@ -1,0 +1,876 @@
+(* Analytic variance propagation: MC-quality mean/σ bars in one estimator
+   pass (ROADMAP "analytic variance propagation"; the statistical model is
+   the one [Statistical.run] samples).
+
+   The sampled model for one circuit instance and component c is
+
+     T_c  =  S_c(δl, δtox, δvdd) · Σ_g L_{g,c} · exp(l_{g,c}(x + y_g))
+
+   where S_c is the die-scale factor (geometry/supply response of the
+   reference inverter, shared by every gate), l_{g,c} the gate's tabulated
+   threshold log-response, x ~ N(0, σ_vth_inter) the die threshold shift
+   (shared — fully correlated across gates) and y_g ~ N(0, σ_vth_intra)
+   per-gate and independent: exactly the inter/intra split
+   [Variation.sigmas] defines.
+
+   Sensitivities are taken in LOG space — ∂ln I/∂p — because the dominant
+   subthreshold response is exponential (λ·σ ≈ 0.9 at the paper's sigmas):
+   a linear-space first-order propagation would bias σ by tens of percent.
+   Two regimes get two treatments:
+
+   - threshold: l_{g,c} is the clamped piecewise-linear vth_log_factor
+     table the sampler interpolates, and its Gaussian expectations are
+     integrated against that very table — exactly, per segment, via the
+     normal CDF (∫ e^{α+βv} φ(v) dv has a closed form on every linear
+     piece, and the clamped tails are constants). A pure log-linear λ
+     model is measurably wrong here: the table bends and clamps within
+     ±3σ of the paper's threshold spread, which biases σ_isub by ~25%
+     and lets a single steep-slope outlier entry blow the pair moments
+     up through e^{(λ_j+λ_k)²σx²/2}. Integrating the clamped table keeps
+     every moment finite and matches the sampler by construction. The
+     per-gate λ ([Characterize.vth_log_slope]) is still reported as the
+     first-order sensitivity and validated against finite differences.
+   - geometry/supply: λ and curvature γ of ln S_c per axis from the
+     jet-valued compact model ([Model.components_jet]) evaluated on the
+     rail-biased reference inverter — closed-form derivatives of the
+     device equations, validated against finite differences by the test
+     suite. These enter as independent quadratic-exponent Gaussian
+     moments E[exp(aδ + bδ²/2)] = e^{a²σ²/2(1−bσ²)}/√(1−bσ²).
+
+   Moments: gates are grouped by their response tables (gates sharing a
+   characterization entry are statistically identical), giving sums over
+   K ≪ gates groups with per-group weights A_k^c = Σ_g L_{g,c} and
+   B_k^{cd} = Σ_g L_{g,c}·L_{g,d}:
+
+     E[U_c]      = Σ_k A_k^c · E[e^{l_k,c(v)}],        v ~ N(0, σx²+σy²)
+     E[U_c U_d]  = E_x[(Σ_j A_j^c f_j^c(x)) (Σ_k A_k^d f_k^d(x))]
+                   + Σ_k B_k^{cd} · (E[e^{(l_c+l_d)(v)}] − E_x[f^c f^d])
+
+   where f_k^c(x) = E_y[e^{l(x+y)}] is the per-gate factor conditioned on
+   the shared die shift x (again an exact segment integral, in σy). The
+   outer E_x is a fixed-node composite-Simpson quadrature when both
+   spreads are live; when σy = 0 it runs on the raw clamped table with a
+   denser grid, and when σx = 0 the gates decouple and everything is
+   closed-form. The B term swaps the quadrature's independent-y diagonal
+   for the exact shared-y summed-table integral — the correction that
+   re-ties y_g to itself when both factors come from one gate.
+
+   Linearization is checked where linearization is actually used: per
+   geometry axis, the quadratic model is compared against the true
+   compact-model log-response at ±2σ; where the check (or a diverging
+   quadratic moment) trips, the component is flagged and (optionally)
+   falls back to the MC sampler. The threshold axis needs no fallback —
+   it is integrated exactly — but gates whose tabulated response departs
+   from its own first-order line by more than the tolerance at ±2σ_dv are
+   counted in [flagged_gates], marking where the reported λ alone would
+   mislead. *)
+
+module Params = Leakage_device.Params
+module Model = Leakage_device.Model
+module Variation = Leakage_device.Variation
+module Jet = Leakage_numeric.Jet
+module Logic = Leakage_circuit.Logic
+module Netlist = Leakage_circuit.Netlist
+module Report = Leakage_spice.Leakage_report
+module Pool = Leakage_parallel.Pool
+
+let default_lin_tol = 0.05
+
+(* ------------------------------------------------------------- results *)
+
+type component_stat = {
+  mean : float;
+  sigma : float;
+  sigma_inter : float;
+  sigma_intra : float;
+  from_mc : bool;
+}
+
+type stats = {
+  s_isub : component_stat;
+  s_igate : component_stat;
+  s_ibtbt : component_stat;
+  s_total : component_stat;
+}
+
+type result = {
+  loaded : stats;
+  baseline : stats;
+  flagged_isub : bool;
+  flagged_igate : bool;
+  flagged_ibtbt : bool;
+  flagged_gates : int;
+  groups : int;
+}
+
+let flagged r = r.flagged_isub || r.flagged_igate || r.flagged_ibtbt
+
+(* ------------------------------------ geometry (die-scale) sensitivities *)
+
+(* [Statistical.die_scale] solves the strength-1 reference inverter
+   (Wn = 1, Wp = 2 — [Gate.nmos_width]/[pmos_width] for Stage_inv) at both
+   input states and averages the component ratios. Here the same cell is
+   evaluated in closed form at rail bias: the solver's output droop is
+   microvolts and cancels to first order in the ratio. *)
+let ref_wn = 1.0
+let ref_wp = 2.0
+
+type axis = Axis_l | Axis_tox | Axis_vdd
+
+let axes = [| Axis_l; Axis_tox; Axis_vdd |]
+
+(* (isub, igate, ibtbt) jets of the rail-biased inverter at one input
+   state, seeded on one die axis. *)
+let state_jets ~(device : Params.t) ~temp ~vdd ~axis ~input_one =
+  let var_if cond v = if cond then Jet.var v else Jet.const v in
+  let length = var_if (axis = Axis_l) device.Params.length in
+  let tox = var_if (axis = Axis_tox) device.Params.tox in
+  let rail = var_if (axis = Axis_vdd) vdd in
+  let gnd = Jet.const 0.0 in
+  let dvth = Jet.const 0.0 in
+  let nbias, pbias =
+    if input_one then
+      ( { Model.jvg = rail; jvd = gnd; jvs = gnd; jvb = gnd },
+        { Model.jvg = rail; jvd = gnd; jvs = rail; jvb = rail } )
+    else
+      ( { Model.jvg = gnd; jvd = rail; jvs = gnd; jvb = gnd },
+        { Model.jvg = gnd; jvd = rail; jvs = rail; jvb = rail } )
+  in
+  let n =
+    Model.components_jet device Params.Nmos ~w:ref_wn ~temp ~length ~tox
+      ~dvth nbias
+  in
+  let p =
+    Model.components_jet device Params.Pmos ~w:ref_wp ~temp ~length ~tox
+      ~dvth pbias
+  in
+  (* Off-network transistor at the output carries the subthreshold story:
+     input 0 → output high → NMOS off; input 1 → PMOS off. *)
+  let isub =
+    if input_one then Model.channel_leakage_jet p
+    else Model.channel_leakage_jet n
+  in
+  ( isub,
+    Jet.add (Model.gate_leakage_jet n) (Model.gate_leakage_jet p),
+    Jet.add (Model.junction_leakage_jet n) (Model.junction_leakage_jet p) )
+
+(* Plain-valued inverter components with the axis displaced by [delta] —
+   the truth the linearization check compares against. *)
+let state_values ~(device : Params.t) ~temp ~vdd ~input_one =
+  let nbias, pbias =
+    if input_one then
+      ( { Model.vg = vdd; vd = 0.0; vs = 0.0; vb = 0.0 },
+        { Model.vg = vdd; vd = 0.0; vs = vdd; vb = vdd } )
+    else
+      ( { Model.vg = 0.0; vd = vdd; vs = 0.0; vb = 0.0 },
+        { Model.vg = 0.0; vd = vdd; vs = vdd; vb = vdd } )
+  in
+  let n = Model.components device Params.Nmos ~w:ref_wn ~temp nbias in
+  let p = Model.components device Params.Pmos ~w:ref_wp ~temp pbias in
+  let isub =
+    if input_one then Model.channel_leakage p else Model.channel_leakage n
+  in
+  ( isub,
+    Model.gate_leakage n +. Model.gate_leakage p,
+    Model.junction_leakage n +. Model.junction_leakage p )
+
+let displaced ~(device : Params.t) ~vdd axis delta =
+  match axis with
+  | Axis_l -> (Params.with_length device (device.Params.length +. delta), vdd)
+  | Axis_tox -> (Params.with_tox device (device.Params.tox +. delta), vdd)
+  | Axis_vdd -> (device, vdd +. delta)
+
+type geom = {
+  g_lam : float array array;  (* axis (3) × component (3): ∂ln S_c/∂δ *)
+  g_gam : float array array;  (* axis × component: log-curvature of S_c *)
+  g_lin_err : float array;    (* per component: worst |ln S − model| at ±2σ *)
+}
+
+let geom_of ~device ~temp ~vdd ~(sigmas : Variation.sigmas) =
+  let g_lam = Array.make_matrix 3 3 0.0 in
+  let g_gam = Array.make_matrix 3 3 0.0 in
+  let g_lin_err = Array.make 3 0.0 in
+  let nominal0 = state_values ~device ~temp ~vdd ~input_one:false in
+  let nominal1 = state_values ~device ~temp ~vdd ~input_one:true in
+  let ax_sigma =
+    [| sigmas.Variation.sigma_l; sigmas.Variation.sigma_tox;
+       sigmas.Variation.sigma_vdd |]
+  in
+  Array.iteri
+    (fun ax axis ->
+      let j0 = state_jets ~device ~temp ~vdd ~axis ~input_one:false in
+      let j1 = state_jets ~device ~temp ~vdd ~axis ~input_one:true in
+      let pick (a, b, c) = [| a; b; c |] in
+      let j0 = pick j0 and j1 = pick j1 in
+      for c = 0 to 2 do
+        (* S(δ) = (r0(δ) + r1(δ))/2 with r_v = I_v(δ)/I_v(0):
+           λ = S'(0), γ = S''(0) − λ² (log-curvature; S(0) = 1). *)
+        let l0 = j0.(c).Jet.d /. j0.(c).Jet.v
+        and l1 = j1.(c).Jet.d /. j1.(c).Jet.v in
+        let q0 = j0.(c).Jet.dd /. j0.(c).Jet.v
+        and q1 = j1.(c).Jet.dd /. j1.(c).Jet.v in
+        let lam = 0.5 *. (l0 +. l1) in
+        let s2 = 0.5 *. (q0 +. q1) in
+        g_lam.(ax).(c) <- lam;
+        g_gam.(ax).(c) <- s2 -. (lam *. lam)
+      done;
+      (* model-vs-truth log residual at ±2σ on this axis *)
+      let sigma = ax_sigma.(ax) in
+      if sigma > 0.0 then begin
+        let residual_at delta =
+          let dev', vdd' = displaced ~device ~vdd axis delta in
+          let v0 = pick (state_values ~device:dev' ~temp ~vdd:vdd' ~input_one:false) in
+          let v1 = pick (state_values ~device:dev' ~temp ~vdd:vdd' ~input_one:true) in
+          let n0 = pick nominal0 and n1 = pick nominal1 in
+          Array.init 3 (fun c ->
+              let s = 0.5 *. ((v0.(c) /. n0.(c)) +. (v1.(c) /. n1.(c))) in
+              let modeled =
+                (g_lam.(ax).(c) *. delta)
+                +. (0.5 *. g_gam.(ax).(c) *. delta *. delta)
+              in
+              Float.abs (log s -. modeled))
+        in
+        let up = residual_at (2.0 *. sigma)
+        and dn = residual_at (-2.0 *. sigma) in
+        for c = 0 to 2 do
+          g_lin_err.(c) <-
+            Float.max g_lin_err.(c) (Float.max up.(c) dn.(c))
+        done
+      end)
+    axes;
+  { g_lam; g_gam; g_lin_err }
+
+(* ----------------------------------------------- per-gate rows + groups *)
+
+(* One clamped piecewise-linear log-response: the node arrays of an
+   [Interp.grid1d], constant beyond either end — the exact function
+   [Interp.eval1d] (and hence the MC sampler) evaluates. *)
+type tab = { t_xs : float array; t_ys : float array }
+
+type row = {
+  r_lam : float array;     (* 3: threshold log-slope per component, 1/V *)
+  r_curv : float array;    (* 3: threshold log-curvature, 1/V² *)
+  r_tabs : tab array;      (* 3: full tabulated threshold log-response *)
+  r_loaded : float array;  (* 3: loading-aware components, A *)
+  r_base : float array;    (* 3: isolated nominal components, A *)
+}
+
+let row_of_entry ~entry ~(loaded : Report.components)
+    ~(isolated : Report.components) =
+  let lam = Characterize.vth_log_slope entry in
+  let curv = Characterize.vth_log_curvature entry in
+  let module Interp = Leakage_numeric.Interp in
+  let tab_of g = { t_xs = Interp.grid1d_xs g; t_ys = Interp.grid1d_ys g } in
+  let t = entry.Characterize.vth_log_factor in
+  {
+    r_lam = [| lam.Report.isub; lam.Report.igate; lam.Report.ibtbt |];
+    r_curv = [| curv.Report.isub; curv.Report.igate; curv.Report.ibtbt |];
+    r_tabs =
+      [| tab_of t.Characterize.d_isub; tab_of t.Characterize.d_igate;
+         tab_of t.Characterize.d_ibtbt |];
+    r_loaded = [| loaded.Report.isub; loaded.Report.igate; loaded.Report.ibtbt |];
+    r_base =
+      [| isolated.Report.isub; isolated.Report.igate; isolated.Report.ibtbt |];
+  }
+
+let cmp_fa a b =
+  let n = Array.length a in
+  let rec go i =
+    if i = n then 0
+    else
+      let c = Float.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let cmp_tab t1 t2 =
+  let c = cmp_fa t1.t_xs t2.t_xs in
+  if c <> 0 then c else cmp_fa t1.t_ys t2.t_ys
+
+let cmp_tabs a b =
+  let rec go i =
+    if i = 3 then 0
+    else
+      let c = cmp_tab a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+(* Canonical row order: a total order on the full value tuple. Sorting rows
+   before accumulating makes every per-group float sum independent of gate
+   numbering, construction order and pool partitioning — the foundation of
+   the "same digest ⇒ identical sigmas" property. *)
+let cmp_row r1 r2 =
+  let c = cmp_fa r1.r_lam r2.r_lam in
+  if c <> 0 then c
+  else
+    let c = cmp_tabs r1.r_tabs r2.r_tabs in
+    if c <> 0 then c
+    else
+      let c = cmp_fa r1.r_loaded r2.r_loaded in
+      if c <> 0 then c else cmp_fa r1.r_base r2.r_base
+
+type group = {
+  k_tabs : tab array;      (* 3: the group's shared threshold log-response *)
+  k_lam : float array;     (* 3 *)
+  k_count : int;
+  k_a : float array;       (* 3: Σ loaded_c *)
+  k_b : float array;       (* 9 (c*3+d): Σ loaded_c · loaded_d *)
+  k_a_base : float array;
+  k_b_base : float array;
+}
+
+let groups_of_rows rows =
+  let rows = Array.copy rows in
+  Array.sort cmp_row rows;
+  let out = ref [] in
+  let n = Array.length rows in
+  let i = ref 0 in
+  while !i < n do
+    let lam = rows.(!i).r_lam and tabs = rows.(!i).r_tabs in
+    let a = Array.make 3 0.0
+    and b = Array.make 9 0.0
+    and a_base = Array.make 3 0.0
+    and b_base = Array.make 9 0.0 in
+    let count = ref 0 in
+    while
+      !i < n
+      && cmp_fa rows.(!i).r_lam lam = 0
+      && cmp_tabs rows.(!i).r_tabs tabs = 0
+    do
+      let r = rows.(!i) in
+      incr count;
+      for c = 0 to 2 do
+        a.(c) <- a.(c) +. r.r_loaded.(c);
+        a_base.(c) <- a_base.(c) +. r.r_base.(c);
+        for d = 0 to 2 do
+          b.((c * 3) + d) <-
+            b.((c * 3) + d) +. (r.r_loaded.(c) *. r.r_loaded.(d));
+          b_base.((c * 3) + d) <-
+            b_base.((c * 3) + d) +. (r.r_base.(c) *. r.r_base.(d))
+        done
+      done;
+      incr i
+    done;
+    out :=
+      { k_tabs = tabs; k_lam = lam; k_count = !count; k_a = a; k_b = b;
+        k_a_base = a_base; k_b_base = b_base }
+      :: !out
+  done;
+  Array.of_list (List.rev !out)
+
+(* ------------------------------------------ exact clamped-table moments *)
+
+let norm_cdf = Leakage_numeric.Stats.norm_cdf
+
+(* Clamped piecewise-linear eval — same value as [Interp.eval1d]. *)
+let eval_tab { t_xs = xs; t_ys = ys } x =
+  let n = Array.length xs in
+  if x <= xs.(0) then ys.(0)
+  else if x >= xs.(n - 1) then ys.(n - 1)
+  else begin
+    let i = ref 0 in
+    while xs.(!i + 1) < x do incr i done;
+    let t = (x -. xs.(!i)) /. (xs.(!i + 1) -. xs.(!i)) in
+    (ys.(!i) *. (1.0 -. t)) +. (ys.(!i + 1) *. t)
+  end
+
+(* E[exp(T(v))] for v ~ N(mu, s²), T the clamped piecewise-linear table:
+   exact, segment by segment. On [x0, x1] with T = α + βv,
+   ∫ e^{α+βv} φ(v) dv = e^{α+βμ+β²s²/2} (Φ((x1−μ−βs²)/s) − Φ((x0−μ−βs²)/s)),
+   and the clamped tails are constants times Gaussian tail masses. Always
+   finite — the table caps the exponent — which is what makes steep-slope
+   outlier entries integrable where a lognormal λ model diverges.
+
+   Segments whose slope-shifted window [z0, z1] lies entirely on one side
+   of the shifted mean flip their Φ difference onto the lower tail, where
+   [Stats.norm_cdf] keeps relative accuracy arbitrarily far out — in the
+   raw orientation the e^{β²s²/2} prefactor can be astronomically large
+   while the Φ values agree to sub-ulp, and the difference would cancel
+   to garbage even though the segment's true contribution, their product,
+   is bounded by e^{max ys}. When the prefactor itself would overflow a
+   double (pathologically steep tables only — the flip keeps the tail
+   values, whose underflow meets the overflow, out of the product until
+   then) the same term is assembled in log space via [Stats.log_norm_cdf].
+   Straddling windows have no amplified prefactor (the exponent equals T
+   at the interior mode minus β²s²/2) and use the plain CDF difference. *)
+let expect_exp_tab ({ t_xs = xs; t_ys = ys } as tab) ~mu ~s =
+  let n = Array.length xs in
+  if n = 0 then 1.0
+  else if s <= 0.0 then exp (eval_tab tab mu)
+  else begin
+    let log_norm_cdf = Leakage_numeric.Stats.log_norm_cdf in
+    (* one-sided window [za, zb] with 0 <= za < zb, prefactor e^expo *)
+    let one_sided ~expo za zb =
+      if expo <= 600.0 then
+        exp expo *. (norm_cdf (-.za) -. norm_cdf (-.zb))
+      else begin
+        let la = log_norm_cdf (-.za) and lb = log_norm_cdf (-.zb) in
+        exp (expo +. la +. log1p (-.exp (lb -. la)))
+      end
+    in
+    let acc = ref (exp ys.(0) *. norm_cdf ((xs.(0) -. mu) /. s)) in
+    for i = 0 to n - 2 do
+      let x0 = xs.(i) and x1 = xs.(i + 1) in
+      if x1 > x0 then begin
+        let beta = (ys.(i + 1) -. ys.(i)) /. (x1 -. x0) in
+        let alpha = ys.(i) -. (beta *. x0) in
+        let m = mu +. (beta *. s *. s) in
+        let z0 = (x0 -. m) /. s and z1 = (x1 -. m) /. s in
+        let expo = alpha +. (beta *. mu) +. (0.5 *. beta *. beta *. s *. s) in
+        let term =
+          if z0 >= 0.0 then one_sided ~expo z0 z1
+          else if z1 <= 0.0 then one_sided ~expo (-.z1) (-.z0)
+          else exp expo *. (norm_cdf z1 -. norm_cdf z0)
+        in
+        acc := !acc +. term
+      end
+    done;
+    acc := !acc +. (exp ys.(n - 1) *. norm_cdf ((mu -. xs.(n - 1)) /. s));
+    !acc
+  end
+
+(* Sum of two clamped piecewise-linear tables, exact on the union grid
+   (clamped-constant pieces are linear too, so the union of breakpoints
+   carries the sum without loss). Tables from one characterization entry
+   share their grid, which is the fast path. *)
+let sum_tab t1 t2 =
+  if t1.t_xs == t2.t_xs || cmp_fa t1.t_xs t2.t_xs = 0 then
+    { t_xs = t1.t_xs; t_ys = Array.map2 ( +. ) t1.t_ys t2.t_ys }
+  else begin
+    let union = Array.append t1.t_xs t2.t_xs in
+    Array.sort Float.compare union;
+    let dedup = ref [] in
+    Array.iter
+      (fun x ->
+        match !dedup with
+        | x' :: _ when x' = x -> ()
+        | _ -> dedup := x :: !dedup)
+      union;
+    let xs = Array.of_list (List.rev !dedup) in
+    { t_xs = xs; t_ys = Array.map (fun x -> eval_tab t1 x +. eval_tab t2 x) xs }
+  end
+
+(* Quadrature over the shared die shift x. [n_full] nodes integrate the
+   σy-smoothed conditional factors (smooth everywhere); [n_inter] denser
+   nodes handle the σy = 0 regime, where the integrand keeps the raw
+   table's kinks (composite Simpson loses one order at a kink but the
+   per-kink error is O(h³) — far below the MC-differential gates). Fixed
+   constants: the node grid depends only on the sigma set, so the assembly
+   is a function of the row multiset alone. *)
+let n_full = 65
+let n_inter = 129
+let x_span = 8.0
+
+let two_pi = 8.0 *. atan 1.0
+
+(* Threshold-axis second-moment engine for one (σx = inter, σy = intra)
+   pair. Everything weight-independent is precomputed once; the returned
+   closure folds in one column's (A, B) weights. See the module header for
+   the regime split. *)
+let vth_engine ~groups ~sx ~sy =
+  let nk = Array.length groups in
+  let s_all = sqrt ((sx *. sx) +. (sy *. sy)) in
+  (* exact single-gate mean factors at the combined spread *)
+  let m1 =
+    Array.init nk (fun k ->
+        Array.init 3 (fun c ->
+            expect_exp_tab groups.(k).k_tabs.(c) ~mu:0.0 ~s:s_all))
+  in
+  (* exact same-gate shared-y second moments, E[e^{(l_c+l_d)(v)}] *)
+  let shared =
+    Array.init nk (fun k ->
+        let tabs = groups.(k).k_tabs in
+        let m = Array.make 9 0.0 in
+        for c = 0 to 2 do
+          for d = c to 2 do
+            let v = expect_exp_tab (sum_tab tabs.(c) tabs.(d)) ~mu:0.0 ~s:s_all in
+            m.((c * 3) + d) <- v;
+            m.((d * 3) + c) <- v
+          done
+        done;
+        m)
+  in
+  let quad =
+    if sx <= 0.0 then None
+    else begin
+      let n = if sy <= 0.0 then n_inter else n_full in
+      let h = 2.0 *. x_span *. sx /. float_of_int (n - 1) in
+      let nodes =
+        Array.init n (fun i -> (-.x_span *. sx) +. (h *. float_of_int i))
+      in
+      let wphi =
+        Array.init n (fun i ->
+            let simp =
+              if i = 0 || i = n - 1 then 1.0
+              else if i mod 2 = 1 then 4.0
+              else 2.0
+            in
+            let x = nodes.(i) in
+            simp *. h /. 3.0
+            *. exp (-.(x *. x) /. (2.0 *. sx *. sx))
+            /. (sx *. sqrt two_pi))
+      in
+      (* f.(k).(c).(i): conditional per-gate factor E_y[e^{l(x_i+y)}] *)
+      let f =
+        Array.init nk (fun k ->
+            Array.init 3 (fun c ->
+                let tab = groups.(k).k_tabs.(c) in
+                if sy <= 0.0 then
+                  Array.map (fun x -> exp (eval_tab tab x)) nodes
+                else Array.map (fun x -> expect_exp_tab tab ~mu:x ~s:sy) nodes))
+      in
+      (* independent-y same-gate products under the same quadrature, so the
+         B correction cancels exactly what the cross sum counted *)
+      let sh_indep =
+        if sy <= 0.0 then [||]
+        else
+          Array.init nk (fun k ->
+              let m = Array.make 9 0.0 in
+              for c = 0 to 2 do
+                for d = c to 2 do
+                  let fc = f.(k).(c) and fd = f.(k).(d) in
+                  let acc = ref 0.0 in
+                  for i = 0 to n - 1 do
+                    acc := !acc +. (wphi.(i) *. fc.(i) *. fd.(i))
+                  done;
+                  m.((c * 3) + d) <- !acc;
+                  m.((d * 3) + c) <- !acc
+                done
+              done;
+              m)
+      in
+      Some (wphi, f, sh_indep)
+    end
+  in
+  fun ~a_of ~b_of ->
+    let eu =
+      Array.init 3 (fun c ->
+          let s = ref 0.0 in
+          for k = 0 to nk - 1 do
+            s := !s +. ((a_of k).(c) *. m1.(k).(c))
+          done;
+          !s)
+    in
+    let euu =
+      match quad with
+      | None ->
+          (* σx = 0: gates decouple; pair moments factor through the means
+             with the exact same-gate correction. Written as B·(shared −
+             m·m) so the intra-only covariance never cancels two large
+             sums against each other. *)
+          Array.init 3 (fun c ->
+              Array.init 3 (fun d ->
+                  let corr = ref 0.0 in
+                  for k = 0 to nk - 1 do
+                    corr :=
+                      !corr
+                      +. ((b_of k).((c * 3) + d)
+                          *. (shared.(k).((c * 3) + d)
+                              -. (m1.(k).(c) *. m1.(k).(d))))
+                  done;
+                  (eu.(c) *. eu.(d)) +. !corr))
+      | Some (wphi, f, sh_indep) ->
+          let n = Array.length wphi in
+          (* column-projected conditional means Σ_k A_k f_k(x_i) *)
+          let big =
+            Array.init 3 (fun c ->
+                let acc = Array.make n 0.0 in
+                for k = 0 to nk - 1 do
+                  let ak = (a_of k).(c) and fk = f.(k).(c) in
+                  for i = 0 to n - 1 do
+                    acc.(i) <- acc.(i) +. (ak *. fk.(i))
+                  done
+                done;
+                acc)
+          in
+          Array.init 3 (fun c ->
+              Array.init 3 (fun d ->
+                  let cross = ref 0.0 in
+                  for i = 0 to n - 1 do
+                    cross := !cross +. (wphi.(i) *. big.(c).(i) *. big.(d).(i))
+                  done;
+                  let corr = ref 0.0 in
+                  if sy > 0.0 then
+                    for k = 0 to nk - 1 do
+                      corr :=
+                        !corr
+                        +. ((b_of k).((c * 3) + d)
+                            *. (shared.(k).((c * 3) + d)
+                                -. sh_indep.(k).((c * 3) + d)))
+                    done;
+                  !cross +. !corr))
+    in
+    (eu, euu)
+
+(* --------------------------------------------------------- moment sums *)
+
+(* E[exp(a·δ + b·δ²/2)] for δ ~ N(0, σ): exact for a quadratic exponent,
+   finite only while b·σ² < 1. *)
+let m_quad a b sigma =
+  let s2 = sigma *. sigma in
+  let u = 1.0 -. (b *. s2) in
+  if u <= 0.0 then Float.infinity
+  else exp (a *. a *. s2 /. (2.0 *. u)) /. sqrt u
+
+(* Per-component means and covariance matrices of both columns (loaded,
+   baseline) under one sigma set. Group iteration is in canonical (sorted)
+   order, so the result is a function of the row multiset only. *)
+let column_moments ~groups ~geom ~(sigmas : Variation.sigmas) =
+  let ax_sigma =
+    [| sigmas.Variation.sigma_l; sigmas.Variation.sigma_tox;
+       sigmas.Variation.sigma_vdd |]
+  in
+  let es =
+    Array.init 3 (fun c ->
+        let f = ref 1.0 in
+        for ax = 0 to 2 do
+          f := !f *. m_quad geom.g_lam.(ax).(c) geom.g_gam.(ax).(c) ax_sigma.(ax)
+        done;
+        !f)
+  in
+  let ess c d =
+    let f = ref 1.0 in
+    for ax = 0 to 2 do
+      f :=
+        !f
+        *. m_quad
+             (geom.g_lam.(ax).(c) +. geom.g_lam.(ax).(d))
+             (geom.g_gam.(ax).(c) +. geom.g_gam.(ax).(d))
+             ax_sigma.(ax)
+    done;
+    !f
+  in
+  let engine =
+    vth_engine ~groups ~sx:sigmas.Variation.sigma_vth_inter
+      ~sy:sigmas.Variation.sigma_vth_intra
+  in
+  fun ~base ->
+    let a_of k = if base then groups.(k).k_a_base else groups.(k).k_a in
+    let b_of k = if base then groups.(k).k_b_base else groups.(k).k_b in
+    let eu, euu = engine ~a_of ~b_of in
+    let means = Array.init 3 (fun c -> es.(c) *. eu.(c)) in
+    let cov =
+      Array.init 3 (fun c ->
+          Array.init 3 (fun d ->
+              (ess c d *. euu.(c).(d)) -. (means.(c) *. means.(d))))
+    in
+    (means, cov)
+
+(* ------------------------------------------------------------- analyze *)
+
+let stat_of ~mean ~var ~var_inter ~var_intra =
+  {
+    mean;
+    sigma = sqrt (Float.max 0.0 var);
+    sigma_inter = sqrt (Float.max 0.0 var_inter);
+    sigma_intra = sqrt (Float.max 0.0 var_intra);
+    from_mc = false;
+  }
+
+(* The three sigma-set closures (full, inter-only, intra-only) are built
+   once and applied to both columns: all weight-independent table integrals
+   are shared between the loaded and baseline assemblies. *)
+let column_stats ~groups ~geom ~sigmas =
+  let full = column_moments ~groups ~geom ~sigmas in
+  let inter = column_moments ~groups ~geom ~sigmas:(Variation.inter_only sigmas) in
+  let intra = column_moments ~groups ~geom ~sigmas:(Variation.intra_only sigmas) in
+  fun ~base ->
+  let means, cov = full ~base in
+  let _, cov_inter = inter ~base in
+  let _, cov_intra = intra ~base in
+  let comp c =
+    stat_of ~mean:means.(c) ~var:cov.(c).(c) ~var_inter:cov_inter.(c).(c)
+      ~var_intra:cov_intra.(c).(c)
+  in
+  let sum_all m = m.(0) +. m.(1) +. m.(2) in
+  let total_var (cv : float array array) =
+    let s = ref 0.0 in
+    for c = 0 to 2 do
+      for d = 0 to 2 do
+        s := !s +. cv.(c).(d)
+      done
+    done;
+    !s
+  in
+  {
+    s_isub = comp 0;
+    s_igate = comp 1;
+    s_ibtbt = comp 2;
+    s_total =
+      stat_of ~mean:(sum_all means) ~var:(total_var cov)
+        ~var_inter:(total_var cov_inter) ~var_intra:(total_var cov_intra);
+  }
+
+let analyze ?(lin_tol = default_lin_tol) ~(sigmas : Variation.sigmas) ~device
+    ~temp ~vdd rows =
+  let geom = geom_of ~device ~temp ~vdd ~sigmas in
+  let groups = groups_of_rows rows in
+  (* Linearization-error bound. Geometry axes: the measured model-vs-truth
+     residual at ±2σ — these axes really are propagated through a quadratic
+     log model, so a residual above tolerance flags the component for the
+     MC fallback. Threshold axis: integrated exactly against the sampler's
+     own table, so it never flags a component; instead, gates whose table
+     departs from its first-order line λ·δ by more than the tolerance at a
+     ±2σ_dv displacement are counted, marking where the reported λ alone
+     would mislead. *)
+  let sdv =
+    sqrt
+      ((sigmas.Variation.sigma_vth_inter *. sigmas.Variation.sigma_vth_inter)
+       +. (sigmas.Variation.sigma_vth_intra *. sigmas.Variation.sigma_vth_intra))
+  in
+  let flags = Array.map (fun e -> e > lin_tol) geom.g_lin_err in
+  let flagged_gates = ref 0 in
+  Array.iter
+    (fun g ->
+      let dev = ref 0.0 in
+      for c = 0 to 2 do
+        let t = g.k_tabs.(c) and lam = g.k_lam.(c) in
+        let at d = Float.abs (eval_tab t d -. (lam *. d)) in
+        dev :=
+          Float.max !dev
+            (Float.max (at (2.0 *. sdv)) (at (-2.0 *. sdv)))
+      done;
+      if !dev > lin_tol then flagged_gates := !flagged_gates + g.k_count)
+    groups;
+  let stats_of = column_stats ~groups ~geom ~sigmas in
+  let loaded = stats_of ~base:false in
+  let baseline = stats_of ~base:true in
+  (* A diverging quadratic geometry moment (b·σ² ≥ 1) surfaces as infinity:
+     flag the component rather than report it. *)
+  let non_finite (s : stats) =
+    [|
+      not (Float.is_finite s.s_isub.sigma && Float.is_finite s.s_isub.mean);
+      not (Float.is_finite s.s_igate.sigma && Float.is_finite s.s_igate.mean);
+      not (Float.is_finite s.s_ibtbt.sigma && Float.is_finite s.s_ibtbt.mean);
+    |]
+  in
+  let nf = non_finite loaded and nfb = non_finite baseline in
+  for c = 0 to 2 do
+    if nf.(c) || nfb.(c) then flags.(c) <- true
+  done;
+  {
+    loaded;
+    baseline;
+    flagged_isub = flags.(0);
+    flagged_igate = flags.(1);
+    flagged_ibtbt = flags.(2);
+    flagged_gates = !flagged_gates;
+    groups = Array.length groups;
+  }
+
+(* -------------------------------------------------------- MC fallback *)
+
+let sample_stats values =
+  let module Stats = Leakage_numeric.Stats in
+  (Stats.mean values, Stats.std values)
+
+let mc_stats ~n_samples ~seed ~sigmas lib netlist pattern =
+  let run sg = Statistical.run ~n_samples ~seed ~sigmas:sg lib netlist pattern in
+  let full = run sigmas in
+  let inter = run (Variation.inter_only sigmas) in
+  let intra = run (Variation.intra_only sigmas) in
+  let column base =
+    let pick f (s : Statistical.sample_totals) =
+      if base then f s.Statistical.no_loading else f s.Statistical.with_loading
+    in
+    let comp f =
+      let mean, sigma = sample_stats (Array.map (pick f) full.Statistical.samples) in
+      let _, si = sample_stats (Array.map (pick f) inter.Statistical.samples) in
+      let _, sy = sample_stats (Array.map (pick f) intra.Statistical.samples) in
+      { mean; sigma; sigma_inter = si; sigma_intra = sy; from_mc = true }
+    in
+    {
+      s_isub = comp (fun c -> c.Report.isub);
+      s_igate = comp (fun c -> c.Report.igate);
+      s_ibtbt = comp (fun c -> c.Report.ibtbt);
+      s_total = comp Report.total;
+    }
+  in
+  (column false, column true)
+
+let merge_fallback res ~(mc_loaded : stats) ~(mc_baseline : stats) =
+  let pick flag analytic mc = if flag then mc else analytic in
+  let merge (a : stats) (m : stats) =
+    {
+      s_isub = pick res.flagged_isub a.s_isub m.s_isub;
+      s_igate = pick res.flagged_igate a.s_igate m.s_igate;
+      s_ibtbt = pick res.flagged_ibtbt a.s_ibtbt m.s_ibtbt;
+      (* totals need the cross-component covariances; once any component
+         comes from samples, take the total column from the same samples *)
+      s_total = m.s_total;
+    }
+  in
+  {
+    res with
+    loaded = merge res.loaded mc_loaded;
+    baseline = merge res.baseline mc_baseline;
+  }
+
+let expect_exp_table ~xs ~ys ~mu ~s =
+  expect_exp_tab { t_xs = xs; t_ys = ys } ~mu ~s
+
+(* ------------------------------------------------------- entry points *)
+
+(* λ-extraction fans out over the pool in fixed chunks; every lane writes
+   its own slots, so the row array — and everything derived from it — is
+   bit-identical at any pool size. *)
+let rows_chunk = 256
+
+let estimate_totals ?passes ?pool ?lin_tol ?(fallback_samples = 2000)
+    ?(fallback_seed = 9001) ~sigmas lib netlist pattern =
+  let n = Netlist.gate_count netlist in
+  let entries = Array.make n None in
+  let loaded_f = Array.make (3 * n) 0.0 in
+  let base_f = Array.make (3 * n) 0.0 in
+  let (), totals, baseline_totals =
+    Estimator.estimate_fold ?passes ~init:()
+      ~f:(fun () g e ~loaded ~isolated ->
+        entries.(g) <- Some e;
+        loaded_f.(3 * g) <- loaded.Report.isub;
+        loaded_f.((3 * g) + 1) <- loaded.Report.igate;
+        loaded_f.((3 * g) + 2) <- loaded.Report.ibtbt;
+        base_f.(3 * g) <- isolated.Report.isub;
+        base_f.((3 * g) + 1) <- isolated.Report.igate;
+        base_f.((3 * g) + 2) <- isolated.Report.ibtbt)
+      lib netlist pattern
+  in
+  let empty_row =
+    { r_lam = [||]; r_curv = [||]; r_tabs = [||]; r_loaded = [||];
+      r_base = [||] }
+  in
+  let rows = Array.make n empty_row in
+  ignore
+    (Pool.map_chunked ?pool ~chunk:rows_chunk n (fun ~lo ~hi ->
+         for g = lo to hi - 1 do
+           let e = Option.get entries.(g) in
+           rows.(g) <-
+             row_of_entry ~entry:e
+               ~loaded:
+                 {
+                   Report.isub = loaded_f.(3 * g);
+                   igate = loaded_f.((3 * g) + 1);
+                   ibtbt = loaded_f.((3 * g) + 2);
+                 }
+               ~isolated:
+                 {
+                   Report.isub = base_f.(3 * g);
+                   igate = base_f.((3 * g) + 1);
+                   ibtbt = base_f.((3 * g) + 2);
+                 }
+         done));
+  let res =
+    analyze ?lin_tol ~sigmas ~device:(Library.device lib)
+      ~temp:(Library.temp lib) ~vdd:(Library.vdd lib) rows
+  in
+  let res =
+    if flagged res && fallback_samples > 0 then begin
+      let mc_loaded, mc_baseline =
+        mc_stats ~n_samples:fallback_samples ~seed:fallback_seed ~sigmas lib
+          netlist pattern
+      in
+      merge_fallback res ~mc_loaded ~mc_baseline
+    end
+    else res
+  in
+  (totals, baseline_totals, res)

@@ -43,6 +43,10 @@ let die_scale lib (die : Variation.die) =
     ibtbt = ratio (fun c -> c.Report.ibtbt);
   }
 
+(* Fixed fan-out width for parallel sampling: slots depend only on the
+   sample count, never the pool size. *)
+let sample_chunk = 32
+
 let scale_components (c : Report.components) (scale : Report.components)
     (factor : Report.components) =
   {
@@ -51,7 +55,7 @@ let scale_components (c : Report.components) (scale : Report.components)
     ibtbt = c.Report.ibtbt *. scale.Report.ibtbt *. factor.Report.ibtbt;
   }
 
-let run ?(n_samples = 1000) ?(seed = 1) ~sigmas lib netlist pattern =
+let run ?(n_samples = 1000) ?(seed = 1) ?pool ~sigmas lib netlist pattern =
   if n_samples <= 0 then invalid_arg "Statistical.run: n_samples";
   let est = Estimator.estimate lib netlist pattern in
   (* per-gate nominal estimates and sensitivities, resolved once *)
@@ -65,25 +69,37 @@ let run ?(n_samples = 1000) ?(seed = 1) ~sigmas lib netlist pattern =
         (ge.Estimator.with_loading, ge.Estimator.no_loading, entry))
       est.Estimator.per_gate
   in
+  (* Every sample's stream is split off the root generator in sample order
+     BEFORE any evaluation — the stream assignment is a function of (seed,
+     sample index) alone, so fanning the evaluation out over a pool cannot
+     change any sample and the result stays bit-identical at any pool
+     size. *)
   let rng = Rng.create seed in
+  let streams = Array.init n_samples (fun _ -> Rng.split rng) in
+  let sample_at i =
+    let srng = streams.(i) in
+    let die = Variation.sample_die srng sigmas in
+    let scale = die_scale lib die in
+    let acc_loaded = ref Report.zero and acc_base = ref Report.zero in
+    Array.iter
+      (fun (loaded, base, entry) ->
+        let dv = die.Variation.dvth +. Variation.sample_gate_vth srng sigmas in
+        let factor = Characterize.vth_factor entry dv in
+        acc_loaded :=
+          Report.add !acc_loaded (scale_components loaded scale factor);
+        acc_base := Report.add !acc_base (scale_components base scale factor))
+      rows;
+    { with_loading = !acc_loaded; no_loading = !acc_base }
+  in
   let samples =
-    Array.init n_samples (fun _ ->
-        let srng = Rng.split rng in
-        let die = Variation.sample_die srng sigmas in
-        let scale = die_scale lib die in
-        let acc_loaded = ref Report.zero and acc_base = ref Report.zero in
-        Array.iter
-          (fun (loaded, base, entry) ->
-            let dv =
-              die.Variation.dvth +. Variation.sample_gate_vth srng sigmas
-            in
-            let factor = Characterize.vth_factor entry dv in
-            acc_loaded :=
-              Report.add !acc_loaded (scale_components loaded scale factor);
-            acc_base :=
-              Report.add !acc_base (scale_components base scale factor))
-          rows;
-        { with_loading = !acc_loaded; no_loading = !acc_base })
+    match pool with
+    | None -> Array.init n_samples sample_at
+    | Some _ ->
+      let chunks =
+        Leakage_parallel.Pool.map_chunked ?pool ~chunk:sample_chunk n_samples
+          (fun ~lo ~hi -> Array.init (hi - lo) (fun i -> sample_at (lo + i)))
+      in
+      Array.concat (Array.to_list chunks)
   in
   {
     samples;

@@ -24,13 +24,24 @@ type result = {
 val run :
   ?n_samples:int ->
   ?seed:int ->
+  ?pool:Leakage_parallel.Pool.t ->
   sigmas:Leakage_device.Variation.sigmas ->
   Library.t ->
   Leakage_circuit.Netlist.t ->
   Leakage_circuit.Logic.vector ->
   result
 (** Monte-Carlo estimate for one input pattern (default 1,000 samples,
-    seed 1). Cost per sample is O(gates) table scalings — no DC solves. *)
+    seed 1). Cost per sample is O(gates) table scalings — no DC solves.
+
+    Every sample's RNG stream is split off the root generator by sample
+    index before evaluation, so [pool] fans samples out without changing a
+    single draw: results are bit-identical with or without a pool, at any
+    pool size. *)
+
+val sample_chunk : int
+(** Fixed fan-out width of {!run}'s parallel sampling. Like
+    [Estimator.avg_chunk], part of the bit-identity contract recorded in
+    benchmark artifacts. *)
 
 val die_scale :
   Library.t -> Leakage_device.Variation.die ->

@@ -151,6 +151,166 @@ let junction_leakage c = abs_float c.ibtbt_d +. abs_float c.ibtbt_s
 
 let channel_leakage c = abs_float c.ids
 
+(* ------------------------------------------------------------------ jets *)
+
+(* Jet-valued mirror of [nmos_components]: the same formulas evaluated on
+   order-2 jets (lib/numeric/jet.ml), seeded on channel length, oxide
+   thickness, a rigid threshold shift, or any terminal voltage. This is the
+   closed-form derivative source of the variance-propagation layer
+   (Sensitivity): first- and second-order log-sensitivities of every leakage
+   component come out exact, with no finite-difference step to tune. The
+   test suite's finite-difference oracle cross-checks every branch. *)
+
+module Jet = Leakage_numeric.Jet
+
+type bias_jet = {
+  jvg : Jet.t;
+  jvd : Jet.t;
+  jvs : Jet.t;
+  jvb : Jet.t;
+}
+
+type components_jet = {
+  jids : Jet.t;
+  jigso : Jet.t;
+  jigdo : Jet.t;
+  jigcs : Jet.t;
+  jigcd : Jet.t;
+  jigb : Jet.t;
+  jibtbt_d : Jet.t;
+  jibtbt_s : Jet.t;
+}
+
+let ekv_f_jet (u : Jet.t) =
+  let half = Jet.scale 0.5 u in
+  let l = if half.Jet.v > 40.0 then half else Jet.log1p (Jet.exp half) in
+  Jet.mul l l
+
+let nmos_components_jet (d : Params.t) (f : Params.fet) ~w ~temp
+    ~(length : Jet.t) ~(tox : Jet.t) ~(dvth : Jet.t) { jvg; jvd; jvs; jvb } =
+  let vt = Physics.thermal_voltage temp in
+  let inv_len = Jet.div (Jet.const d.length_nom) length in
+  let sce =
+    Jet.scale
+      (1.0 /. (d.tox_nom *. d.halo))
+      (Jet.mul tox (Jet.pow_const inv_len 2.0))
+  in
+  let dibl_eff = Jet.scale f.dibl sce in
+  let vds = Jet.sub jvd jvs in
+  let vth =
+    (* [Params.with_vth_shift] adds the die shift to vth0 before anything
+       else, so the jet seed rides vth0. *)
+    let vth0 = Jet.add_const f.vth0 dvth in
+    Jet.sub
+      (Jet.add_const
+         (f.vth_tc *. (temp -. 300.0))
+         (Jet.sub
+            (Jet.add_const (d.k_halo_vth *. (d.halo -. 1.0)) vth0)
+            (Jet.scale k_roll (Jet.add_const (-1.0) inv_len))))
+      (Jet.mul dibl_eff (Jet.abs vds))
+  in
+  let vp = Jet.scale (1.0 /. f.slope_n) (Jet.sub (Jet.sub jvg jvb) vth) in
+  let i_f =
+    ekv_f_jet (Jet.scale (1.0 /. vt) (Jet.sub vp (Jet.sub jvs jvb)))
+  in
+  let i_r =
+    ekv_f_jet (Jet.scale (1.0 /. vt) (Jet.sub vp (Jet.sub jvd jvb)))
+  in
+  let ispec_w =
+    Jet.scale (f.i_spec *. w *. ((temp /. 300.0) ** 0.5)) inv_len
+  in
+  let jids = Jet.mul ispec_w (Jet.sub i_f i_r) in
+  let jg_unit =
+    Jet.scale
+      (f.jg_scale *. (1.0 +. (d.tc_gate *. (temp -. 300.0))))
+      (Jet.exp (Jet.scale (-.d.beta_tox) (Jet.add_const (-.d.tox_nom) tox)))
+  in
+  let jg (v : Jet.t) =
+    let mag x =
+      Jet.mul jg_unit
+        (Jet.mul
+           (Jet.scale (1.0 /. d.vref) x)
+           (Jet.exp (Jet.scale d.alpha_g (Jet.add_const (-.d.vref) x))))
+    in
+    if v.Jet.v >= 0.0 then mag v
+    else Jet.neg (Jet.scale f.jg_reverse (mag (Jet.neg v)))
+  in
+  let a_ch = Jet.scale w length in
+  let jigso = Jet.scale (w *. d.lov *. f.jg_ov_mult) (jg (Jet.sub jvg jvs)) in
+  let jigdo = Jet.scale (w *. d.lov *. f.jg_ov_mult) (jg (Jet.sub jvg jvd)) in
+  let inv_frac =
+    Jet.logistic
+      (Jet.scale (1.0 /. (3.0 *. vt)) (Jet.sub (Jet.sub jvg jvs) vth))
+  in
+  let igc_total = Jet.mul a_ch (Jet.mul (jg (Jet.sub jvg jvs)) inv_frac) in
+  let pd =
+    Jet.scale 0.5
+      (Jet.inv (Jet.add_const 1.0 (Jet.scale (1.0 /. 0.3) (Jet.abs vds))))
+  in
+  let jigcd = Jet.mul igc_total pd in
+  let jigcs = Jet.sub igc_total jigcd in
+  let jigb = Jet.scale 0.02 (Jet.mul a_ch (jg (Jet.sub jvg jvb))) in
+  let jb_unit =
+    f.jb_scale
+    *. exp (d.k_halo_btbt *. (d.halo -. 1.0))
+    *. exp (d.beta_btbt_temp
+            *. (Physics.bandgap 300.0 -. Physics.bandgap temp))
+  in
+  let jb (v : Jet.t) =
+    if v.Jet.v >= 0.0 then
+      Jet.scale (w *. jb_unit)
+        (Jet.mul
+           (Jet.scale (1.0 /. d.vref) v)
+           (Jet.exp (Jet.scale d.alpha_b (Jet.add_const (-.d.vref) v))))
+    else begin
+      let u = Jet.min_const 40.0 (Jet.scale (-1.0 /. vt) v) in
+      Jet.neg (Jet.scale (w *. 1e-12) (Jet.add_const (-1.0) (Jet.exp u)))
+    end
+  in
+  let jibtbt_d = jb (Jet.sub jvd jvb) in
+  let jibtbt_s = jb (Jet.sub jvs jvb) in
+  { jids; jigso; jigdo; jigcs; jigcd; jigb; jibtbt_d; jibtbt_s }
+
+let negate_jet c = {
+  jids = Jet.neg c.jids;
+  jigso = Jet.neg c.jigso;
+  jigdo = Jet.neg c.jigdo;
+  jigcs = Jet.neg c.jigcs;
+  jigcd = Jet.neg c.jigcd;
+  jigb = Jet.neg c.jigb;
+  jibtbt_d = Jet.neg c.jibtbt_d;
+  jibtbt_s = Jet.neg c.jibtbt_s;
+}
+
+let components_jet d pol ~w ~temp ~length ~tox ~dvth (bias : bias_jet) =
+  if w <= 0.0 then invalid_arg "Model.components_jet: width must be positive";
+  let f = Params.fet d pol in
+  match pol with
+  | Params.Nmos -> nmos_components_jet d f ~w ~temp ~length ~tox ~dvth bias
+  | Params.Pmos ->
+    (* Terminal voltages reflect; the rigid threshold shift does not (it
+       rides vth0 of both polarities with the same sign, exactly as
+       [Params.with_vth_shift] applies it). *)
+    let reflected = {
+      jvg = Jet.neg bias.jvg;
+      jvd = Jet.neg bias.jvd;
+      jvs = Jet.neg bias.jvs;
+      jvb = Jet.neg bias.jvb;
+    } in
+    negate_jet (nmos_components_jet d f ~w ~temp ~length ~tox ~dvth reflected)
+
+let gate_leakage_jet c =
+  Jet.add
+    (Jet.add
+       (Jet.add (Jet.add (Jet.abs c.jigso) (Jet.abs c.jigdo))
+          (Jet.abs c.jigcs))
+       (Jet.abs c.jigcd))
+    (Jet.abs c.jigb)
+
+let junction_leakage_jet c = Jet.add (Jet.abs c.jibtbt_d) (Jet.abs c.jibtbt_s)
+
+let channel_leakage_jet c = Jet.abs c.jids
+
 let off_state_leakage d pol ~w ~temp ~vdd =
   let bias =
     match pol with

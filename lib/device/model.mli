@@ -67,3 +67,51 @@ val off_state_leakage :
   float * float * float
 (** [(isub, igate, ibtbt)] of an isolated off transistor with its drain at
     the rail — the standard single-device operating point used in Fig 4. *)
+
+(** {2 Jet-valued evaluation (closed-form derivatives)}
+
+    The same compact model evaluated on order-2 jets
+    ({!Leakage_numeric.Jet}): seed channel length, oxide thickness, a rigid
+    threshold shift or any terminal voltage, and read the exact first and
+    second derivative of every current component. This is what the
+    variance-propagation layer differentiates; the test suite validates each
+    derivative against central finite differences. *)
+
+type bias_jet = {
+  jvg : Leakage_numeric.Jet.t;
+  jvd : Leakage_numeric.Jet.t;
+  jvs : Leakage_numeric.Jet.t;
+  jvb : Leakage_numeric.Jet.t;
+}
+
+type components_jet = {
+  jids : Leakage_numeric.Jet.t;
+  jigso : Leakage_numeric.Jet.t;
+  jigdo : Leakage_numeric.Jet.t;
+  jigcs : Leakage_numeric.Jet.t;
+  jigcd : Leakage_numeric.Jet.t;
+  jigb : Leakage_numeric.Jet.t;
+  jibtbt_d : Leakage_numeric.Jet.t;
+  jibtbt_s : Leakage_numeric.Jet.t;
+}
+
+val components_jet :
+  Params.t -> Params.polarity -> w:float -> temp:float ->
+  length:Leakage_numeric.Jet.t -> tox:Leakage_numeric.Jet.t ->
+  dvth:Leakage_numeric.Jet.t -> bias_jet -> components_jet
+(** Jet-valued {!components}. [length] and [tox] stand in for the device
+    record's [length] / [tox] fields (the [*_nom] references stay fixed, as
+    under {!Params.with_length} / {!Params.with_tox}); [dvth] is a rigid
+    threshold shift of both polarities, as under {!Params.with_vth_shift}.
+    With constant seeds the values agree with {!components}. For a PMOS the
+    terminal voltages are reflected but [dvth] is not, matching
+    [with_vth_shift]. *)
+
+val gate_leakage_jet : components_jet -> Leakage_numeric.Jet.t
+(** Jet-valued {!gate_leakage}. *)
+
+val junction_leakage_jet : components_jet -> Leakage_numeric.Jet.t
+(** Jet-valued {!junction_leakage}. *)
+
+val channel_leakage_jet : components_jet -> Leakage_numeric.Jet.t
+(** Jet-valued {!channel_leakage}. *)

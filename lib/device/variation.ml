@@ -18,6 +18,21 @@ let paper_sigmas = {
 
 let with_vth_inter s sigma_vth_inter = { s with sigma_vth_inter }
 
+(* The inter/intra split the variance-propagation layer reports: inter-die
+   axes (geometry, supply, die threshold) are fully correlated across the
+   gates of one circuit instance; the intra-die threshold axis is drawn
+   independently per gate. *)
+let inter_only s = { s with sigma_vth_intra = 0.0 }
+
+let intra_only s =
+  {
+    sigma_l = 0.0;
+    sigma_tox = 0.0;
+    sigma_vdd = 0.0;
+    sigma_vth_inter = 0.0;
+    sigma_vth_intra = s.sigma_vth_intra;
+  }
+
 type die = {
   dl : float;
   dtox : float;
@@ -38,11 +53,22 @@ let sample_gate_vth rng s = Rng.normal rng ~mean:0.0 ~sigma:s.sigma_vth_intra
 
 let clamp_min lo v = if v < lo then lo else v
 
+(* Extreme negative samples (beyond -this fraction of nominal) are clamped
+   so geometry and supply stay physical: [Params.with_length] / [with_tox] /
+   [with_vdd] reject non-positive values, and the compact model divides by
+   both geometry terms. At the paper's sigmas the clamp sits 12+ standard
+   deviations out, so it never distorts the statistics — it only keeps
+   pathological tails (and deliberately hostile corner sweeps) finite. *)
+let min_geometry_scale = 0.5
+
 let apply_die (d : Params.t) die =
-  let d = Params.with_length d (clamp_min (0.5 *. d.length) (d.length +. die.dl)) in
-  let d = Params.with_tox d (clamp_min (0.5 *. d.tox) (d.tox +. die.dtox)) in
+  let floor_of nominal = min_geometry_scale *. nominal in
+  let d =
+    Params.with_length d (clamp_min (floor_of d.length) (d.length +. die.dl))
+  in
+  let d = Params.with_tox d (clamp_min (floor_of d.tox) (d.tox +. die.dtox)) in
   let d = Params.with_vth_shift d die.dvth in
-  Params.with_vdd d (clamp_min (0.5 *. d.vdd) (d.vdd +. die.dvdd))
+  Params.with_vdd d (clamp_min (floor_of d.vdd) (d.vdd +. die.dvdd))
 
 let apply_gate d dvth = Params.with_vth_shift d dvth
 

@@ -24,6 +24,15 @@ val paper_sigmas : sigmas
 val with_vth_inter : sigmas -> float -> sigmas
 (** Re-target the inter-die threshold sigma (the Fig 11 sweep variable). *)
 
+val inter_only : sigmas -> sigmas
+(** The inter-die axes alone (within-die threshold sigma zeroed): geometry,
+    supply and die threshold, fully correlated across a circuit's gates.
+    This is the split the analytic variance propagation reports as σ_inter. *)
+
+val intra_only : sigmas -> sigmas
+(** The within-die threshold axis alone (everything else zeroed):
+    independent per gate. Reported as σ_intra. *)
+
 type die = {
   dl : float;
   dtox : float;
@@ -40,9 +49,18 @@ val nominal_die : die
 val sample_gate_vth : Leakage_numeric.Rng.t -> sigmas -> float
 (** Within-die threshold shift for one gate. *)
 
+val min_geometry_scale : float
+(** Clamp floor for {!apply_die}: length, oxide thickness and supply never
+    drop below this fraction of their nominal value (0.5), keeping extreme
+    negative samples physical. At {!paper_sigmas} the floor sits more than
+    12σ out, so sampling statistics are unaffected. *)
+
 val apply_die : Params.t -> die -> Params.t
 (** Shift a device's parameters by a die sample (supply shift included via
-    the device record's [vdd]). Geometry is clamped to stay physical. *)
+    the device record's [vdd]). Geometry and supply are clamped at
+    {!min_geometry_scale} × nominal so the result always satisfies the
+    [Params.with_*] positivity checks — [apply_die] never raises, whatever
+    the sample. *)
 
 val apply_gate : Params.t -> float -> Params.t
 (** Apply a per-gate threshold shift on top. *)

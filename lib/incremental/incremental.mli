@@ -123,6 +123,25 @@ val totals : t -> Leakage_spice.Leakage_report.components
 val baseline_totals : t -> Leakage_spice.Leakage_report.components
 (** Sum of isolated nominal leakages (the traditional no-loading model). *)
 
+val sigma :
+  ?lin_tol:float ->
+  sigmas:Leakage_device.Variation.sigmas ->
+  t ->
+  Leakage_core.Sensitivity.result
+(** Closed-form variance propagation ([Sensitivity.analyze]) over the
+    session's cached per-gate state. The cone machinery keeps the per-gate
+    entries and component estimates current after every edit, so this costs
+    only the σ assembly — O(gates · log gates) plus the moment sums — with
+    no estimator pass and no DC solves.
+
+    Like {!totals}, the inputs carry the session's accumulated float drift
+    between refreshes; after {!refresh} the result is bit-identical to
+    analyzing a fresh {!Leakage_core.Sensitivity.estimate_totals}. Flags are
+    reported but never trigger an MC fallback here — check
+    [Sensitivity.flagged] and fall back explicitly if needed. Die-level
+    geometry sensitivities are taken from the session's base library;
+    per-gate library overrides affect the per-gate rows only. *)
+
 val gate_components : t -> int -> Leakage_spice.Leakage_report.components
 (** Loading-aware leakage of one gate. *)
 

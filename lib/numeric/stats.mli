@@ -9,6 +9,24 @@ val variance : float array -> float
 val std : float array -> float
 (** Sample standard deviation, [sqrt (variance a)]. *)
 
+val erf : float -> float
+(** Gauss error function (Abramowitz & Stegun 7.1.26 rational
+    approximation; absolute error below 1.5e-7). *)
+
+val norm_cdf : float -> float
+(** Standard normal CDF — the building block of the analytic variance
+    propagation's exact Gaussian segment integrals. Mid-range via [erf]
+    (absolute error below 1.5e-7); below z = -2.5 via a Mills-ratio
+    continued fraction, so the deep lower tail keeps {e relative} accuracy
+    arbitrarily far out instead of drowning in the polynomial's absolute
+    error bound. *)
+
+val log_norm_cdf : float -> float
+(** [log (norm_cdf z)], never overflowing to [-infinity] for finite [z]:
+    the deep tail evaluates [-z²/2 - log √(2π) + log R(|z|)] directly.
+    Lets callers carry Gaussian masses with huge exponential prefactors
+    (steep-table moment segments) entirely in log space. *)
+
 val min_max : float array -> float * float
 (** Smallest and largest element. Raises [Invalid_argument] on empty input. *)
 

@@ -339,6 +339,47 @@ let shrink nl pattern batches =
     List.filter (fun b -> b <> []) batches
   end
 
+(* ------------------------------------------------- finite differences *)
+
+(* Finite-difference oracle for every closed-form derivative the analytic
+   variance propagation relies on: jet-valued device sensitivities, table
+   slopes/curvatures, die-scale log-responses. Shared by [test_device] and
+   [test_sensitivity] so both suites validate derivatives through one
+   implementation with one failure format. *)
+module Fd = struct
+  let central ~h f x = (f (x +. h) -. f (x -. h)) /. (2.0 *. h)
+
+  let second ~h f x = (f (x +. h) -. (2.0 *. f x) +. f (x -. h)) /. (h *. h)
+
+  (* d ln f / dx and its curvature — the λ/γ convention of the sensitivity
+     layer (log-space derivatives of strictly positive responses) *)
+  let log_slope ~h f x = central ~h (fun v -> log (f v)) x
+  let log_curvature ~h f x = second ~h (fun v -> log (f v)) x
+
+  (* |a − b| ≤ tol·max(|a|,|b|) + floor: relative agreement with an
+     absolute floor for derivatives that are legitimately ~0, where the
+     difference quotient is pure cancellation noise. *)
+  let close ?(tol = 1e-4) ?(floor = 0.0) a b =
+    Float.abs (a -. b) <= (tol *. Float.max (Float.abs a) (Float.abs b)) +. floor
+
+  (* Compare an analytic first derivative of [f] at [x] against the central
+     difference at step [h]; raise with both values on disagreement. *)
+  let check_grad ?tol ?floor ~name ~h f x analytic =
+    let fd = central ~h f x in
+    if not (close ?tol ?floor fd analytic) then
+      failwith
+        (Printf.sprintf "%s: analytic %.10g vs finite-difference %.10g (h=%g)"
+           name analytic fd h)
+
+  let check_second ?tol ?floor ~name ~h f x analytic =
+    let fd = second ~h f x in
+    if not (close ?tol ?floor fd analytic) then
+      failwith
+        (Printf.sprintf
+           "%s: analytic second %.10g vs finite-difference %.10g (h=%g)"
+           name analytic fd h)
+end
+
 (* Replay and, on divergence, shrink and raise with the minimal failing
    input. Returns [true] so qcheck properties can end with [check ...]. *)
 let check ?oracle_tol ?edit_tol ~name nl pattern batches =

@@ -408,6 +408,248 @@ let test_variation_leakage_spread () =
     (summary.Stats.max -. summary.Stats.p50
     > summary.Stats.p50 -. summary.Stats.min)
 
+(* ---------------------------------------- die clamping regressions *)
+
+(* The clamp floor is an exact contract: a pathological negative sample
+   lands ON min_geometry_scale x nominal (not near it, not below it, and
+   without raising through the Params setters' positivity guards). *)
+let test_variation_clamp_exact_floor () =
+  let die =
+    {
+      Variation.dl = -10.0 *. d25.Params.length;
+      dtox = -10.0 *. d25.Params.tox;
+      dvth = 0.0;
+      dvdd = -10.0 *. d25.Params.vdd;
+    }
+  in
+  let d = Variation.apply_die d25 die in
+  let floor_of nominal = Variation.min_geometry_scale *. nominal in
+  check_float "length on floor" (floor_of d25.Params.length) d.Params.length;
+  check_float "tox on floor" (floor_of d25.Params.tox) d.Params.tox;
+  check_float "vdd on floor" (floor_of d25.Params.vdd) d.Params.vdd
+
+let test_variation_clamp_inactive_inside_floor () =
+  let die =
+    {
+      Variation.dl = -0.4 *. d25.Params.length;
+      dtox = 0.1 *. d25.Params.tox;
+      dvth = 0.0;
+      dvdd = 0.05;
+    }
+  in
+  let d = Variation.apply_die d25 die in
+  check_float "length passes through" (0.6 *. d25.Params.length)
+    d.Params.length;
+  check_float "tox passes through" (1.1 *. d25.Params.tox) d.Params.tox;
+  check_float "vdd passes through" (d25.Params.vdd +. 0.05) d.Params.vdd
+
+let test_variation_vth_never_clamped () =
+  let die = { Variation.nominal_die with Variation.dvth = -0.35 } in
+  let d = Variation.apply_die d25 die in
+  check_float "nmos vth shifted verbatim"
+    (d25.Params.nmos.Params.vth0 -. 0.35)
+    d.Params.nmos.Params.vth0
+
+let prop_apply_die_physical =
+  qtest "apply_die keeps any die physical"
+    QCheck2.Gen.(
+      let shift = float_range (-2.0) 2.0 in
+      quad shift shift shift shift)
+    (fun (dl, dtox, dvth, dvdd) ->
+      let d = Variation.apply_die d25 { Variation.dl; dtox; dvth; dvdd } in
+      let floor_of nominal = Variation.min_geometry_scale *. nominal in
+      let ok field nominal shift =
+        field = Float.max (floor_of nominal) (nominal +. shift)
+      in
+      ok d.Params.length d25.Params.length dl
+      && ok d.Params.tox d25.Params.tox dtox
+      && ok d.Params.vdd d25.Params.vdd dvdd
+      && d.Params.nmos.Params.vth0 = d25.Params.nmos.Params.vth0 +. dvth)
+
+let test_corner_die_directions () =
+  let s = Variation.paper_sigmas in
+  let fast = Variation.corner_device d25 s Variation.Fast in
+  let slow = Variation.corner_device d25 s Variation.Slow in
+  Alcotest.(check bool) "fast: short, thin, low vth, high vdd" true
+    (fast.Params.length < d25.Params.length
+    && fast.Params.tox < d25.Params.tox
+    && fast.Params.nmos.Params.vth0 < d25.Params.nmos.Params.vth0
+    && fast.Params.vdd > d25.Params.vdd);
+  Alcotest.(check bool) "slow: long, thick, high vth, low vdd" true
+    (slow.Params.length > d25.Params.length
+    && slow.Params.tox > d25.Params.tox
+    && slow.Params.nmos.Params.vth0 > d25.Params.nmos.Params.vth0
+    && slow.Params.vdd < d25.Params.vdd);
+  Alcotest.(check bool) "corner devices are deterministic" true
+    (Stdlib.compare fast (Variation.corner_device d25 s Variation.Fast) = 0
+    && Stdlib.compare slow (Variation.corner_device d25 s Variation.Slow) = 0)
+
+(* ---------------------------------------- jets vs finite differences *)
+
+module Jet = Leakage_numeric.Jet
+module Fd = Diff_harness.Fd
+
+(* Worst-case (leakiest) off state per polarity, in absolute node volts. *)
+let off_bias = function
+  | Params.Nmos -> { Model.vg = 0.0; vd = vdd; vs = 0.0; vb = 0.0 }
+  | Params.Pmos -> { Model.vg = vdd; vd = 0.0; vs = vdd; vb = vdd }
+
+let const_bias (b : Model.bias) =
+  {
+    Model.jvg = Jet.const b.Model.vg;
+    jvd = Jet.const b.Model.vd;
+    jvs = Jet.const b.Model.vs;
+    jvb = Jet.const b.Model.vb;
+  }
+
+(* The signed sources, not the abs-summed reporting scalars: |.| kinks
+   where a component crosses zero, which would poison the finite
+   differences without testing anything about the jets. *)
+let scalars =
+  [
+    ("ids", (fun (j : Model.components_jet) -> j.Model.jids),
+     fun (c : Model.components) -> c.Model.ids);
+    ("igso", (fun j -> j.Model.jigso), fun c -> c.Model.igso);
+    ("igdo", (fun j -> j.Model.jigdo), fun c -> c.Model.igdo);
+    ("igcs", (fun j -> j.Model.jigcs), fun c -> c.Model.igcs);
+    ("igcd", (fun j -> j.Model.jigcd), fun c -> c.Model.igcd);
+    ("igb", (fun j -> j.Model.jigb), fun c -> c.Model.igb);
+    ("ibtbt_d", (fun j -> j.Model.jibtbt_d), fun c -> c.Model.ibtbt_d);
+    ("ibtbt_s", (fun j -> j.Model.jibtbt_s), fun c -> c.Model.ibtbt_s);
+  ]
+
+let both_polarities = [ (Params.Nmos, "nmos"); (Params.Pmos, "pmos") ]
+
+let test_jet_constant_seeds_match_components () =
+  List.iter
+    (fun (pol, pname) ->
+      let b = off_bias pol in
+      let c = Model.components d25 pol ~w:1.3 ~temp:320.0 b in
+      let j =
+        Model.components_jet d25 pol ~w:1.3 ~temp:320.0
+          ~length:(Jet.const d25.Params.length)
+          ~tox:(Jet.const d25.Params.tox) ~dvth:(Jet.const 0.0) (const_bias b)
+      in
+      List.iter
+        (fun (sname, pickj, pick) ->
+          check_float ~eps:0.0
+            (Printf.sprintf "%s %s value" pname sname)
+            (pick c)
+            (Jet.value (pickj j));
+          check_float ~eps:0.0
+            (Printf.sprintf "%s %s deriv" pname sname)
+            0.0
+            (Jet.deriv (pickj j)))
+        scalars)
+    both_polarities
+
+(* One seeded axis: [jet] evaluates the model with that axis as the jet
+   variable, [f] is the plain-model scalar as a function of the axis; the
+   jet's first and second derivatives must match central differences. *)
+let check_axis ~pname ~axis ~h ~x jet f =
+  List.iter
+    (fun (sname, pickj, pick) ->
+      let j = pickj jet in
+      let name = Printf.sprintf "%s %s d/d%s" pname sname axis in
+      Fd.check_grad ~floor:1e-12 ~name ~h (fun v -> pick (f v)) x
+        (Jet.deriv j);
+      Fd.check_second ~tol:1e-3 ~floor:1e-8
+        ~name:(name ^ " (2nd)")
+        ~h
+        (fun v -> pick (f v))
+        x (Jet.second j))
+    scalars
+
+let test_jet_length_matches_fd () =
+  List.iter
+    (fun (pol, pname) ->
+      let b = off_bias pol in
+      let jet =
+        Model.components_jet d25 pol ~w:1.0 ~temp:300.0
+          ~length:(Jet.var d25.Params.length)
+          ~tox:(Jet.const d25.Params.tox) ~dvth:(Jet.const 0.0) (const_bias b)
+      in
+      check_axis ~pname ~axis:"length" ~h:1e-5 ~x:d25.Params.length jet
+        (fun l -> Model.components (Params.with_length d25 l) pol ~w:1.0 ~temp:300.0 b))
+    both_polarities
+
+let test_jet_tox_matches_fd () =
+  List.iter
+    (fun (pol, pname) ->
+      let b = off_bias pol in
+      let jet =
+        Model.components_jet d25 pol ~w:1.0 ~temp:300.0
+          ~length:(Jet.const d25.Params.length)
+          ~tox:(Jet.var d25.Params.tox) ~dvth:(Jet.const 0.0) (const_bias b)
+      in
+      check_axis ~pname ~axis:"tox" ~h:1e-5 ~x:d25.Params.tox jet (fun t ->
+          Model.components (Params.with_tox d25 t) pol ~w:1.0 ~temp:300.0 b))
+    both_polarities
+
+let test_jet_dvth_matches_fd () =
+  List.iter
+    (fun (pol, pname) ->
+      let b = off_bias pol in
+      let jet =
+        Model.components_jet d25 pol ~w:1.0 ~temp:300.0
+          ~length:(Jet.const d25.Params.length)
+          ~tox:(Jet.const d25.Params.tox) ~dvth:(Jet.var 0.0) (const_bias b)
+      in
+      check_axis ~pname ~axis:"vth" ~h:1e-5 ~x:0.0 jet (fun dv ->
+          Model.components (Params.with_vth_shift d25 dv) pol ~w:1.0
+            ~temp:300.0 b))
+    both_polarities
+
+(* An interior bias point for the voltage axes: every junction strictly
+   reverse-biased and the channel in weak inversion, so no source sits on
+   the zero-bias BTBT kink or the forward-diode clamp and every component
+   is smooth in all four terminal voltages. *)
+let smooth_bias = function
+  | Params.Nmos -> { Model.vg = 0.07; vd = 0.5; vs = 0.03; vb = -0.04 }
+  | Params.Pmos ->
+    {
+      Model.vg = vdd -. 0.07;
+      vd = vdd -. 0.5;
+      vs = vdd -. 0.03;
+      vb = vdd +. 0.04;
+    }
+
+let test_jet_bias_matches_fd () =
+  List.iter
+    (fun (pol, pname) ->
+      let b = smooth_bias pol in
+      List.iter
+        (fun (axis, seed, subst) ->
+          let jet =
+            Model.components_jet d25 pol ~w:1.0 ~temp:300.0
+              ~length:(Jet.const d25.Params.length)
+              ~tox:(Jet.const d25.Params.tox) ~dvth:(Jet.const 0.0) (seed b)
+          in
+          let x =
+            match axis with
+            | "vg" -> b.Model.vg
+            | "vd" -> b.Model.vd
+            | "vs" -> b.Model.vs
+            | _ -> b.Model.vb
+          in
+          check_axis ~pname ~axis ~h:1e-5 ~x jet (fun v ->
+              Model.components d25 pol ~w:1.0 ~temp:300.0 (subst b v)))
+        [
+          ( "vg",
+            (fun b -> { (const_bias b) with Model.jvg = Jet.var b.Model.vg }),
+            fun b v -> { b with Model.vg = v } );
+          ( "vd",
+            (fun b -> { (const_bias b) with Model.jvd = Jet.var b.Model.vd }),
+            fun b v -> { b with Model.vd = v } );
+          ( "vs",
+            (fun b -> { (const_bias b) with Model.jvs = Jet.var b.Model.vs }),
+            fun b v -> { b with Model.vs = v } );
+          ( "vb",
+            (fun b -> { (const_bias b) with Model.jvb = Jet.var b.Model.vb }),
+            fun b v -> { b with Model.vb = v } );
+        ])
+    both_polarities
+
 let () =
   Alcotest.run "device"
     [
@@ -463,5 +705,20 @@ let () =
           Alcotest.test_case "corners ordering" `Quick test_variation_corners_ordering;
           Alcotest.test_case "typical corner" `Quick test_variation_typical_corner_is_nominal;
           Alcotest.test_case "leakage spread" `Quick test_variation_leakage_spread;
+          Alcotest.test_case "clamp exact floor" `Quick test_variation_clamp_exact_floor;
+          Alcotest.test_case "clamp inactive inside floor" `Quick
+            test_variation_clamp_inactive_inside_floor;
+          Alcotest.test_case "vth never clamped" `Quick test_variation_vth_never_clamped;
+          prop_apply_die_physical;
+          Alcotest.test_case "corner directions" `Quick test_corner_die_directions;
+        ] );
+      ( "jets",
+        [
+          Alcotest.test_case "constant seeds = components" `Quick
+            test_jet_constant_seeds_match_components;
+          Alcotest.test_case "d/dlength vs FD" `Quick test_jet_length_matches_fd;
+          Alcotest.test_case "d/dtox vs FD" `Quick test_jet_tox_matches_fd;
+          Alcotest.test_case "d/dvth vs FD" `Quick test_jet_dvth_matches_fd;
+          Alcotest.test_case "d/dbias vs FD" `Quick test_jet_bias_matches_fd;
         ] );
     ]

@@ -6,15 +6,30 @@
    BTBT components of both the loading-aware and the baseline totals plus
    the loading shift — so any change to device models, characterization,
    table interpolation or the estimator sum order shows up as a diff here
-   even when the relative shift happens to stay put.
+   even when the relative shift happens to stay put. The per-circuit
+   sigma_* fields additionally pin the analytic variance propagation
+   (loading-aware σ per component plus the inter/intra split of the total,
+   under the paper's sigmas and each circuit's first sampled vector), so
+   moment-engine changes are caught with the same resolution as the means.
 
    Regenerate (after an intentional model change) with:
-     LEAKAGE_GOLDEN_WRITE=test/golden_suite.json dune exec test/test_golden.exe *)
+     LEAKAGE_GOLDEN_WRITE=test/golden_suite.json dune exec test/test_golden.exe
+
+   The regen path is itself under test: the byte-identity case below
+   re-emits the fixture from the live run and diffs it against the checked
+   in file, so a stale corpus or a silent format drift (fields dropped or
+   reordered — the schema is append-only) fails before anyone needs the
+   env var. *)
 
 module Params = Leakage_device.Params
 module Characterize = Leakage_core.Characterize
 module Library = Leakage_core.Library
 module Report = Leakage_spice.Leakage_report
+module Sensitivity = Leakage_core.Sensitivity
+module Variation = Leakage_device.Variation
+module Netlist = Leakage_circuit.Netlist
+module Logic = Leakage_circuit.Logic
+module Rng = Leakage_numeric.Rng
 module Suite = Leakage_benchmarks.Suite
 module Trees = Leakage_benchmarks.Trees
 
@@ -44,9 +59,31 @@ let rel a b = if b = 0.0 then Float.abs a else Float.abs (a -. b) /. Float.abs b
 
 let runs = lazy (Suite.estimate_all ~entries ~vectors ~seed lib)
 
+(* Analytic σ under each circuit's FIRST sampled vector: the stream split
+   below mirrors [Suite.estimate_all] exactly (one split per entry, in
+   suite order), so the vector pinned here is the first of the [vectors]
+   the mean fixture averaged over. *)
+let sigmas = Variation.paper_sigmas
+
+let sigma_runs =
+  lazy
+    (let entries_a = Array.of_list entries in
+     let rng = Rng.create seed in
+     let streams = Array.map (fun _ -> Rng.split rng) entries_a in
+     Array.mapi
+       (fun i (e : Suite.entry) ->
+         let netlist = e.Suite.build () in
+         let width = Array.length (Netlist.inputs netlist) in
+         let v = Logic.random_vector streams.(i) width in
+         let _, _, res =
+           Sensitivity.estimate_totals ~fallback_samples:0 ~sigmas lib netlist v
+         in
+         res)
+       entries_a)
+
 (* ------------------------------------------------------------- JSON emit *)
 
-let emit oc (rows : Suite.run array) =
+let emit oc (rows : Suite.run array) (sigs : Sensitivity.result array) =
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"fixture\": \"golden-suite\",\n";
@@ -58,6 +95,7 @@ let emit oc (rows : Suite.run array) =
   let n = Array.length rows in
   Array.iteri
     (fun i (r : Suite.run) ->
+      let st = sigs.(i).Sensitivity.loaded in
       p "    {\n";
       p "      \"label\": \"%s\",\n" r.Suite.label;
       p "      \"gates\": %d,\n" r.Suite.gates;
@@ -67,7 +105,15 @@ let emit oc (rows : Suite.run array) =
       p "      \"base_isub\": %.17g,\n" r.Suite.baseline.Report.isub;
       p "      \"base_igate\": %.17g,\n" r.Suite.baseline.Report.igate;
       p "      \"base_ibtbt\": %.17g,\n" r.Suite.baseline.Report.ibtbt;
-      p "      \"shift_percent\": %.17g\n" r.Suite.shift_percent;
+      p "      \"shift_percent\": %.17g,\n" r.Suite.shift_percent;
+      p "      \"sigma_isub\": %.17g,\n" st.Sensitivity.s_isub.Sensitivity.sigma;
+      p "      \"sigma_igate\": %.17g,\n" st.Sensitivity.s_igate.Sensitivity.sigma;
+      p "      \"sigma_ibtbt\": %.17g,\n" st.Sensitivity.s_ibtbt.Sensitivity.sigma;
+      p "      \"sigma_total\": %.17g,\n" st.Sensitivity.s_total.Sensitivity.sigma;
+      p "      \"sigma_total_inter\": %.17g,\n"
+        st.Sensitivity.s_total.Sensitivity.sigma_inter;
+      p "      \"sigma_total_intra\": %.17g\n"
+        st.Sensitivity.s_total.Sensitivity.sigma_intra;
       p "    }%s\n" (if i = n - 1 then "" else ","))
     rows;
   p "  ]\n";
@@ -187,11 +233,49 @@ let test_suite_matches_golden () =
         r.Suite.shift_percent)
     chunks
 
+let test_sigmas_match_golden () =
+  let chunks = circuit_chunks (read_fixture ()) in
+  let sigs = Lazy.force sigma_runs in
+  Alcotest.(check int) "one sigma result per fixture entry"
+    (List.length chunks) (Array.length sigs);
+  List.iteri
+    (fun i chunk ->
+      let st = sigs.(i).Sensitivity.loaded in
+      let label = str_field chunk "label" in
+      check_close label "sigma isub" (num_field chunk "sigma_isub")
+        st.Sensitivity.s_isub.Sensitivity.sigma;
+      check_close label "sigma igate" (num_field chunk "sigma_igate")
+        st.Sensitivity.s_igate.Sensitivity.sigma;
+      check_close label "sigma ibtbt" (num_field chunk "sigma_ibtbt")
+        st.Sensitivity.s_ibtbt.Sensitivity.sigma;
+      check_close label "sigma total" (num_field chunk "sigma_total")
+        st.Sensitivity.s_total.Sensitivity.sigma;
+      check_close label "sigma total inter" (num_field chunk "sigma_total_inter")
+        st.Sensitivity.s_total.Sensitivity.sigma_inter;
+      check_close label "sigma total intra" (num_field chunk "sigma_total_intra")
+        st.Sensitivity.s_total.Sensitivity.sigma_intra)
+    chunks
+
+(* The LEAKAGE_GOLDEN_WRITE path, exercised without the env var: re-emit
+   the fixture from the live run and demand byte-identity with the checked
+   in file. Catches a stale corpus, a format drift, and any violation of
+   the append-only schema in one comparison. *)
+let test_regen_is_byte_identical () =
+  let tmp = "golden_regen_tmp.json" in
+  let oc = open_out tmp in
+  emit oc (Lazy.force runs) (Lazy.force sigma_runs);
+  close_out oc;
+  let ic = open_in tmp in
+  let fresh = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove tmp;
+  Alcotest.(check string) "regenerated fixture" (read_fixture ()) fresh
+
 let () =
   match Sys.getenv_opt "LEAKAGE_GOLDEN_WRITE" with
   | Some path ->
     let oc = open_out path in
-    emit oc (Lazy.force runs);
+    emit oc (Lazy.force runs) (Lazy.force sigma_runs);
     close_out oc;
     Printf.printf "wrote %s (%d circuits)\n" path (Array.length (Lazy.force runs))
   | None ->
@@ -202,5 +286,9 @@ let () =
             Alcotest.test_case "fixture settings" `Quick test_fixture_settings;
             Alcotest.test_case "totals match golden corpus" `Quick
               test_suite_matches_golden;
+            Alcotest.test_case "sigmas match golden corpus" `Quick
+              test_sigmas_match_golden;
+            Alcotest.test_case "regen path is byte-identical" `Quick
+              test_regen_is_byte_identical;
           ] );
       ]
