@@ -35,6 +35,8 @@ module Stats = Leakage_numeric.Stats
 module Pool = Leakage_parallel.Pool
 module Telemetry = Leakage_telemetry.Telemetry
 module Trace = Leakage_telemetry.Trace
+module Tlog = Leakage_telemetry.Log
+module Top_view = Leakage_server.Top_view
 
 let na = Physics.amps_to_nanoamps
 
@@ -917,7 +919,8 @@ let port_arg =
        & info [ "port" ] ~docv:"N" ~doc:"Loopback TCP port.")
 
 let serve_cmd =
-  let run socket port executors quota max_sessions state_dir jobs =
+  let run socket port http_port executors quota max_sessions state_dir jobs
+      log_file log_level slow_ms =
     let socket =
       match socket with
       | Some s -> s
@@ -925,22 +928,39 @@ let serve_cmd =
     in
     (* the metrics op answers from the live telemetry registry *)
     Telemetry.set_enabled true;
+    (match log_file with
+     | None -> ()
+     | Some path ->
+       let level =
+         match Tlog.level_of_string log_level with
+         | Some l -> l
+         | None -> failwith ("unknown log level " ^ log_level)
+       in
+       if path = "-" then Tlog.enable ~level stderr
+       else Tlog.enable_file ~level path);
     (* a client hanging up mid-reply must not kill the daemon *)
     ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+    let slow_us =
+      match slow_ms with Some ms -> ms *. 1000.0 | None -> infinity
+    in
     let server =
-      Server.create ?port ~executors
+      Server.create ?port ?http_port ~executors
         ?jobs:(if jobs <= 0 then None else Some jobs)
-        ~quota ~max_sessions ?state_dir ~socket ()
+        ~quota ~max_sessions ?state_dir ~version:"1.0.0" ~slow_us ~socket ()
     in
     let stop _ = Server.request_stop server in
     ignore (Sys.signal Sys.sigint (Sys.Signal_handle stop));
     ignore (Sys.signal Sys.sigterm (Sys.Signal_handle stop));
-    Format.printf "leakctl serve: listening on %s%s@." socket
+    Format.printf "leakctl serve: listening on %s%s%s@." socket
       (match port with
        | Some p -> Printf.sprintf " and 127.0.0.1:%d" p
+       | None -> "")
+      (match Server.http_port server with
+       | Some p -> Printf.sprintf ", metrics on http://127.0.0.1:%d/metrics" p
        | None -> "");
     Format.print_flush ();
     Server.run server;
+    Tlog.disable ();
     Format.printf "leakctl serve: drained, checkpoints flushed, stopped@."
   in
   let executors =
@@ -966,15 +986,40 @@ let serve_cmd =
                    from here on the next open. Without it nothing survives \
                    eviction or a restart.")
   in
+  let http_port =
+    Arg.(value & opt (some int) None
+         & info [ "http-port" ] ~docv:"N"
+             ~doc:"Loopback HTTP sidecar for observability: GET /metrics \
+                   (Prometheus exposition), GET /healthz (drain state). 0 \
+                   picks an ephemeral port, printed at startup.")
+  in
+  let log_file =
+    Arg.(value & opt (some string) None
+         & info [ "log" ] ~docv:"FILE"
+             ~doc:"Structured JSONL event log (one JSON object per line, \
+                   request ids included); $(b,-) logs to stderr.")
+  in
+  let log_level =
+    Arg.(value & opt string "info"
+         & info [ "log-level" ] ~docv:"LEVEL"
+             ~doc:"Minimum level for --log: debug, info, warn, error.")
+  in
+  let slow_ms =
+    Arg.(value & opt (some float) None
+         & info [ "slow-ms" ] ~docv:"MS"
+             ~doc:"Log a request.slow event for requests slower than \
+                   $(i,MS) milliseconds.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the estimation daemon: warm incremental sessions keyed by \
              netlist digest behind a binary protocol on a Unix-domain socket \
-             (and optionally a loopback TCP port). SIGINT/SIGTERM shut down \
-             gracefully: drain queued work, flush checkpoints, close \
-             sockets.")
-    Term.(const run $ socket_arg $ port_arg $ executors $ quota
-          $ max_sessions $ state_dir $ jobs_arg)
+             (and optionally a loopback TCP port), with an optional HTTP \
+             observability sidecar. SIGINT/SIGTERM shut down gracefully: \
+             drain queued work, flush checkpoints, close sockets.")
+    Term.(const run $ socket_arg $ port_arg $ http_port $ executors $ quota
+          $ max_sessions $ state_dir $ jobs_arg $ log_file $ log_level
+          $ slow_ms)
 
 (* --------------------------------------------------------------- client *)
 
@@ -987,7 +1032,7 @@ let client_cmd =
         conv (String.sub s (i + 1) (String.length s - i - 1)) )
   in
   let run socket port op session tenant device temp pattern circuit bench
-      resizes retypes sets refresh ckpt =
+      resizes retypes sets refresh ckpt text =
     let client =
       match socket, port with
       | Some path, _ -> Sclient.connect_unix path
@@ -1088,8 +1133,18 @@ let client_cmd =
         Sclient.close_session client ~session:(sid ());
         Format.printf "closed@."
       | "metrics" ->
-        print_string (Sclient.metrics client);
-        print_newline ()
+        if text then begin
+          let r = Sclient.metrics_snapshot client in
+          Format.printf "daemon %s, up %.1fs@." r.Sclient.version
+            r.Sclient.uptime_s;
+          Format.printf "%a@?" Telemetry.Snapshot.pp r.Sclient.snapshot
+        end
+        else begin
+          (* raw snapshot JSON; keep the stream newline-terminated so
+             shell pipelines and JSONL consumers see one full line *)
+          print_string (Sclient.metrics client);
+          print_newline ()
+        end
       | "shutdown" ->
         Sclient.shutdown_server client;
         Format.printf "server draining@."
@@ -1150,6 +1205,13 @@ let client_cmd =
     Arg.(value & opt (some int) None
          & info [ "ckpt" ] ~docv:"N" ~doc:"Checkpoint id for rollback.")
   in
+  let text =
+    Arg.(value & flag
+         & info [ "text" ]
+             ~doc:"Render $(b,metrics) as the human-readable report \
+                   (counters, gauges, histogram summaries) instead of raw \
+                   JSON.")
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:"Talk to a running $(b,leakctl serve) daemon: open a warm \
@@ -1157,7 +1219,66 @@ let client_cmd =
              checkpoint/rollback, fetch metrics, or shut the daemon down.")
     Term.(const run $ socket_arg $ port_arg $ op $ session $ tenant $ device
           $ temp_arg $ pattern $ circuit_arg $ bench_file_arg $ resize
-          $ retype $ set_input $ refresh $ ckpt)
+          $ retype $ set_input $ refresh $ ckpt $ text)
+
+(* ------------------------------------------------------------------ top *)
+
+let top_cmd =
+  let run socket port interval frames no_clear =
+    if interval <= 0.0 then failwith "--interval must be positive";
+    let connect () =
+      match socket, port with
+      | Some path, _ -> Sclient.connect_unix path
+      | None, Some p -> Sclient.connect_tcp p
+      | None, None -> failwith "--socket PATH or --port N is required"
+    in
+    let client = connect () in
+    Fun.protect ~finally:(fun () -> Sclient.close client) @@ fun () ->
+    let poll () = Sclient.metrics_snapshot client in
+    let older = ref (poll ()).Sclient.snapshot in
+    let shown = ref 0 in
+    (try
+       while frames = 0 || !shown < frames do
+         Unix.sleepf interval;
+         let r = poll () in
+         let view =
+           Top_view.make ~uptime_s:r.Sclient.uptime_s
+             ~version:r.Sclient.version ~newer:r.Sclient.snapshot
+             ~older:!older
+         in
+         older := r.Sclient.snapshot;
+         if not no_clear then print_string "\027[2J\027[H";
+         Format.printf "%a@?" Top_view.pp view;
+         incr shown
+       done
+     with Sclient.Server_error (code, msg) ->
+       failwith
+         (Printf.sprintf "server error (%s): %s"
+            (Sproto.error_code_name code) msg))
+  in
+  let interval =
+    Arg.(value & opt float 2.0
+         & info [ "interval" ] ~docv:"S"
+             ~doc:"Seconds between polls (the rate window).")
+  in
+  let frames =
+    Arg.(value & opt int 0
+         & info [ "frames" ] ~docv:"N"
+             ~doc:"Render N frames and exit; 0 runs until interrupted.")
+  in
+  let no_clear =
+    Arg.(value & flag
+         & info [ "no-clear" ]
+             ~doc:"Append frames instead of clearing the screen (for \
+                   logging or piping).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live daemon view: poll a running $(b,leakctl serve) and render \
+             request rates, per-op p50/p99 latency, per-tenant quota \
+             pressure, session churn, and runtime gauges from snapshot \
+             deltas.")
+    Term.(const run $ socket_arg $ port_arg $ interval $ frames $ no_clear)
 
 (* ------------------------------------------------------------ telemetry *)
 
@@ -1253,7 +1374,7 @@ let () =
         estimate_cmd; characterize_cmd;
         sweep_cmd; mc_cmd; suite_cmd; stat_cmd; mtcmos_cmd; thermal_cmd;
         dualvth_cmd; prob_cmd; corners_cmd; vectors_cmd; incr_cmd;
-        serve_cmd; client_cmd ]
+        serve_cmd; client_cmd; top_cmd ]
   in
   (* Expected failures (bad netlist file, bad usage, missing path) get one
      clean stderr line and a distinct exit status, not a backtrace;

@@ -125,6 +125,8 @@ let create ?jobs () =
 
 let jobs t = t.n_lanes
 
+let busy t = t.busy
+
 let shutdown t =
   Mutex.lock t.mutex;
   let was_stopped = t.stop in

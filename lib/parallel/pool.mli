@@ -44,6 +44,11 @@ val create : ?jobs:int -> unit -> t
 val jobs : t -> int
 (** Total parallel lanes (workers + the calling domain). *)
 
+val busy : t -> bool
+(** [true] while a parallel region is in flight. A racy, unsynchronized
+    read — meant for occupancy gauges and diagnostics, never for control
+    flow (the region may end the instant after the read). *)
+
 val shutdown : t -> unit
 (** Stop and join the worker domains. Idempotent. A shut-down pool is still
     safe to pass to {!run}/{!map}: with no workers left to wake, every

@@ -86,6 +86,18 @@ let metrics t =
     | Protocol.Metrics_report json -> json
     | _ -> unexpected "metrics")
 
+type snapshot_report = {
+  uptime_s : float;
+  version : string;
+  snapshot : Leakage_telemetry.Telemetry.Snapshot.t;
+}
+
+let metrics_snapshot t =
+  ok t Protocol.Metrics_snapshot (function
+    | Protocol.Metrics_snapshot_report { uptime_s; version; snapshot } ->
+      { uptime_s; version; snapshot }
+    | _ -> unexpected "metrics_snapshot")
+
 let shutdown_server t =
   ok t Protocol.Shutdown (function
     | Protocol.Shutdown_ack -> ()

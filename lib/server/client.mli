@@ -77,7 +77,17 @@ val rollback : t -> session:int -> checkpoint:int -> unit
 val close_session : t -> session:int -> unit
 
 val metrics : t -> string
-(** The server's {!Leakage_telemetry.Telemetry.Snapshot} as JSON. *)
+(** The server's {!Leakage_telemetry.Telemetry.Snapshot} as JSON (with an
+    uptime/version [meta] block). *)
+
+type snapshot_report = {
+  uptime_s : float;
+  version : string;
+  snapshot : Leakage_telemetry.Telemetry.Snapshot.t;
+}
+
+val metrics_snapshot : t -> snapshot_report
+(** The full typed snapshot — what [leakctl top] diffs between polls. *)
 
 val shutdown_server : t -> unit
 (** Ask the server to drain and exit; returns once it acknowledges. *)

@@ -1,0 +1,107 @@
+(* Minimal read-only HTTP/1.1 responder for the daemon's observability
+   sidecar. Deliberately tiny: GET only, no keep-alive, no chunking, no
+   TLS — just enough for a Prometheus scraper or curl against /metrics
+   and /healthz. Anything beyond that 405s or 404s. *)
+
+type response = {
+  status : int;
+  content_type : string;
+  body : string;
+}
+
+let response ?(content_type = "text/plain; charset=utf-8") status body =
+  { status; content_type; body }
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 503 -> "Service Unavailable"
+  | _ -> "Error"
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then begin
+      let w = Unix.write_substring fd s off (n - off) in
+      if w > 0 then go (off + w)
+    end
+  in
+  go 0
+
+let write_response fd { status; content_type; body } =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+       Connection: close\r\n\r\n"
+      status (status_text status) content_type (String.length body)
+  in
+  write_all fd (head ^ body)
+
+(* Read until the blank line ending the header block (requests here have
+   no bodies — GETs from scrapers), bounded so a hostile peer cannot make
+   us buffer forever. *)
+let max_head = 16 * 1024
+
+let read_head fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    if Buffer.length buf > max_head then None
+    else begin
+      let seen = Buffer.contents buf in
+      let have_terminator =
+        let rec find i =
+          i + 3 < String.length seen
+          && (String.sub seen i 4 = "\r\n\r\n" || find (i + 1))
+        in
+        String.length seen >= 4 && find 0
+      in
+      if have_terminator then Some seen
+      else
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    end
+  in
+  go ()
+
+let parse_request_line head =
+  match String.index_opt head '\r' with
+  | None -> None
+  | Some eol -> (
+    let line = String.sub head 0 eol in
+    match String.split_on_char ' ' line with
+    | [ meth; target; _version ] ->
+      (* strip any query string: routes here take no parameters *)
+      let path =
+        match String.index_opt target '?' with
+        | Some q -> String.sub target 0 q
+        | None -> target
+      in
+      Some (meth, path)
+    | _ -> None)
+
+let handle fd route =
+  (try
+     match read_head fd with
+     | None -> ()
+     | Some head -> (
+       match parse_request_line head with
+       | None -> write_response fd (response 400 "malformed request\n")
+       | Some (meth, path) ->
+         if meth <> "GET" then
+           write_response fd (response 405 "only GET is served here\n")
+         else
+           let resp =
+             match route path with
+             | Some r -> r
+             | None -> response 404 "unknown path\n"
+           in
+           write_response fd resp)
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()

@@ -1,4 +1,5 @@
 module Report = Leakage_spice.Leakage_report
+module Tm = Leakage_telemetry.Telemetry
 module Gate = Leakage_circuit.Gate
 module Edit = Leakage_incremental.Edit
 module Params = Leakage_device.Params
@@ -54,6 +55,7 @@ type request =
   | Rollback of { session : int; checkpoint : int }
   | Close of { session : int }
   | Metrics
+  | Metrics_snapshot
   | Shutdown
 
 type response =
@@ -74,6 +76,11 @@ type response =
   | Rolled_back of { session : int }
   | Closed of { session : int }
   | Metrics_report of string
+  | Metrics_snapshot_report of {
+      uptime_s : float;
+      version : string;
+      snapshot : Tm.Snapshot.t;
+    }
   | Shutdown_ack
   | Error of { code : error_code; message : string }
 
@@ -90,6 +97,7 @@ let op_rollback = 0x06
 let op_close = 0x07
 let op_metrics = 0x08
 let op_shutdown = 0x09
+let op_metrics_snapshot = 0x0a
 
 let op_pong = 0x81
 let op_session_opened = 0x82
@@ -100,6 +108,7 @@ let op_rolled_back = 0x86
 let op_closed = 0x87
 let op_metrics_report = 0x88
 let op_shutdown_ack = 0x89
+let op_metrics_snapshot_report = 0x8a
 let op_error = 0xff
 
 (* -------------------------------------------------------- field codecs *)
@@ -185,6 +194,100 @@ let get_components r =
   let ibtbt = Wire.get_f64 r in
   { Report.isub; igate; ibtbt }
 
+(* Telemetry snapshots travel in full so clients (leakctl top) can diff
+   and quantile them without a JSON parser. Counts ride as u64 — a
+   long-lived daemon outgrows u32 counters. Buckets are sparse-encoded:
+   most of the 64 power-of-two buckets of any real latency histogram are
+   empty. *)
+
+let put_list b xs put =
+  Wire.put_u32 b (List.length xs);
+  List.iter (put b) xs
+
+let get_list r get = List.init (Wire.get_u32 r) (fun _ -> get r)
+
+let put_snapshot b snap =
+  Wire.put_f64 b (Tm.Snapshot.taken_at snap);
+  put_list b (Tm.Snapshot.counter_entries snap) (fun b (name, total, per) ->
+      Wire.put_string b name;
+      Wire.put_u64 b (Int64.of_int total);
+      put_list b per (fun b (d, v) ->
+          Wire.put_u32 b d;
+          Wire.put_u64 b (Int64.of_int v)));
+  put_list b (Tm.Snapshot.gauge_entries snap) (fun b (name, v) ->
+      Wire.put_string b name;
+      Wire.put_f64 b v);
+  put_list b (Tm.Snapshot.histogram_entries snap)
+    (fun b (name, (h : Tm.Snapshot.hist)) ->
+      Wire.put_string b name;
+      Wire.put_u64 b (Int64.of_int h.count);
+      Wire.put_f64 b h.sum;
+      Wire.put_f64 b h.min;
+      Wire.put_f64 b h.max;
+      let nz = ref [] in
+      Array.iteri (fun i n -> if n > 0 then nz := (i, n) :: !nz) h.buckets;
+      put_list b (List.rev !nz) (fun b (i, n) ->
+          Wire.put_u8 b i;
+          Wire.put_u64 b (Int64.of_int n)));
+  put_list b (Tm.Snapshot.meta_entries snap) (fun b (full, (base, labels)) ->
+      Wire.put_string b full;
+      Wire.put_string b base;
+      put_list b labels (fun b (k, v) ->
+          Wire.put_string b k;
+          Wire.put_string b v))
+
+let get_snapshot r =
+  let taken_at = Wire.get_f64 r in
+  let counters =
+    get_list r (fun r ->
+        let name = Wire.get_string r in
+        let total = Int64.to_int (Wire.get_u64 r) in
+        let per =
+          get_list r (fun r ->
+              let d = Wire.get_u32 r in
+              (d, Int64.to_int (Wire.get_u64 r)))
+        in
+        (name, total, per))
+  in
+  let gauges =
+    get_list r (fun r ->
+        let name = Wire.get_string r in
+        (name, Wire.get_f64 r))
+  in
+  let histograms =
+    get_list r (fun r ->
+        let name = Wire.get_string r in
+        let count = Int64.to_int (Wire.get_u64 r) in
+        let sum = Wire.get_f64 r in
+        let min = Wire.get_f64 r in
+        let max = Wire.get_f64 r in
+        let buckets = Array.make Tm.Snapshot.n_buckets 0 in
+        let nz =
+          get_list r (fun r ->
+              let i = Wire.get_u8 r in
+              (i, Int64.to_int (Wire.get_u64 r)))
+        in
+        List.iter
+          (fun (i, n) ->
+            if i >= Tm.Snapshot.n_buckets then
+              raise (Wire.Bad_frame (Printf.sprintf "bucket index %d" i));
+            buckets.(i) <- n)
+          nz;
+        (name, { Tm.Snapshot.count; sum; min; max; buckets }))
+  in
+  let meta =
+    get_list r (fun r ->
+        let full = Wire.get_string r in
+        let base = Wire.get_string r in
+        let labels =
+          get_list r (fun r ->
+              let k = Wire.get_string r in
+              (k, Wire.get_string r))
+        in
+        (full, (base, labels)))
+  in
+  Tm.Snapshot.make ~taken_at ~counters ~gauges ~histograms ~meta
+
 (* ------------------------------------------------------------ requests *)
 
 let frame op fill =
@@ -218,6 +321,7 @@ let encode_request = function
         Wire.put_u32 b checkpoint)
   | Close { session } -> frame op_close (fun b -> Wire.put_u32 b session)
   | Metrics -> frame op_metrics (fun _ -> ())
+  | Metrics_snapshot -> frame op_metrics_snapshot (fun _ -> ())
   | Shutdown -> frame op_shutdown (fun _ -> ())
 
 let decode_request { Wire.op; payload } =
@@ -249,6 +353,7 @@ let decode_request { Wire.op; payload } =
     end
     else if op = op_close then Close { session = Wire.get_u32 r }
     else if op = op_metrics then Metrics
+    else if op = op_metrics_snapshot then Metrics_snapshot
     else if op = op_shutdown then Shutdown
     else raise (Wire.Bad_frame (Printf.sprintf "request opcode 0x%02x" op))
   in
@@ -283,6 +388,11 @@ let encode_response = function
     frame op_rolled_back (fun b -> Wire.put_u32 b session)
   | Closed { session } -> frame op_closed (fun b -> Wire.put_u32 b session)
   | Metrics_report json -> frame op_metrics_report (fun b -> Wire.put_string b json)
+  | Metrics_snapshot_report { uptime_s; version; snapshot } ->
+    frame op_metrics_snapshot_report (fun b ->
+        Wire.put_f64 b uptime_s;
+        Wire.put_string b version;
+        put_snapshot b snapshot)
   | Shutdown_ack -> frame op_shutdown_ack (fun _ -> ())
   | Error { code; message } ->
     frame op_error (fun b ->
@@ -320,6 +430,12 @@ let decode_response { Wire.op; payload } =
     else if op = op_rolled_back then Rolled_back { session = Wire.get_u32 r }
     else if op = op_closed then Closed { session = Wire.get_u32 r }
     else if op = op_metrics_report then Metrics_report (Wire.get_string r)
+    else if op = op_metrics_snapshot_report then begin
+      let uptime_s = Wire.get_f64 r in
+      let version = Wire.get_string r in
+      let snapshot = get_snapshot r in
+      Metrics_snapshot_report { uptime_s; version; snapshot }
+    end
     else if op = op_shutdown_ack then Shutdown_ack
     else if op = op_error then begin
       let code = error_code_of_byte (Wire.get_u8 r) in
@@ -350,6 +466,18 @@ let device_of_name name =
   | "d25-jn" | "d25jn" -> Some Params.d25_jn
   | _ -> None
 
+let request_name = function
+  | Ping -> "ping"
+  | Open_session _ -> "open"
+  | Apply_batch _ -> "apply"
+  | Query _ -> "query"
+  | Checkpoint _ -> "checkpoint"
+  | Rollback _ -> "rollback"
+  | Close _ -> "close"
+  | Metrics -> "metrics"
+  | Metrics_snapshot -> "metrics-snapshot"
+  | Shutdown -> "shutdown"
+
 let pp_request ppf = function
   | Ping -> Format.fprintf ppf "ping"
   | Open_session { tenant; circuit; device; temp_c; _ } ->
@@ -366,4 +494,5 @@ let pp_request ppf = function
     Format.fprintf ppf "rollback session=%d to=%d" session checkpoint
   | Close { session } -> Format.fprintf ppf "close session=%d" session
   | Metrics -> Format.fprintf ppf "metrics"
+  | Metrics_snapshot -> Format.fprintf ppf "metrics-snapshot"
   | Shutdown -> Format.fprintf ppf "shutdown"

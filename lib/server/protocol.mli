@@ -66,6 +66,9 @@ type request =
   | Rollback of { session : int; checkpoint : int }
   | Close of { session : int }
   | Metrics
+  | Metrics_snapshot
+      (** the full typed snapshot plus uptime/version — what [leakctl top]
+          polls; [Metrics] stays the JSON form *)
   | Shutdown
 
 type response =
@@ -86,6 +89,11 @@ type response =
   | Rolled_back of { session : int }
   | Closed of { session : int }
   | Metrics_report of string  (** {!Leakage_telemetry.Telemetry.Snapshot} JSON *)
+  | Metrics_snapshot_report of {
+      uptime_s : float;
+      version : string;
+      snapshot : Leakage_telemetry.Telemetry.Snapshot.t;
+    }
   | Shutdown_ack
   | Error of { code : error_code; message : string }
 
@@ -102,6 +110,10 @@ val edit_to_incremental : edit -> Leakage_incremental.Edit.t
 
 val device_of_name : string -> Leakage_device.Params.t option
 (** The corner names [Open_session.device] accepts. *)
+
+val request_name : request -> string
+(** Short op label ([ping], [open], [apply], ...) — the [op] label of the
+    per-request metric families and log lines. *)
 
 val pp_request : Format.formatter -> request -> unit
 (** One-line summary (op name and key fields), for logs. *)

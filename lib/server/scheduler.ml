@@ -1,4 +1,5 @@
 module Tm = Leakage_telemetry.Telemetry
+module Log = Leakage_telemetry.Log
 
 let m_submitted = Tm.counter "serve.jobs_submitted"
 let m_run = Tm.counter "serve.jobs_run"
@@ -65,6 +66,23 @@ let create ?(executors = 2) ?(quota = 8) () =
 
 let executors t = Array.length t.execs
 
+let quota t = t.quota
+
+let queue_depth t =
+  Array.fold_left
+    (fun acc e ->
+      Mutex.lock e.mutex;
+      let n = Queue.length e.queue in
+      Mutex.unlock e.mutex;
+      acc + n)
+    0 t.execs
+
+let tenant_inflight t =
+  Mutex.lock t.tenants_mutex;
+  let pairs = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tenants [] in
+  Mutex.unlock t.tenants_mutex;
+  List.sort compare pairs
+
 (* FNV-1a over the key: stable across runs, so a session sticks to one
    executor (and that executor's warm library cache) for its whole life. *)
 let route t key =
@@ -94,8 +112,15 @@ let release t tenant =
   | None -> ());
   Mutex.unlock t.tenants_mutex
 
-let submit t ~key job =
+let submit t ?rid ~key job =
   if t.stopped then invalid_arg "Scheduler.submit: shut down";
+  (* the executor domain runs one job at a time, so setting the ambient
+     request id around the job tags every log line and span inside it *)
+  let job =
+    match rid with
+    | None -> job
+    | Some rid -> fun () -> Log.with_rid rid job
+  in
   let e = route t key in
   Mutex.lock e.mutex;
   if e.stopping then begin

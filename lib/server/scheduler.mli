@@ -29,6 +29,17 @@ val create : ?executors:int -> ?quota:int -> unit -> t
 
 val executors : t -> int
 
+val quota : t -> int
+(** The per-tenant in-flight cap this scheduler admits against. *)
+
+val queue_depth : t -> int
+(** Jobs queued (not yet running) across all executors, at this instant —
+    an occupancy gauge, racy by nature. *)
+
+val tenant_inflight : t -> (string * int) list
+(** Tenants with at least one request in flight and their counts, sorted
+    by tenant. *)
+
 val try_admit : t -> string -> bool
 (** [try_admit t tenant] reserves one in-flight slot for [tenant]; [false]
     when the tenant is at quota (nothing is reserved). Always pair a [true]
@@ -36,11 +47,14 @@ val try_admit : t -> string -> bool
 
 val release : t -> string -> unit
 
-val submit : t -> key:string -> (unit -> unit) -> unit
+val submit : t -> ?rid:string -> key:string -> (unit -> unit) -> unit
 (** Enqueue a job on the executor owning [key] (stable hash). Jobs on one
-    key run in submission order, one at a time. Raises [Invalid_argument]
-    after {!shutdown}. A job must not raise; exceptions escaping it are
-    caught and dropped after counting [serve.executor_job_errors]. *)
+    key run in submission order, one at a time. [rid] sets the executor
+    domain's ambient request id ({!Leakage_telemetry.Log.with_rid}) around
+    the job, so its log lines and spans carry the id. Raises
+    [Invalid_argument] after {!shutdown}. A job must not raise; exceptions
+    escaping it are caught and dropped after counting
+    [serve.executor_job_errors]. *)
 
 val shutdown : t -> unit
 (** Drain: executors finish every queued job, then stop and join. Idempotent. *)

@@ -7,9 +7,19 @@
     reads one {!Wire} frame, decodes the {!Protocol} request, and either
     answers inline (ping, metrics) or routes the job through the scheduler
     and waits for its reply. Per-request latency lands in the
-    [serve.open_us] / [serve.apply_us] / [serve.query_us] histograms, and the
-    [metrics] op returns the exact JSON snapshot [leakctl --metrics-json]
-    writes.
+    [serve.open_us] / [serve.apply_us] / [serve.query_us] histograms and the
+    labeled [serve.request_us{op,tenant}] family; the [metrics] op returns
+    the JSON snapshot [leakctl --metrics-json] writes plus an uptime/version
+    [meta] block, and [metrics-snapshot] the full typed snapshot.
+
+    Every request gets a daemon-unique request id ([c<conn>-<seq>]) that
+    tags its structured log lines ({!Leakage_telemetry.Log}), its executor
+    spans, and — above [slow_us] — a [request.slow] event. The optional
+    HTTP sidecar serves [GET /metrics] (Prometheus exposition) and
+    [GET /healthz] (drain state); a runtime sampler publishes GC / RSS /
+    fd / pool / session gauges while the daemon runs. All of it observes
+    and never steers: with telemetry on or off, wire replies are
+    bit-identical ([@obs-check] enforces this).
 
     Shutdown is graceful by construction: {!request_stop} (safe to call from
     a signal handler — it only flips an atomic and writes one byte to a
@@ -22,11 +32,15 @@ type t
 
 val create :
   ?port:int ->
+  ?http_port:int ->
   ?executors:int ->
   ?jobs:int ->
   ?quota:int ->
   ?max_sessions:int ->
   ?state_dir:string ->
+  ?version:string ->
+  ?slow_us:float ->
+  ?sample_interval:float ->
   socket:string ->
   unit ->
   t
@@ -36,7 +50,24 @@ val create :
     worker domains), [executors] the scheduler (default 2), [quota] the
     per-tenant in-flight cap (default 8), [max_sessions] the registry's
     live-session cap (default 8). Raises [Unix.Unix_error] when the socket
-    cannot be bound. *)
+    cannot be bound.
+
+    [http_port] additionally binds the read-only observability sidecar on
+    loopback ([0] picks an ephemeral port — read it back with
+    {!http_port}): [GET /metrics] answers the Prometheus exposition of a
+    live snapshot, [GET /healthz] a JSON health probe that turns [503
+    draining] the moment shutdown starts. [version] is echoed in metrics
+    replies and [/healthz] (default ["dev"]). Requests slower than
+    [slow_us] microseconds log a [request.slow] event (default [infinity]
+    — off). [sample_interval] paces the runtime-vitals sampler started by
+    {!run} when telemetry is enabled (default 1s). *)
+
+val http_port : t -> int option
+(** The sidecar's bound port ([None] without [http_port]); resolves an
+    ephemeral bind. *)
+
+val uptime_s : t -> float
+(** Seconds since {!create}. *)
 
 val run : t -> unit
 (** Accept and serve until {!request_stop}; performs the graceful shutdown

@@ -1,0 +1,436 @@
+(* Prometheus / OpenMetrics text exposition of telemetry snapshots, plus a
+   strict parser of the same format so tests and CI gates validate scrapes
+   with a real grammar instead of substring checks. *)
+
+(* ------------------------------------------------------------ rendering *)
+
+(* metric and label names: [a-zA-Z_:][a-zA-Z0-9_:]* — everything else
+   (dots in our metric names, dashes in label keys) becomes '_' *)
+let sanitize_name s =
+  if s = "" then "_"
+  else begin
+    let b = Bytes.create (String.length s) in
+    String.iteri
+      (fun i c ->
+        let ok =
+          (c >= 'a' && c <= 'z')
+          || (c >= 'A' && c <= 'Z')
+          || c = '_' || c = ':'
+          || (i > 0 && c >= '0' && c <= '9')
+        in
+        Bytes.set b i (if ok then c else '_'))
+      s;
+    Bytes.to_string b
+  end
+
+let escape_label_value v =
+  let b = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let render_labels buf labels =
+  match labels with
+  | [] -> ()
+  | _ ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (sanitize_name k);
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (escape_label_value v);
+        Buffer.add_char buf '"')
+      labels;
+    Buffer.add_char buf '}'
+
+let render_float f =
+  if f = infinity then "+Inf"
+  else if f = neg_infinity then "-Inf"
+  else if Float.is_nan f then "NaN"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let bucket_upper b = if b <= 0 then 1.0 else Float.ldexp 1.0 b
+
+(* group a snapshot section into families: sanitized base name ->
+   [(labels, payload)] in first-seen order *)
+let group snap entries =
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (name, payload) ->
+      let base, labels = Telemetry.Snapshot.base_and_labels snap name in
+      let base = sanitize_name base in
+      if not (Hashtbl.mem tbl base) then begin
+        order := base :: !order;
+        Hashtbl.replace tbl base []
+      end;
+      Hashtbl.replace tbl base ((labels, payload) :: Hashtbl.find tbl base))
+    entries;
+  List.rev_map (fun base -> (base, List.rev (Hashtbl.find tbl base))) !order
+
+let render snap =
+  let buf = Buffer.create 4096 in
+  let p fmt = Printf.bprintf buf fmt in
+  let counters =
+    Telemetry.Snapshot.counter_entries snap
+    |> List.filter_map (fun (name, total, _) ->
+           if total = 0 then None else Some (name, total))
+  in
+  List.iter
+    (fun (base, members) ->
+      (* counters get the _total suffix the format expects *)
+      let fam = base ^ "_total" in
+      p "# TYPE %s counter\n" fam;
+      List.iter
+        (fun (labels, total) ->
+          Buffer.add_string buf fam;
+          render_labels buf labels;
+          p " %d\n" total)
+        members)
+    (group snap counters);
+  List.iter
+    (fun (base, members) ->
+      p "# TYPE %s gauge\n" base;
+      List.iter
+        (fun (labels, v) ->
+          Buffer.add_string buf base;
+          render_labels buf labels;
+          p " %s\n" (render_float v))
+        members)
+    (group snap (Telemetry.Snapshot.gauge_entries snap));
+  let hists =
+    Telemetry.Snapshot.histogram_entries snap
+    |> List.filter (fun (_, h) -> h.Telemetry.Snapshot.count > 0)
+  in
+  List.iter
+    (fun (base, members) ->
+      p "# TYPE %s histogram\n" base;
+      List.iter
+        (fun (labels, (h : Telemetry.Snapshot.hist)) ->
+          let sample suffix labels value =
+            Buffer.add_string buf base;
+            Buffer.add_string buf suffix;
+            render_labels buf labels;
+            p " %s\n" value
+          in
+          let cum = ref 0 in
+          Array.iteri
+            (fun b n ->
+              cum := !cum + n;
+              (* elide empty trailing buckets but keep every boundary that
+                 has mass below it, so le stays cumulative and monotone *)
+              if n > 0 then
+                sample "_bucket"
+                  (labels @ [ ("le", render_float (bucket_upper b)) ])
+                  (string_of_int !cum))
+            h.buckets;
+          sample "_bucket"
+            (labels @ [ ("le", "+Inf") ])
+            (string_of_int h.count);
+          sample "_sum" labels (render_float h.sum);
+          sample "_count" labels (string_of_int h.count))
+        members)
+    (group snap hists);
+  Buffer.contents buf
+
+(* -------------------------------------------------------------- parsing *)
+
+type sample = {
+  name : string;
+  labels : (string * string) list;
+  value : float;
+}
+
+type family = {
+  fam_name : string;
+  fam_type : string; (* "counter" | "gauge" | "histogram" | "untyped" *)
+  samples : sample list;
+}
+
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+let parse_name ln s pos =
+  let n = String.length s in
+  let start = !pos in
+  while !pos < n && is_name_char s.[!pos] do incr pos done;
+  if !pos = start then fail ln "expected a metric/label name";
+  let c = s.[start] in
+  if c >= '0' && c <= '9' then fail ln "name starts with a digit";
+  String.sub s start (!pos - start)
+
+let parse_quoted ln s pos =
+  let n = String.length s in
+  if !pos >= n || s.[!pos] <> '"' then fail ln "expected '\"'";
+  incr pos;
+  let b = Buffer.create 16 in
+  let rec go () =
+    if !pos >= n then fail ln "unterminated label value"
+    else
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+        if !pos + 1 >= n then fail ln "dangling backslash";
+        (match s.[!pos + 1] with
+         | '\\' -> Buffer.add_char b '\\'
+         | '"' -> Buffer.add_char b '"'
+         | 'n' -> Buffer.add_char b '\n'
+         | c -> fail ln (Printf.sprintf "bad escape '\\%c'" c));
+        pos := !pos + 2;
+        go ()
+      | '\n' -> fail ln "newline in label value"
+      | c ->
+        Buffer.add_char b c;
+        incr pos;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let skip_ws s pos =
+  let n = String.length s in
+  while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t') do incr pos done
+
+let parse_value ln s pos =
+  let n = String.length s in
+  skip_ws s pos;
+  let start = !pos in
+  while !pos < n && s.[!pos] <> ' ' && s.[!pos] <> '\t' do incr pos done;
+  if !pos = start then fail ln "missing sample value";
+  let tok = String.sub s start (!pos - start) in
+  match tok with
+  | "+Inf" | "Inf" -> infinity
+  | "-Inf" -> neg_infinity
+  | "NaN" -> nan
+  | tok -> (
+    match float_of_string_opt tok with
+    | Some v -> v
+    | None -> fail ln (Printf.sprintf "bad sample value %S" tok))
+
+let parse_sample ln line =
+  let pos = ref 0 in
+  let name = parse_name ln line pos in
+  let labels =
+    if !pos < String.length line && line.[!pos] = '{' then begin
+      incr pos;
+      let acc = ref [] in
+      let rec go () =
+        skip_ws line pos;
+        if !pos < String.length line && line.[!pos] = '}' then incr pos
+        else begin
+          let k = parse_name ln line pos in
+          if !pos >= String.length line || line.[!pos] <> '=' then
+            fail ln "expected '=' after label name";
+          incr pos;
+          let v = parse_quoted ln line pos in
+          acc := (k, v) :: !acc;
+          skip_ws line pos;
+          if !pos < String.length line && line.[!pos] = ',' then begin
+            incr pos;
+            go ()
+          end
+          else if !pos < String.length line && line.[!pos] = '}' then
+            incr pos
+          else fail ln "expected ',' or '}' in label set"
+        end
+      in
+      go ();
+      List.rev !acc
+    end
+    else []
+  in
+  let value = parse_value ln line pos in
+  skip_ws line pos;
+  (* optional timestamp: an integer; anything else is a format error *)
+  if !pos < String.length line then begin
+    let rest = String.sub line !pos (String.length line - !pos) in
+    let rest = String.trim rest in
+    if rest <> "" && int_of_string_opt rest = None then
+      fail ln (Printf.sprintf "trailing garbage %S" rest)
+  end;
+  { name; labels; value }
+
+(* base family of a sample name: strip histogram/counter suffixes *)
+let strip_suffix name =
+  let try_strip suf =
+    let ls = String.length suf and ln = String.length name in
+    if ln > ls && String.sub name (ln - ls) ls = suf then
+      Some (String.sub name 0 (ln - ls))
+    else None
+  in
+  match try_strip "_bucket" with
+  | Some b -> b
+  | None -> (
+    match try_strip "_sum" with
+    | Some b -> b
+    | None -> (
+      match try_strip "_count" with
+      | Some b -> b
+      | None -> (
+        match try_strip "_total" with Some b -> b | None -> name)))
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let order = ref [] in
+  let tbl : (string, string * sample list) Hashtbl.t = Hashtbl.create 16 in
+  let add_family name typ =
+    if not (Hashtbl.mem tbl name) then begin
+      order := name :: !order;
+      Hashtbl.replace tbl name (typ, [])
+    end
+    else begin
+      let old_typ, samples = Hashtbl.find tbl name in
+      let typ = if old_typ = "untyped" then typ else old_typ in
+      Hashtbl.replace tbl name (typ, samples)
+    end
+  in
+  List.iteri
+    (fun i line ->
+      let ln = i + 1 in
+      let line =
+        (* tolerate \r\n scrapes *)
+        let n = String.length line in
+        if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1)
+        else line
+      in
+      if line = "" then ()
+      else if String.length line > 0 && line.[0] = '#' then begin
+        match String.split_on_char ' ' line with
+        | "#" :: "TYPE" :: name :: [ typ ] ->
+          if
+            not
+              (List.mem typ
+                 [ "counter"; "gauge"; "histogram"; "summary"; "untyped" ])
+          then fail ln (Printf.sprintf "unknown TYPE %S" typ);
+          add_family name typ
+        | "#" :: "TYPE" :: _ -> fail ln "malformed TYPE line"
+        | "#" :: "HELP" :: name :: _ -> add_family name "untyped"
+        | _ -> () (* plain comment *)
+      end
+      else begin
+        let s = parse_sample ln line in
+        let fam = strip_suffix s.name in
+        (* a bare gauge has no suffix to strip; attach to the exact name
+           when that family was TYPEd, else to the stripped base *)
+        let fam = if Hashtbl.mem tbl s.name then s.name else fam in
+        add_family fam "untyped";
+        let typ, samples = Hashtbl.find tbl fam in
+        Hashtbl.replace tbl fam (typ, s :: samples)
+      end)
+    lines;
+  (match String.length text with
+   | 0 -> ()
+   | n when text.[n - 1] <> '\n' -> fail (List.length lines) "missing trailing newline"
+   | _ -> ());
+  List.rev_map
+    (fun name ->
+      let typ, samples = Hashtbl.find tbl name in
+      { fam_name = name; fam_type = typ; samples = List.rev samples })
+    !order
+
+(* ----------------------------------------------------------- validation *)
+
+let labels_sans_le labels = List.remove_assoc "le" labels
+
+let validate_histograms families =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  List.iter
+    (fun fam ->
+      if fam.fam_type = "histogram" then begin
+        (* split samples per label set (excluding le) *)
+        let series = Hashtbl.create 4 in
+        let keys = ref [] in
+        List.iter
+          (fun s ->
+            let key =
+              List.sort compare (labels_sans_le s.labels)
+              |> List.map (fun (k, v) -> k ^ "=" ^ v)
+              |> String.concat ","
+            in
+            if not (Hashtbl.mem series key) then keys := key :: !keys;
+            Hashtbl.replace series key
+              (s
+              :: (try Hashtbl.find series key with Not_found -> [])))
+          fam.samples;
+        List.iter
+          (fun key ->
+            let samples = List.rev (Hashtbl.find series key) in
+            let buckets =
+              List.filter_map
+                (fun s ->
+                  if s.name = fam.fam_name ^ "_bucket" then
+                    match List.assoc_opt "le" s.labels with
+                    | None ->
+                      err "%s{%s}: _bucket without le" fam.fam_name key;
+                      None
+                    | Some le ->
+                      let edge =
+                        if le = "+Inf" then infinity
+                        else Option.value (float_of_string_opt le) ~default:nan
+                      in
+                      if Float.is_nan edge then
+                        err "%s{%s}: bad le %S" fam.fam_name key le;
+                      Some (edge, s.value)
+                  else None)
+                samples
+            in
+            let count =
+              List.find_opt (fun s -> s.name = fam.fam_name ^ "_count") samples
+            in
+            (match buckets with
+             | [] -> err "%s{%s}: histogram with no _bucket samples" fam.fam_name key
+             | _ ->
+               (* le must be strictly increasing, counts non-decreasing *)
+               let rec walk = function
+                 | (e1, c1) :: ((e2, c2) :: _ as rest) ->
+                   if not (e1 < e2) then
+                     err "%s{%s}: le not increasing (%g then %g)" fam.fam_name
+                       key e1 e2;
+                   if c2 < c1 then
+                     err "%s{%s}: bucket counts not cumulative (%g then %g)"
+                       fam.fam_name key c1 c2;
+                   walk rest
+                 | _ -> ()
+               in
+               walk buckets;
+               let last_edge, last_count =
+                 List.nth buckets (List.length buckets - 1)
+               in
+               if last_edge <> infinity then
+                 err "%s{%s}: missing le=\"+Inf\" bucket" fam.fam_name key;
+               (match count with
+                | None -> err "%s{%s}: missing _count" fam.fam_name key
+                | Some c ->
+                  if c.value <> last_count then
+                    err "%s{%s}: _count %g <> +Inf bucket %g" fam.fam_name key
+                      c.value last_count);
+               if
+                 not
+                   (List.exists
+                      (fun s -> s.name = fam.fam_name ^ "_sum")
+                      samples)
+               then err "%s{%s}: missing _sum" fam.fam_name key))
+          (List.rev !keys)
+      end)
+    families;
+  List.rev !errors
+
+let find families name =
+  List.find_opt (fun f -> f.fam_name = name) families

@@ -1,0 +1,93 @@
+(* Runtime sampler: a ticker domain that periodically publishes process
+   vitals as gauges — GC statistics, resident set size, open descriptor
+   count — plus whatever process-specific levels the caller's [extra]
+   callback sets (pool occupancy, session registry depth, queue depth).
+
+   The ticker sleeps in Unix.select on a self-pipe so [stop] interrupts a
+   sleep immediately instead of waiting out the interval. Gc.quick_stat is
+   used over Gc.stat: it does not force a full heap walk, so sampling at
+   sub-second intervals stays invisible to the workload. *)
+
+let g_minor_words = Telemetry.gauge "runtime.gc.minor_words"
+let g_major_words = Telemetry.gauge "runtime.gc.major_words"
+let g_promoted_words = Telemetry.gauge "runtime.gc.promoted_words"
+let g_heap_words = Telemetry.gauge "runtime.gc.heap_words"
+let g_minor_collections = Telemetry.gauge "runtime.gc.minor_collections"
+let g_major_collections = Telemetry.gauge "runtime.gc.major_collections"
+let g_compactions = Telemetry.gauge "runtime.gc.compactions"
+let g_rss_bytes = Telemetry.gauge "runtime.rss_bytes"
+let g_open_fds = Telemetry.gauge "runtime.open_fds"
+
+(* VmRSS line of /proc/self/status, in bytes; 0.0 where /proc is absent *)
+let rss_bytes () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0.0
+  | ic ->
+    let rec scan () =
+      match input_line ic with
+      | exception End_of_file -> 0.0
+      | line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmRSS:" then begin
+          let kb =
+            String.sub line 6 (String.length line - 6)
+            |> String.trim
+            |> String.split_on_char ' '
+            |> List.hd
+            |> float_of_string_opt
+            |> Option.value ~default:0.0
+          in
+          kb *. 1024.0
+        end
+        else scan ()
+    in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) scan
+
+let open_fds () =
+  match Sys.readdir "/proc/self/fd" with
+  | exception Sys_error _ -> 0.0
+  | entries -> float_of_int (Array.length entries)
+
+let sample_once extra =
+  let s = Gc.quick_stat () in
+  Telemetry.set_gauge g_minor_words s.Gc.minor_words;
+  Telemetry.set_gauge g_major_words s.Gc.major_words;
+  Telemetry.set_gauge g_promoted_words s.Gc.promoted_words;
+  Telemetry.set_gauge g_heap_words (float_of_int s.Gc.heap_words);
+  Telemetry.set_gauge g_minor_collections (float_of_int s.Gc.minor_collections);
+  Telemetry.set_gauge g_major_collections (float_of_int s.Gc.major_collections);
+  Telemetry.set_gauge g_compactions (float_of_int s.Gc.compactions);
+  Telemetry.set_gauge g_rss_bytes (rss_bytes ());
+  Telemetry.set_gauge g_open_fds (open_fds ());
+  match extra with Some f -> f () | None -> ()
+
+type t = {
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  domain : unit Domain.t;
+}
+
+let start ?(interval = 1.0) ?extra () =
+  let interval = Float.max 0.01 interval in
+  let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+  sample_once extra;
+  let domain =
+    Domain.spawn (fun () ->
+        let buf = Bytes.create 1 in
+        let rec loop () =
+          match Unix.select [ stop_r ] [] [] interval with
+          | [], _, _ ->
+            sample_once extra;
+            loop ()
+          | _ :: _, _, _ -> ignore (Unix.read stop_r buf 0 1)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+        in
+        loop ())
+  in
+  { stop_r; stop_w; domain }
+
+let stop t =
+  (try ignore (Unix.write_substring t.stop_w "x" 0 1)
+   with Unix.Unix_error _ -> ());
+  Domain.join t.domain;
+  Unix.close t.stop_r;
+  Unix.close t.stop_w

@@ -20,6 +20,7 @@ module Library = Leakage_core.Library
 module Estimator = Leakage_core.Estimator
 module Incremental = Leakage_incremental.Incremental
 module Edit = Leakage_incremental.Edit
+module Telemetry = Leakage_telemetry.Telemetry
 
 let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
 
@@ -143,6 +144,7 @@ let gen_request =
       [
         return Protocol.Ping;
         return Protocol.Metrics;
+        return Protocol.Metrics_snapshot;
         return Protocol.Shutdown;
         map3
           (fun tenant circuit (device, temp_c, pattern) ->
@@ -169,6 +171,40 @@ let gen_components =
     map3
       (fun isub igate ibtbt -> { Report.isub; igate; ibtbt })
       gen_small_float gen_small_float gen_small_float)
+
+let gen_label = QCheck2.Gen.(string_size ~gen:printable (int_bound 8))
+
+let gen_hist =
+  QCheck2.Gen.(
+    map3
+      (fun pairs sum (mn, mx) ->
+        let buckets = Array.make Telemetry.Snapshot.n_buckets 0 in
+        List.iter (fun (b, n) -> buckets.(b) <- n + 1) pairs;
+        let count = Array.fold_left ( + ) 0 buckets in
+        { Telemetry.Snapshot.count; sum; min = mn; max = mx; buckets })
+      (list_size (int_bound 5) (tup2 (int_bound 63) small_nat))
+      gen_small_float
+      (tup2 gen_small_float gen_small_float))
+
+(* arbitrary but well-typed snapshots: the codec must round-trip whatever
+   structure the merge produces, including sparse buckets and labeled-name
+   metadata with hostile characters *)
+let gen_snapshot =
+  QCheck2.Gen.(
+    map3
+      (fun counters gauges (histograms, meta, taken_at) ->
+        Telemetry.Snapshot.make ~taken_at ~counters ~gauges ~histograms ~meta)
+      (list_size (int_bound 4)
+         (tup3 gen_label small_nat
+            (list_size (int_bound 3) (tup2 (int_bound 7) small_nat))))
+      (list_size (int_bound 4) (tup2 gen_label gen_small_float))
+      (tup3
+         (list_size (int_bound 3) (tup2 gen_label gen_hist))
+         (list_size (int_bound 2)
+            (tup2 gen_label
+               (tup2 gen_label
+                  (list_size (int_bound 2) (tup2 gen_label gen_label)))))
+         gen_small_float))
 
 let gen_response =
   QCheck2.Gen.(
@@ -199,6 +235,12 @@ let gen_response =
         map (fun session -> Protocol.Rolled_back { session }) small_nat;
         map (fun session -> Protocol.Closed { session }) small_nat;
         map (fun s -> Protocol.Metrics_report s) (string_size (int_bound 60));
+        map3
+          (fun uptime_s version snapshot ->
+            Protocol.Metrics_snapshot_report { uptime_s; version; snapshot })
+          (map abs_float gen_small_float)
+          (string_size (int_bound 12))
+          gen_snapshot;
         map2
           (fun code message -> Protocol.Error { code; message })
           (oneofl

@@ -1,9 +1,11 @@
 (* Unit tests for the telemetry subsystem: registry semantics, the enabled
-   gate, per-domain sharding, snapshot merging/serialization, and the span
-   tracer's Chrome trace-event output. *)
+   gate, per-domain sharding, gauges, labeled families, the observe guard,
+   snapshot merging/diffing/serialization, Prometheus exposition, and the
+   span tracer's Chrome trace-event output. *)
 
 module Telemetry = Leakage_telemetry.Telemetry
 module Trace = Leakage_telemetry.Trace
+module Prometheus = Leakage_telemetry.Prometheus
 
 let with_recording f =
   Telemetry.set_enabled true;
@@ -129,6 +131,220 @@ let test_snapshot_json_shape () =
         [ "\"counters\""; "\"counters_by_domain\""; "\"histograms\"";
           "\"t.json_c\": 3"; "\"t.json_h\""; "\"count\": 1"; "\"sum\": 2.5" ])
 
+(* --------------------------------------------------------------- gauges *)
+
+let test_gauge_set_add_merge () =
+  with_recording (fun () ->
+      let g = Telemetry.gauge "t.g" in
+      Telemetry.set_gauge g 5.0;
+      Telemetry.add_gauge g 2.0;
+      Telemetry.add_gauge g (-1.0);
+      let snap = Telemetry.Snapshot.take () in
+      Alcotest.(check (float 1e-9)) "set plus adds" 6.0
+        (Telemetry.Snapshot.gauge_value snap "t.g");
+      Alcotest.(check (float 1e-9)) "unknown gauge is 0" 0.0
+        (Telemetry.Snapshot.gauge_value snap "t.never"))
+
+let test_gauge_untouched_absent () =
+  with_recording (fun () ->
+      let _g = Telemetry.gauge "t.g_silent" in
+      let snap = Telemetry.Snapshot.take () in
+      Alcotest.(check bool) "registered-but-untouched gauge not reported"
+        false
+        (List.mem_assoc "t.g_silent" (Telemetry.Snapshot.gauge_entries snap)))
+
+let test_gauge_merge_across_domains () =
+  with_recording (fun () ->
+      let g = Telemetry.gauge "t.g_dom" in
+      Telemetry.set_gauge g 100.0;
+      Domain.join
+        (Domain.spawn (fun () ->
+             Telemetry.set_gauge g 3.0;
+             Telemetry.add_gauge g 0.5));
+      Telemetry.add_gauge g 0.25;
+      let snap = Telemetry.Snapshot.take () in
+      (* the worker's set is newer, so its base wins; adds from every
+         domain still sum on top *)
+      Alcotest.(check (float 1e-9)) "latest set plus all adds" 3.75
+        (Telemetry.Snapshot.gauge_value snap "t.g_dom"))
+
+(* ------------------------------------------------------ labeled families *)
+
+let test_labeled_family_canonical () =
+  with_recording (fun () ->
+      let a =
+        Telemetry.counter_with "t.req" [ ("op", "q"); ("tenant", "acme") ]
+      in
+      let b =
+        Telemetry.counter_with "t.req" [ ("tenant", "acme"); ("op", "q") ]
+      in
+      Telemetry.incr a;
+      Telemetry.incr b;
+      Telemetry.add
+        (Telemetry.counter_with "t.req" [ ("op", "q"); ("tenant", "zed") ])
+        3;
+      let snap = Telemetry.Snapshot.take () in
+      let full = {|t.req{op="q",tenant="acme"}|} in
+      (* label order is canonicalized, so both handles hit one metric *)
+      Alcotest.(check int) "same member regardless of label order" 2
+        (Telemetry.Snapshot.counter_total snap full);
+      Alcotest.(check int) "sibling member separate" 3
+        (Telemetry.Snapshot.counter_total snap {|t.req{op="q",tenant="zed"}|});
+      let base, labels = Telemetry.Snapshot.base_and_labels snap full in
+      Alcotest.(check string) "base recovered" "t.req" base;
+      Alcotest.(check (list (pair string string))) "labels recovered"
+        [ ("op", "q"); ("tenant", "acme") ]
+        labels;
+      let unl_base, unl_labels =
+        Telemetry.Snapshot.base_and_labels snap "t.plain"
+      in
+      Alcotest.(check string) "unlabeled base is itself" "t.plain" unl_base;
+      Alcotest.(check (list (pair string string))) "unlabeled has no labels" []
+        unl_labels)
+
+(* -------------------------------------------------------- observe guard *)
+
+let test_observe_guard_drops_and_counts () =
+  with_recording (fun () ->
+      let h = Telemetry.histogram "t.guard" in
+      Telemetry.observe h 1.5;
+      Telemetry.observe h (-1.0);
+      Telemetry.observe h Float.nan;
+      Telemetry.observe h Float.infinity;
+      let g = Telemetry.gauge "t.guard_g" in
+      Telemetry.set_gauge g Float.nan;
+      Telemetry.add_gauge g Float.neg_infinity;
+      let snap = Telemetry.Snapshot.take () in
+      Alcotest.(check int) "only the finite sample lands" 1
+        (Telemetry.Snapshot.histogram_count snap "t.guard");
+      Alcotest.(check (float 1e-9)) "sum uncorrupted" 1.5
+        (Telemetry.Snapshot.histogram_sum snap "t.guard");
+      Alcotest.(check bool) "gauge untouched by dropped writes" false
+        (List.mem_assoc "t.guard_g" (Telemetry.Snapshot.gauge_entries snap));
+      Alcotest.(check int) "every drop counted" 5
+        (Telemetry.Snapshot.counter_total snap
+           "telemetry.dropped_observations"))
+
+(* -------------------------------------------------------- diff, quantile *)
+
+let mk_snapshot ?(taken_at = 0.0) ?(counters = []) ?(gauges = [])
+    ?(histograms = []) ?(meta = []) () =
+  Telemetry.Snapshot.make ~taken_at ~counters ~gauges ~histograms ~meta
+
+let mk_hist ?(min = 0.0) ?(max = 0.0) ~sum pairs =
+  let buckets = Array.make Telemetry.Snapshot.n_buckets 0 in
+  List.iter (fun (b, n) -> buckets.(b) <- n) pairs;
+  let count = List.fold_left (fun acc (_, n) -> acc + n) 0 pairs in
+  { Telemetry.Snapshot.count; sum; min; max; buckets }
+
+let test_diff_windows_and_clamps () =
+  let older =
+    mk_snapshot ~taken_at:10.0
+      ~counters:[ ("steady", 3, [ (0, 3) ]); ("reset", 10, [ (0, 10) ]) ]
+      ~histograms:[ ("h", mk_hist ~sum:50.0 ~min:1.0 ~max:9.0 [ (0, 2); (4, 3) ]) ]
+      ()
+  in
+  let newer =
+    mk_snapshot ~taken_at:12.0
+      ~counters:[ ("steady", 10, [ (0, 10) ]); ("reset", 4, [ (0, 4) ]) ]
+      ~gauges:[ ("level", 7.5) ]
+      ~histograms:[ ("h", mk_hist ~sum:7.0 ~min:0.5 ~max:3.0 [ (0, 1) ]) ]
+      ()
+  in
+  let d = Telemetry.Snapshot.diff ~newer ~older in
+  Alcotest.(check int) "window delta" 7
+    (Telemetry.Snapshot.counter_total d "steady");
+  (* a counter reset between snapshots clamps at zero, never negative *)
+  Alcotest.(check int) "reset clamps to zero" 0
+    (Telemetry.Snapshot.counter_total d "reset");
+  Alcotest.(check int) "histogram reset clamps too" 0
+    (Telemetry.Snapshot.histogram_count d "h");
+  Alcotest.(check (float 1e-9)) "histogram sum clamps too" 0.0
+    (Telemetry.Snapshot.histogram_sum d "h");
+  (* gauges are levels, not totals: the newer value passes through *)
+  Alcotest.(check (float 1e-9)) "gauge from newer" 7.5
+    (Telemetry.Snapshot.gauge_value d "level");
+  Alcotest.(check (float 1e-9)) "stamped with newer time" 12.0
+    (Telemetry.Snapshot.taken_at d)
+
+let test_quantile_buckets () =
+  (* 50 observations at <= 1, 50 in (4, 8] *)
+  let h = mk_hist ~sum:300.0 ~min:0.5 ~max:7.0 [ (0, 50); (3, 50) ] in
+  Alcotest.(check (float 1e-9)) "p50 hits the first bucket edge" 1.0
+    (Telemetry.Snapshot.quantile h 0.5);
+  Alcotest.(check (float 1e-9)) "p99 clamps to the observed max" 7.0
+    (Telemetry.Snapshot.quantile h 0.99);
+  Alcotest.(check (float 1e-9)) "empty histogram is 0" 0.0
+    (Telemetry.Snapshot.quantile (mk_hist ~sum:0.0 []) 0.5)
+
+(* ----------------------------------------------------------- prometheus *)
+
+let test_prometheus_roundtrip_with_hostile_labels () =
+  with_recording (fun () ->
+      let hostile = "a\"b\\c\nd" in
+      let h = Telemetry.histogram_with "t.lat" [ ("tenant", hostile) ] in
+      List.iter (Telemetry.observe h) [ 0.5; 3.0; 100.0 ];
+      Telemetry.incr
+        (Telemetry.counter_with "t.hits" [ ("tenant", hostile) ]);
+      Telemetry.set_gauge (Telemetry.gauge "t.level.dotted") 4.25;
+      let text = Prometheus.render (Telemetry.Snapshot.take ()) in
+      let families = Prometheus.parse text in
+      Alcotest.(check (list string)) "histograms structurally valid" []
+        (Prometheus.validate_histograms families);
+      (* dots sanitize to underscores *)
+      (match Prometheus.find families "t_level_dotted" with
+       | Some { Prometheus.fam_type = "gauge"; samples = [ s ]; _ } ->
+         Alcotest.(check (float 1e-9)) "gauge value" 4.25 s.Prometheus.value
+       | _ -> Alcotest.fail "t_level_dotted missing or malformed");
+      (* the hostile label value survives escape -> parse unchanged; the
+         counter family is TYPEd under its suffixed exposition name *)
+      (match Prometheus.find families "t_hits_total" with
+       | Some { Prometheus.fam_type = "counter"; samples = [ s ]; _ } ->
+         Alcotest.(check (option string)) "label round-trips" (Some hostile)
+           (List.assoc_opt "tenant" s.Prometheus.labels);
+         Alcotest.(check string) "counter suffix" "t_hits_total"
+           s.Prometheus.name
+       | _ -> Alcotest.fail "t_hits missing or malformed");
+      (match Prometheus.find families "t_lat" with
+       | Some { Prometheus.fam_type = "histogram"; samples; _ } ->
+         let count =
+           List.find_opt
+             (fun (s : Prometheus.sample) -> s.name = "t_lat_count")
+             samples
+         in
+         Alcotest.(check (option (float 1e-9))) "_count present" (Some 3.0)
+           (Option.map (fun (s : Prometheus.sample) -> s.value) count)
+       | _ -> Alcotest.fail "t_lat missing or malformed"))
+
+let test_prometheus_empty_snapshot () =
+  let text = Prometheus.render (mk_snapshot ()) in
+  Alcotest.(check (list string)) "no families" []
+    (List.map
+       (fun f -> f.Prometheus.fam_name)
+       (Prometheus.parse text))
+
+let test_prometheus_parser_strict () =
+  let bad text =
+    match Prometheus.parse text with
+    | _ -> Alcotest.fail "expected Parse_error"
+    | exception Prometheus.Parse_error _ -> ()
+  in
+  bad "no newline at end";
+  bad "name{l=\"unterminated} 1\n";
+  bad "name 1 trailing garbage here\n";
+  bad "name{l=\"bad\\q escape\"} 1\n";
+  bad "1starts_with_digit 2\n";
+  (* a well-formed family parses and keeps escaped values decoded *)
+  let families =
+    Prometheus.parse
+      "# TYPE x_total counter\nx_total{a=\"p\\\\q\\\"r\\ns\"} 4\n"
+  in
+  match families with
+  | [ { Prometheus.fam_name = "x_total"; fam_type = "counter"; samples = [ s ] } ] ->
+    Alcotest.(check (option string)) "decoded label" (Some "p\\q\"r\ns")
+      (List.assoc_opt "a" s.Prometheus.labels)
+  | _ -> Alcotest.fail "unexpected parse"
+
 (* ---------------------------------------------------------------- trace *)
 
 let test_trace_spans_and_json () =
@@ -222,6 +438,40 @@ let () =
           Alcotest.test_case "reset" `Quick test_reset_zeroes;
           Alcotest.test_case "per-domain shards" `Quick test_per_domain_shards;
           Alcotest.test_case "snapshot JSON" `Quick test_snapshot_json_shape;
+        ] );
+      ( "gauges",
+        [
+          Alcotest.test_case "set and add merge" `Quick
+            test_gauge_set_add_merge;
+          Alcotest.test_case "untouched gauge absent" `Quick
+            test_gauge_untouched_absent;
+          Alcotest.test_case "merge across domains" `Quick
+            test_gauge_merge_across_domains;
+        ] );
+      ( "labels",
+        [
+          Alcotest.test_case "canonical families" `Quick
+            test_labeled_family_canonical;
+        ] );
+      ( "guard",
+        [
+          Alcotest.test_case "bad observations dropped and counted" `Quick
+            test_observe_guard_drops_and_counts;
+        ] );
+      ( "windows",
+        [
+          Alcotest.test_case "diff deltas and reset clamp" `Quick
+            test_diff_windows_and_clamps;
+          Alcotest.test_case "bucket quantiles" `Quick test_quantile_buckets;
+        ] );
+      ( "prometheus",
+        [
+          Alcotest.test_case "render/parse round-trip" `Quick
+            test_prometheus_roundtrip_with_hostile_labels;
+          Alcotest.test_case "empty snapshot" `Quick
+            test_prometheus_empty_snapshot;
+          Alcotest.test_case "strict parser" `Quick
+            test_prometheus_parser_strict;
         ] );
       ( "library",
         [
