@@ -919,8 +919,8 @@ let port_arg =
        & info [ "port" ] ~docv:"N" ~doc:"Loopback TCP port.")
 
 let serve_cmd =
-  let run socket port http_port executors quota max_sessions state_dir jobs
-      log_file log_level slow_ms =
+  let run socket port http_port executors quota max_sessions state_dir
+      peer_dir tenant_rate jobs log_file log_level slow_ms =
     let socket =
       match socket with
       | Some s -> s
@@ -943,10 +943,29 @@ let serve_cmd =
     let slow_us =
       match slow_ms with Some ms -> ms *. 1000.0 | None -> infinity
     in
+    (* --tenant-rate R[:B]: sustained rate, optional burst *)
+    let tenant_rate, tenant_burst =
+      match tenant_rate with
+      | None -> (None, None)
+      | Some s ->
+        let parse what v =
+          match float_of_string_opt v with
+          | Some f when f > 0.0 -> f
+          | _ -> failwith ("--tenant-rate: " ^ what ^ " must be positive, got " ^ v)
+        in
+        (match String.index_opt s ':' with
+         | None -> (Some (parse "rate" s), None)
+         | Some i ->
+           ( Some (parse "rate" (String.sub s 0 i)),
+             Some
+               (parse "burst"
+                  (String.sub s (i + 1) (String.length s - i - 1))) ))
+    in
     let server =
       Server.create ?port ?http_port ~executors
         ?jobs:(if jobs <= 0 then None else Some jobs)
-        ~quota ~max_sessions ?state_dir ~version:"1.0.0" ~slow_us ~socket ()
+        ~quota ~max_sessions ?state_dir ?peer_dir ?tenant_rate ?tenant_burst
+        ~version:"1.0.0" ~slow_us ~socket ()
     in
     let stop _ = Server.request_stop server in
     ignore (Sys.signal Sys.sigint (Sys.Signal_handle stop));
@@ -986,6 +1005,24 @@ let serve_cmd =
                    from here on the next open. Without it nothing survives \
                    eviction or a restart.")
   in
+  let peer_dir =
+    Arg.(value & opt (some string) None
+         & info [ "peer-dir" ] ~docv:"DIR"
+             ~doc:"Checkpoint directory shared with peer daemons: every \
+                   post-batch checkpoint is mirrored here atomically, and \
+                   an open that misses the local state adopts the newest \
+                   matching peer checkpoint — so a client retrying against \
+                   a peer after a crash lands warm, losing at most the \
+                   in-flight batch.")
+  in
+  let tenant_rate =
+    Arg.(value & opt (some string) None
+         & info [ "tenant-rate" ] ~docv:"R[:B]"
+             ~doc:"Per-tenant token-bucket admission: sustain $(i,R) \
+                   requests/second with bursts up to $(i,B) (default \
+                   max 1 R). Over the bucket, requests get a retriable \
+                   over_quota error with a retry-after hint.")
+  in
   let http_port =
     Arg.(value & opt (some int) None
          & info [ "http-port" ] ~docv:"N"
@@ -1018,8 +1055,8 @@ let serve_cmd =
              observability sidecar. SIGINT/SIGTERM shut down gracefully: \
              drain queued work, flush checkpoints, close sockets.")
     Term.(const run $ socket_arg $ port_arg $ http_port $ executors $ quota
-          $ max_sessions $ state_dir $ jobs_arg $ log_file $ log_level
-          $ slow_ms)
+          $ max_sessions $ state_dir $ peer_dir $ tenant_rate $ jobs_arg
+          $ log_file $ log_level $ slow_ms)
 
 (* --------------------------------------------------------------- client *)
 
@@ -1031,13 +1068,27 @@ let client_cmd =
       ( int_of_string (String.sub s 0 i),
         conv (String.sub s (i + 1) (String.length s - i - 1)) )
   in
-  let run socket port op session tenant device temp pattern circuit bench
-      resizes retypes sets refresh ckpt text =
+  let run socket port host op session tenant device temp pattern circuit
+      bench resizes retypes sets refresh ckpt text retries timeout_ms =
+    if retries < 0 then failwith "--retries must be >= 0";
+    (match timeout_ms with
+     | Some ms when ms <= 0.0 -> failwith "--timeout-ms must be positive"
+     | _ -> ());
+    let policy = { Sclient.default_policy with retries; timeout_ms } in
+    let exhausted () =
+      if retries > 0 then Printf.sprintf " (%d retries exhausted)" retries
+      else ""
+    in
     let client =
-      match socket, port with
-      | Some path, _ -> Sclient.connect_unix path
-      | None, Some p -> Sclient.connect_tcp p
-      | None, None -> failwith "--socket PATH or --port N is required"
+      try
+        match socket, port with
+        | Some path, _ -> Sclient.connect_unix ~policy path
+        | None, Some p -> Sclient.connect_tcp ~policy ~host p
+        | None, None -> failwith "--socket PATH or --port N is required"
+      with Unix.Unix_error (e, _, _) ->
+        failwith
+          (Printf.sprintf "cannot connect to the daemon%s: %s" (exhausted ())
+             (Unix.error_message e))
     in
     Fun.protect ~finally:(fun () -> Sclient.close client) @@ fun () ->
     let sid () =
@@ -1149,12 +1200,29 @@ let client_cmd =
         Sclient.shutdown_server client;
         Format.printf "server draining@."
       | other -> failwith ("unknown op " ^ other)
-    with Sclient.Server_error (code, msg) ->
+    with
+    | Sclient.Server_error (code, msg) ->
       failwith
         (Printf.sprintf "server error (%s%s): %s"
            (Sproto.error_code_name code)
            (if Sproto.retriable code then ", retriable" else "")
            msg)
+    | Leakage_server.Wire.Timeout ->
+      failwith
+        (Printf.sprintf "rpc timed out after %.0fms%s"
+           (Option.value ~default:0.0 timeout_ms)
+           (exhausted ()))
+    | Sclient.Poisoned msg -> failwith msg
+    | Unix.Unix_error (e, _, _) ->
+      failwith
+        (Printf.sprintf "connection to the daemon failed%s: %s"
+           (exhausted ()) (Unix.error_message e))
+    | End_of_file | Leakage_server.Wire.Truncated ->
+      failwith
+        (Printf.sprintf "daemon closed the connection mid-reply%s"
+           (exhausted ()))
+    | Leakage_server.Wire.Bad_frame msg ->
+      failwith (Printf.sprintf "malformed reply frame: %s" msg)
   in
   let op =
     Arg.(required & pos 0 (some string) None
@@ -1212,14 +1280,35 @@ let client_cmd =
                    (counters, gauges, histogram summaries) instead of raw \
                    JSON.")
   in
+  let host =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~docv:"HOST"
+             ~doc:"Host for --port connections; names resolve via \
+                   getaddrinfo, so $(b,localhost) works.")
+  in
+  let retries =
+    Arg.(value & opt int 0
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Retry budget: transport failures reconnect, retriable \
+                   server errors (over_quota, shutting_down) back off \
+                   exponentially with jitter — honoring the server's \
+                   retry-after hint — and resend, up to $(i,N) times.")
+  in
+  let timeout_ms =
+    Arg.(value & opt (some float) None
+         & info [ "timeout-ms" ] ~docv:"MS"
+             ~doc:"Per-RPC reply deadline in milliseconds; hitting it \
+                   poisons the connection (retries reconnect).")
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:"Talk to a running $(b,leakctl serve) daemon: open a warm \
              session, apply edit batches, query loaded/baseline totals, \
              checkpoint/rollback, fetch metrics, or shut the daemon down.")
-    Term.(const run $ socket_arg $ port_arg $ op $ session $ tenant $ device
-          $ temp_arg $ pattern $ circuit_arg $ bench_file_arg $ resize
-          $ retype $ set_input $ refresh $ ckpt $ text)
+    Term.(const run $ socket_arg $ port_arg $ host $ op $ session $ tenant
+          $ device $ temp_arg $ pattern $ circuit_arg $ bench_file_arg
+          $ resize $ retype $ set_input $ refresh $ ckpt $ text $ retries
+          $ timeout_ms)
 
 (* ------------------------------------------------------------------ top *)
 

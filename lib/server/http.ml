@@ -23,10 +23,18 @@ let status_text = function
 let write_all fd s =
   let n = String.length s in
   let rec go off =
-    if off < n then begin
-      let w = Unix.write_substring fd s off (n - off) in
-      if w > 0 then go (off + w)
-    end
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | 0 ->
+        (* no progress: wait for writability rather than dropping the tail
+           of the response (a zero return is not an error, but treating it
+           as "done" silently truncates bodies larger than the socket
+           buffer) *)
+        (try ignore (Unix.select [] [ fd ] [] 0.05)
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        go off
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
   in
   go 0
 

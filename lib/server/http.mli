@@ -16,6 +16,12 @@ type response = {
 val response : ?content_type:string -> int -> string -> response
 (** [content_type] defaults to [text/plain; charset=utf-8]. *)
 
+val write_all : Unix.file_descr -> string -> unit
+(** Write the whole string: loops over short writes, retries [EINTR], and
+    waits for writability on a zero-length return — a response body either
+    goes out in full or the call raises. Exposed for the truncation
+    regression tests. *)
+
 val handle : Unix.file_descr -> (string -> response option) -> unit
 (** [handle fd route] serves one request on a connected socket and closes
     it: parse the request line, answer [route path] (query strings are

@@ -82,7 +82,7 @@ type response =
       snapshot : Tm.Snapshot.t;
     }
   | Shutdown_ack
-  | Error of { code : error_code; message : string }
+  | Error of { code : error_code; message : string; retry_after_ms : float }
 
 (* ------------------------------------------------------------- opcodes *)
 
@@ -394,11 +394,14 @@ let encode_response = function
         Wire.put_string b version;
         put_snapshot b snapshot)
   | Shutdown_ack -> frame op_shutdown_ack (fun _ -> ())
-  | Error { code; message } ->
+  | Error { code; message; retry_after_ms } ->
     frame op_error (fun b ->
         Wire.put_u8 b (error_code_byte code);
         Wire.put_bool b (retriable code);
-        Wire.put_string b message)
+        Wire.put_string b message;
+        (* retry-after hint (milliseconds, 0 = none): admission control
+           tells a backing-off client when its token bucket refills *)
+        Wire.put_f64 b retry_after_ms)
 
 let decode_response { Wire.op; payload } =
   let r = Wire.reader payload in
@@ -443,7 +446,9 @@ let decode_response { Wire.op; payload } =
          codes they do not know; decoders here re-derive it from the code *)
       let (_ : bool) = Wire.get_bool r in
       let message = Wire.get_string r in
-      Error { code; message }
+      (* the retry-after field is absent in frames from older servers *)
+      let retry_after_ms = if Wire.at_end r then 0.0 else Wire.get_f64 r in
+      Error { code; message; retry_after_ms }
     end
     else raise (Wire.Bad_frame (Printf.sprintf "response opcode 0x%02x" op))
   in

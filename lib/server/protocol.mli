@@ -95,7 +95,14 @@ type response =
       snapshot : Leakage_telemetry.Telemetry.Snapshot.t;
     }
   | Shutdown_ack
-  | Error of { code : error_code; message : string }
+  | Error of {
+      code : error_code;
+      message : string;
+      retry_after_ms : float;
+          (** backoff hint for retriable errors — how long until the
+              tenant's token bucket holds a token again ([0] = no hint).
+              Advisory: a client may retry sooner and be rejected again. *)
+    }
 
 val encode_request : request -> Wire.frame
 val decode_request : Wire.frame -> request

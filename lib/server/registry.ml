@@ -10,6 +10,8 @@ module Tm = Leakage_telemetry.Telemetry
 let m_opened = Tm.counter "serve.sessions_opened"
 let m_attached = Tm.counter "serve.sessions_attached"
 let m_restored = Tm.counter "serve.sessions_restored"
+let m_adopted = Tm.counter "serve.sessions_adopted"
+let m_shipped = Tm.counter "serve.checkpoints_shipped"
 let m_evicted = Tm.counter "serve.sessions_evicted"
 let m_closed = Tm.counter "serve.sessions_closed"
 let m_checkpoints = Tm.counter "serve.checkpoints_written"
@@ -37,6 +39,7 @@ type session = {
 
 type t = {
   state_dir : string option;
+  peer_dir : string option;
   max_sessions : int;
   by_key : (string, session) Hashtbl.t;
   by_id : (int, session) Hashtbl.t;
@@ -45,13 +48,17 @@ type t = {
   mutable next_id : int;
 }
 
-let create ?state_dir ?(max_sessions = 8) () =
+let ensure_dir = function
+  | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+  | _ -> ()
+
+let create ?state_dir ?peer_dir ?(max_sessions = 8) () =
   if max_sessions < 1 then invalid_arg "Registry.create: max_sessions >= 1";
-  (match state_dir with
-   | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
-   | _ -> ());
+  ensure_dir state_dir;
+  ensure_dir peer_dir;
   {
     state_dir;
+    peer_dir;
     max_sessions;
     by_key = Hashtbl.create 16;
     by_id = Hashtbl.create 16;
@@ -113,8 +120,9 @@ let sanitize key =
       | _ -> '-')
     key
 
-let ckpt_path t key =
-  Option.map (fun dir -> Filename.concat dir (sanitize key ^ ".ckpt")) t.state_dir
+let ckpt_file dir key = Filename.concat dir (sanitize key ^ ".ckpt")
+
+let ckpt_path t key = Option.map (fun dir -> ckpt_file dir key) t.state_dir
 
 let encode_checkpoint session =
   let b = Buffer.create 4096 in
@@ -182,33 +190,78 @@ let decode_checkpoint text =
   Wire.expect_end r;
   (digest, device_name, temp_c, circuit, pattern, gates)
 
-let checkpoint_to_disk t session =
-  match ckpt_path t session.key with
-  | None -> ()
-  | Some path ->
-    let tmp = path ^ ".tmp" in
-    let oc = open_out_bin tmp in
-    output_string oc (encode_checkpoint session);
-    close_out oc;
-    Sys.rename tmp path;
-    Tm.incr m_checkpoints
+(* tmp-in-same-dir + rename: readers (this daemon or a peer adopting the
+   session) only ever see a complete checkpoint, never a partial write *)
+let write_atomic path text =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc text);
+  Sys.rename tmp path
 
+let checkpoint_to_disk t session =
+  if t.state_dir <> None || t.peer_dir <> None then begin
+    let text = encode_checkpoint session in
+    (match ckpt_path t session.key with
+     | None -> ()
+     | Some path ->
+       write_atomic path text;
+       Tm.incr m_checkpoints);
+    (* ship the same bytes into the shared peer directory so a second
+       daemon can adopt the session the moment this one dies *)
+    match t.peer_dir with
+    | None -> ()
+    | Some dir ->
+      (match write_atomic (ckpt_file dir session.key) text with
+       | () -> Tm.incr m_shipped
+       | exception (Sys_error _ | Unix.Unix_error _) ->
+         (* a full or vanished peer volume must not fail the request — the
+            local checkpoint already landed *)
+         ())
+  end
+
+type ckpt_source = Local | Peer
+
+let read_checkpoint_file path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match decode_checkpoint text with
+    | ckpt -> Some ckpt
+    | exception (Wire.Bad_frame _ | Wire.Truncated | Invalid_argument _) ->
+      (* a corrupt checkpoint never blocks an open — fall back to cold *)
+      None
+  end
+
+(* Newest decodable checkpoint wins across the local state dir and the
+   shared peer dir: a daemon restarted onto a stale local state dir must
+   still adopt the fresher checkpoint its peer shipped, and vice versa. *)
 let read_checkpoint t key =
-  match ckpt_path t key with
-  | None -> None
-  | Some path ->
-    if not (Sys.file_exists path) then None
-    else begin
-      let ic = open_in_bin path in
-      let len = in_channel_length ic in
-      let text = really_input_string ic len in
-      close_in ic;
-      match decode_checkpoint text with
-      | ckpt -> Some ckpt
-      | exception (Wire.Bad_frame _ | Wire.Truncated | Invalid_argument _) ->
-        (* a corrupt checkpoint never blocks an open — fall back to cold *)
-        None
-    end
+  let candidate source = function
+    | None -> None
+    | Some dir ->
+      let path = ckpt_file dir key in
+      (match Unix.stat path with
+       | st -> Some (st.Unix.st_mtime, source, path)
+       | exception Unix.Unix_error _ -> None)
+  in
+  let candidates =
+    List.filter_map Fun.id
+      [ candidate Local t.state_dir; candidate Peer t.peer_dir ]
+    |> List.sort (fun (a, _, _) (b, _, _) -> Float.compare b a)
+  in
+  List.find_map
+    (fun (_, source, path) ->
+      match read_checkpoint_file path with
+      | Some ckpt -> Some (source, ckpt)
+      | None | (exception (Sys_error _ | Unix.Unix_error _)) -> None)
+    candidates
 
 (* ------------------------------------------------------------- opening *)
 
@@ -287,7 +340,7 @@ let open_session ?pool t resolved ~pattern =
   | None ->
     let lib = library_for t resolved.rspec in
     (match read_checkpoint t resolved.rkey with
-     | Some (digest, _, _, _, ckpt_pattern, kinds)
+     | Some (source, (digest, _, _, _, ckpt_pattern, kinds))
        when digest = resolved.rdigest
             && Array.length kinds = Netlist.gate_count resolved.netlist ->
        (* restore: replay the stored kinds/strengths onto the freshly built
@@ -305,7 +358,11 @@ let open_session ?pool t resolved ~pattern =
        let incr = Incremental.create lib nl' vec in
        let session = make_session t resolved ~lib ~incr in
        install t session;
+       (* a restored session is durable again under the new daemon's own
+          dirs right away, not only after its first applied batch *)
+       checkpoint_to_disk t session;
        Tm.incr m_restored;
+       if source = Peer then Tm.incr m_adopted;
        (session, Protocol.Restored)
      | _ ->
        let vec = parse_pattern resolved.netlist pattern in

@@ -47,10 +47,26 @@ type session = {
 
 type t
 
-val create : ?state_dir:string -> ?max_sessions:int -> unit -> t
+val create :
+  ?state_dir:string -> ?peer_dir:string -> ?max_sessions:int -> unit -> t
 (** [max_sessions] defaults to 8. [state_dir] (created if missing) enables
     checkpoint-to-disk; without it eviction simply drops sessions and
-    nothing survives a restart. *)
+    nothing survives a restart.
+
+    [peer_dir] (created if missing) is a directory {e shared between
+    daemons}: every checkpoint written to [state_dir] is also shipped there
+    atomically (tmp + rename, so a reader never sees a partial file), and
+    an open that misses both the live table and the local [state_dir]
+    {e adopts} the newest matching checkpoint found in [peer_dir]. Between
+    checkpoints the newest by mtime wins, wherever it lives — a daemon
+    restarted over a stale [state_dir] picks up the fresher peer copy.
+    This is the failover path: SIGKILL daemon A, and a client retrying
+    against daemon B re-opens the same digest warm from A's last shipped
+    checkpoint, losing at most the batch that was in flight.
+    [serve.sessions_adopted] counts peer adoptions,
+    [serve.checkpoints_shipped] the mirrored writes; a failed peer write
+    (full or vanished volume) is ignored — the local checkpoint already
+    landed. *)
 
 type resolved = {
   rspec : spec;
@@ -86,7 +102,8 @@ val end_request : t -> session -> unit
 
 val checkpoint_to_disk : t -> session -> unit
 (** Persist the session's current state (spec, gate kinds/strengths, input
-    vector) atomically into [state_dir]; a no-op without one. The daemon
+    vector) atomically into [state_dir], and ship the same bytes into
+    [peer_dir] when one is configured; a no-op without either. The daemon
     calls this after every applied batch, so a kill mid-batch loses at most
     the in-flight batch. *)
 

@@ -12,11 +12,27 @@ type executor = {
   mutable stopping : bool;
 }
 
+(* One tenant's admission state: a token bucket (refilled lazily against
+   the clock the caller passes in) plus the in-flight count the bucket
+   rides alongside. Buckets start full — a quiet tenant gets its whole
+   burst at first contact. *)
+type tenant_state = {
+  mutable tokens : float;
+  mutable refilled_at : float;
+  mutable inflight : int;
+}
+
+type admission =
+  | Admitted
+  | Rejected of { retry_after_s : float; reason : string }
+
 type t = {
   execs : executor array;
   domains : unit Domain.t array;
   quota : int;
-  tenants : (string, int) Hashtbl.t;
+  rate : float;  (* tokens per second; infinity = rate limiting off *)
+  burst : float; (* bucket capacity *)
+  tenants : (string, tenant_state) Hashtbl.t;
   tenants_mutex : Mutex.t;
   mutable stopped : bool;
 }
@@ -43,9 +59,17 @@ let executor_loop e () =
     end
   done
 
-let create ?(executors = 2) ?(quota = 8) () =
+let create ?(executors = 2) ?(quota = 8) ?(rate = infinity) ?burst () =
   if executors < 1 then invalid_arg "Scheduler.create: executors >= 1";
   if quota < 1 then invalid_arg "Scheduler.create: quota >= 1";
+  if rate <= 0.0 then invalid_arg "Scheduler.create: rate > 0";
+  let burst =
+    match burst with
+    | Some b ->
+      if b < 1.0 then invalid_arg "Scheduler.create: burst >= 1";
+      b
+    | None -> if Float.is_finite rate then Float.max 1.0 rate else infinity
+  in
   let execs =
     Array.init executors (fun _ ->
         {
@@ -59,6 +83,8 @@ let create ?(executors = 2) ?(quota = 8) () =
     execs;
     domains = Array.map (fun e -> Domain.spawn (executor_loop e)) execs;
     quota;
+    rate;
+    burst;
     tenants = Hashtbl.create 16;
     tenants_mutex = Mutex.create ();
     stopped = false;
@@ -67,6 +93,12 @@ let create ?(executors = 2) ?(quota = 8) () =
 let executors t = Array.length t.execs
 
 let quota t = t.quota
+
+let rate t = t.rate
+
+let burst t = t.burst
+
+let rate_limited t = Float.is_finite t.rate
 
 let queue_depth t =
   Array.fold_left
@@ -79,7 +111,11 @@ let queue_depth t =
 
 let tenant_inflight t =
   Mutex.lock t.tenants_mutex;
-  let pairs = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tenants [] in
+  let pairs =
+    Hashtbl.fold
+      (fun k s acc -> if s.inflight > 0 then (k, s.inflight) :: acc else acc)
+      t.tenants []
+  in
   Mutex.unlock t.tenants_mutex;
   List.sort compare pairs
 
@@ -96,21 +132,83 @@ let route t key =
     key;
   t.execs.(Int64.to_int (Int64.logand !h 0x3fffffffL) mod Array.length t.execs)
 
-let try_admit t tenant =
+let state_for t tenant ~now =
+  match Hashtbl.find_opt t.tenants tenant with
+  | Some s -> s
+  | None ->
+    let s = { tokens = t.burst; refilled_at = now; inflight = 0 } in
+    Hashtbl.replace t.tenants tenant s;
+    s
+
+let refill t s ~now =
+  if Float.is_finite t.rate then begin
+    let dt = Float.max 0.0 (now -. s.refilled_at) in
+    s.tokens <- Float.min t.burst (s.tokens +. (dt *. t.rate))
+  end;
+  s.refilled_at <- now
+
+(* How long until the bucket holds one whole token again — the retry-after
+   hint an Over_quota reply carries. *)
+let refill_eta t s =
+  if Float.is_finite t.rate then
+    Float.max 0.0 ((1.0 -. s.tokens) /. t.rate)
+  else 0.0
+
+let try_admit ?now t tenant =
+  let now = match now with Some n -> n | None -> Unix.gettimeofday () in
   Mutex.lock t.tenants_mutex;
-  let current = Option.value ~default:0 (Hashtbl.find_opt t.tenants tenant) in
-  let admitted = current < t.quota in
-  if admitted then Hashtbl.replace t.tenants tenant (current + 1);
+  let s = state_for t tenant ~now in
+  refill t s ~now;
+  let verdict =
+    if s.inflight >= t.quota then
+      (* no clock-based ETA for a concurrency rejection: a slot frees when
+         some request finishes, so suggest one scheduling quantum *)
+      Rejected
+        {
+          retry_after_s = 0.005;
+          reason =
+            Printf.sprintf "is at its in-flight quota (%d)" t.quota;
+        }
+    else if Float.is_finite t.rate && s.tokens < 1.0 then
+      Rejected
+        {
+          retry_after_s = refill_eta t s;
+          reason =
+            Printf.sprintf
+              "exhausted its token bucket (rate %g/s, burst %g)" t.rate
+              t.burst;
+        }
+    else begin
+      if Float.is_finite t.rate then s.tokens <- s.tokens -. 1.0;
+      s.inflight <- s.inflight + 1;
+      Admitted
+    end
+  in
   Mutex.unlock t.tenants_mutex;
-  admitted
+  verdict
 
 let release t tenant =
   Mutex.lock t.tenants_mutex;
   (match Hashtbl.find_opt t.tenants tenant with
-  | Some n when n > 1 -> Hashtbl.replace t.tenants tenant (n - 1)
-  | Some _ -> Hashtbl.remove t.tenants tenant
+  | Some s -> s.inflight <- Int.max 0 (s.inflight - 1)
   | None -> ());
   Mutex.unlock t.tenants_mutex
+
+(* Refill every bucket against [now] and report levels — the select loop
+   calls this on its tick so idle tenants' buckets keep filling and the
+   serve.tenant_tokens gauges track the truth, not the last admit. *)
+let tenant_tokens ?now t =
+  let now = match now with Some n -> n | None -> Unix.gettimeofday () in
+  Mutex.lock t.tenants_mutex;
+  let pairs =
+    Hashtbl.fold
+      (fun k s acc ->
+        refill t s ~now;
+        (k, s.tokens) :: acc)
+      t.tenants []
+  in
+  Mutex.unlock t.tenants_mutex;
+  List.sort compare pairs
 
 let submit t ?rid ~key job =
   if t.stopped then invalid_arg "Scheduler.submit: shut down";

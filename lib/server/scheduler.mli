@@ -16,21 +16,47 @@
     {!Leakage_core.Library} DLS cache it already filled (the publish-once
     snapshot covers the cross-executor case).
 
-    Admission control is per tenant: each tenant may have at most [quota]
-    requests in flight (queued or running) across all sessions. {!try_admit}
-    beyond the quota fails, and the server answers with a retriable
-    [Over_quota] error frame instead of queueing unboundedly. *)
+    Admission control is per tenant and two-layered. A {e token bucket}
+    ([rate] tokens per second, capacity [burst], starting full) charges one
+    token per request: a tenant may burst up to [burst] requests
+    back-to-back, then sustain [rate] requests per second. Buckets refill
+    lazily against the caller-supplied clock (every {!try_admit} and the
+    server loop's {!tenant_tokens} tick). On top of that, the in-flight cap
+    [quota] bounds {e concurrency}: at most [quota] requests queued or
+    running per tenant, whatever the bucket holds. A rejection carries a
+    [retry_after_s] hint — for a rate rejection, exactly how long until the
+    bucket holds a whole token again — which the server forwards in the
+    retriable [Over_quota] error frame so a well-behaved client sleeps just
+    long enough instead of hammering. *)
 
 type t
 
-val create : ?executors:int -> ?quota:int -> unit -> t
+type admission =
+  | Admitted  (** one token charged, one in-flight slot reserved *)
+  | Rejected of { retry_after_s : float; reason : string }
+
+val create :
+  ?executors:int -> ?quota:int -> ?rate:float -> ?burst:float -> unit -> t
 (** [executors] defaults to 2, [quota] (per-tenant in-flight cap) to 8.
-    Raises [Invalid_argument] when either is below 1. *)
+    [rate] is the per-tenant sustained admission rate in requests/second
+    (default [infinity] — token buckets off); [burst] the bucket capacity
+    (default [max 1 rate] when the rate is finite). Raises
+    [Invalid_argument] when executors/quota are below 1, [rate <= 0], or
+    [burst < 1]. *)
 
 val executors : t -> int
 
 val quota : t -> int
 (** The per-tenant in-flight cap this scheduler admits against. *)
+
+val rate : t -> float
+(** Sustained per-tenant admission rate (tokens/second; [infinity] = off). *)
+
+val burst : t -> float
+(** Token-bucket capacity. *)
+
+val rate_limited : t -> bool
+(** [true] iff a finite [rate] was configured. *)
 
 val queue_depth : t -> int
 (** Jobs queued (not yet running) across all executors, at this instant —
@@ -40,12 +66,22 @@ val tenant_inflight : t -> (string * int) list
 (** Tenants with at least one request in flight and their counts, sorted
     by tenant. *)
 
-val try_admit : t -> string -> bool
-(** [try_admit t tenant] reserves one in-flight slot for [tenant]; [false]
-    when the tenant is at quota (nothing is reserved). Always pair a [true]
-    with {!release}. *)
+val tenant_tokens : ?now:float -> t -> (string * float) list
+(** Refill every known tenant's bucket against [now] (default
+    [Unix.gettimeofday ()]) and report the levels, sorted by tenant — what
+    the server publishes as [serve.tenant_tokens] gauges on each select-loop
+    tick. Empty before any tenant has been seen. *)
+
+val try_admit : ?now:float -> t -> string -> admission
+(** [try_admit t tenant] refills the tenant's bucket against [now], then
+    charges one token and reserves one in-flight slot — or rejects with a
+    retry-after hint when the tenant is out of tokens or at its in-flight
+    quota (nothing is charged or reserved). Always pair an [Admitted] with
+    {!release}. *)
 
 val release : t -> string -> unit
+(** Release the in-flight slot of one admitted request (tokens are spent,
+    not returned — the bucket meters arrival rate, not completion). *)
 
 val submit : t -> ?rid:string -> key:string -> (unit -> unit) -> unit
 (** Enqueue a job on the executor owning [key] (stable hash). Jobs on one

@@ -41,17 +41,22 @@ type t = {
   (* tenants whose in-flight gauge we have published, so one that goes
      idle is set back to 0 instead of freezing at its last level *)
   tenant_gauges : (string, Tm.gauge) Hashtbl.t;
+  (* same idea for the token-bucket level gauges the select loop ticks *)
+  token_gauges : (string, Tm.gauge) Hashtbl.t;
 }
 
 let create ?port ?http_port ?(executors = 2) ?jobs ?(quota = 8)
-    ?(max_sessions = 8) ?state_dir ?(version = "dev") ?(slow_us = infinity)
-    ?(sample_interval = 1.0) ~socket () =
+    ?(max_sessions = 8) ?state_dir ?peer_dir ?tenant_rate ?tenant_burst
+    ?(version = "dev") ?(slow_us = infinity) ?(sample_interval = 1.0)
+    ~socket () =
   let jobs =
     match jobs with Some j -> Pool.clamp_jobs j | None -> Pool.default_jobs ()
   in
   let pool = if jobs > 1 then Some (Pool.create ~jobs ()) else None in
-  let registry = Registry.create ?state_dir ~max_sessions () in
-  let scheduler = Scheduler.create ~executors ~quota () in
+  let registry = Registry.create ?state_dir ?peer_dir ~max_sessions () in
+  let scheduler =
+    Scheduler.create ~executors ~quota ?rate:tenant_rate ?burst:tenant_burst ()
+  in
   if Sys.file_exists socket then Unix.unlink socket;
   let unix_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind unix_fd (Unix.ADDR_UNIX socket);
@@ -89,6 +94,7 @@ let create ?port ?http_port ?(executors = 2) ?jobs ?(quota = 8)
     conn_seq = Atomic.make 0;
     sampler = None;
     tenant_gauges = Hashtbl.create 8;
+    token_gauges = Hashtbl.create 8;
   }
 
 let uptime_s t = Unix.gettimeofday () -. t.started_at
@@ -140,7 +146,7 @@ let mailbox_wait mb =
 
 let err code fmt =
   Printf.ksprintf
-    (fun message -> Protocol.Error { code; message })
+    (fun message -> Protocol.Error { code; message; retry_after_ms = 0.0 })
     fmt
 
 (* Run [f] on the session's executor, serialized with every other request
@@ -171,12 +177,18 @@ let on_session t ?rid ~op (session : Registry.session) histo f =
 
 let with_admission t tenant k =
   if stopping t then err Protocol.Shutting_down "server is draining"
-  else if not (Scheduler.try_admit t.scheduler tenant) then begin
-    Tm.incr m_rejected;
-    err Protocol.Over_quota "tenant %s is at its in-flight quota" tenant
-  end
   else
-    Fun.protect ~finally:(fun () -> Scheduler.release t.scheduler tenant) k
+    match Scheduler.try_admit t.scheduler tenant with
+    | Scheduler.Rejected { retry_after_s; reason } ->
+      Tm.incr m_rejected;
+      Protocol.Error
+        {
+          code = Protocol.Over_quota;
+          message = Printf.sprintf "tenant %s %s" tenant reason;
+          retry_after_ms = retry_after_s *. 1000.0;
+        }
+    | Scheduler.Admitted ->
+      Fun.protect ~finally:(fun () -> Scheduler.release t.scheduler tenant) k
 
 let find_session t id k =
   match Registry.find t.registry id with
@@ -439,6 +451,25 @@ let publish_server_gauges t () =
       Tm.set_gauge g (float_of_int v))
     t.tenant_gauges
 
+(* Runs on the select loop's tick (only when a --tenant-rate is set): refill
+   every bucket against the wall clock and publish the levels, so an idle
+   tenant's gauge climbs back toward burst instead of freezing at the level
+   of its last admit. *)
+let publish_token_gauges t =
+  let levels = Scheduler.tenant_tokens t.scheduler in
+  List.iter
+    (fun (tenant, _) ->
+      if not (Hashtbl.mem t.token_gauges tenant) then
+        Hashtbl.replace t.token_gauges tenant
+          (Tm.gauge_with "serve.tenant_tokens" [ ("tenant", tenant) ]))
+    levels;
+  Hashtbl.iter
+    (fun tenant g ->
+      match List.assoc_opt tenant levels with
+      | Some v -> Tm.set_gauge g v
+      | None -> ())
+    t.token_gauges
+
 let http_routes t path =
   match path with
   | "/metrics" ->
@@ -503,13 +534,20 @@ let run t =
       ("version", Log.str t.version);
     ];
   (try
+     (* with token buckets on, the loop wakes on a short tick to drive
+        refills and the serve.tenant_tokens gauges off the wall clock even
+        when no request arrives; otherwise it blocks until a connection *)
+     let tick =
+       if Scheduler.rate_limited t.scheduler then 0.25 else -1.0
+     in
      while not (stopping t) do
        let http_fds = Option.to_list t.http_listener in
        match
-         Unix.select ((t.stop_r :: t.listeners) @ http_fds) [] [] (-1.0)
+         Unix.select ((t.stop_r :: t.listeners) @ http_fds) [] [] tick
        with
        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
        | readable, _, _ ->
+         if Scheduler.rate_limited t.scheduler then publish_token_gauges t;
          List.iter
            (fun fd ->
              if fd <> t.stop_r && not (stopping t) then begin

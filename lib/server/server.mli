@@ -38,6 +38,9 @@ val create :
   ?quota:int ->
   ?max_sessions:int ->
   ?state_dir:string ->
+  ?peer_dir:string ->
+  ?tenant_rate:float ->
+  ?tenant_burst:float ->
   ?version:string ->
   ?slow_us:float ->
   ?sample_interval:float ->
@@ -51,6 +54,20 @@ val create :
     per-tenant in-flight cap (default 8), [max_sessions] the registry's
     live-session cap (default 8). Raises [Unix.Unix_error] when the socket
     cannot be bound.
+
+    [peer_dir] is a directory shared with other daemons: checkpoints are
+    mirrored into it after every applied batch, and an open that misses the
+    local state adopts the newest matching peer checkpoint — see
+    {!Registry.create} for the failover semantics.
+
+    [tenant_rate] turns per-tenant token-bucket admission on: each tenant
+    sustains [tenant_rate] requests/second with bursts up to [tenant_burst]
+    (default [max 1 rate]). Rejections answer with a retriable [Over_quota]
+    error carrying a retry-after hint in milliseconds, and the select loop
+    ticks every 250ms to refill buckets and publish per-tenant
+    [serve.tenant_tokens{tenant}] gauges. Without [tenant_rate], only the
+    in-flight [quota] gates admission and the loop blocks until work
+    arrives, exactly as before.
 
     [http_port] additionally binds the read-only observability sidecar on
     loopback ([0] picks an ephemeral port — read it back with

@@ -1,5 +1,6 @@
 exception Truncated
 exception Bad_frame of string
+exception Timeout
 
 let magic = "LKS1"
 let version = 1
@@ -126,18 +127,38 @@ let frame_of_string s =
 
 (* ----------------------------------------------------------- transport *)
 
-let really_read fd buf ofs len ~at_boundary =
+(* Block until [fd] is readable or [deadline] (absolute, from
+   [Unix.gettimeofday]) passes. EINTR only restarts the wait — the deadline
+   is re-derived each time, so a signal storm cannot extend it. *)
+let wait_readable fd ~deadline =
+  let rec go () =
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0.0 then raise Timeout;
+    match Unix.select [ fd ] [] [] remaining with
+    | [], _, _ -> raise Timeout
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let really_read ?deadline fd buf ofs len ~at_boundary =
   let got = ref 0 in
   while !got < len do
-    let n = Unix.read fd buf (ofs + !got) (len - !got) in
-    if n = 0 then
-      if !got = 0 && at_boundary then raise End_of_file else raise Truncated;
-    got := !got + n
+    Option.iter (fun d -> wait_readable fd ~deadline:d) deadline;
+    match Unix.read fd buf (ofs + !got) (len - !got) with
+    | 0 ->
+      if !got = 0 && at_boundary then raise End_of_file else raise Truncated
+    | n -> got := !got + n
+    (* a signal mid-read must not desync the stream: retry the same slice *)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    (* SO_RCVTIMEO expiry surfaces as EAGAIN/EWOULDBLOCK *)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      raise Timeout
   done
 
-let read_frame fd =
+let read_frame ?deadline fd =
   let header = Bytes.create header_size in
-  really_read fd header 0 header_size ~at_boundary:true;
+  really_read ?deadline fd header 0 header_size ~at_boundary:true;
   let s = Bytes.to_string header in
   let r = { data = s; pos = 4 } in
   let m = String.sub s 0 4 in
@@ -146,7 +167,7 @@ let read_frame fd =
   let len = get_u32 r in
   check_header ~m ~v ~len;
   let payload = Bytes.create len in
-  if len > 0 then really_read fd payload 0 len ~at_boundary:false;
+  if len > 0 then really_read ?deadline fd payload 0 len ~at_boundary:false;
   { op; payload = Bytes.unsafe_to_string payload }
 
 let write_frame fd frame =
@@ -154,5 +175,12 @@ let write_frame fd frame =
   let len = String.length s in
   let sent = ref 0 in
   while !sent < len do
-    sent := !sent + Unix.write_substring fd s !sent (len - !sent)
+    match Unix.write_substring fd s !sent (len - !sent) with
+    | 0 ->
+      (* a zero-length write makes no progress; wait for writability
+         instead of spinning (or, worse, declaring the frame sent) *)
+      (try ignore (Unix.select [] [ fd ] [] 0.05)
+       with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    | n -> sent := !sent + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done

@@ -26,6 +26,12 @@ exception Bad_frame of string
 (** Structurally invalid input: wrong magic, unsupported version, oversized
     payload declaration, unknown opcode, or trailing bytes. *)
 
+exception Timeout
+(** A [deadline] passed while waiting for bytes (or [SO_RCVTIMEO] expired
+    under a blocked read). The stream may now be desynchronized — the frame
+    could still arrive later — so a transport that sees this must not reuse
+    the connection (see {!Client} poisoning). *)
+
 val magic : string
 val version : int
 
@@ -82,8 +88,14 @@ val decode_frame : string -> pos:int -> frame * int
 
 (** {2 Blocking socket transport} *)
 
-val read_frame : Unix.file_descr -> frame
+val read_frame : ?deadline:float -> Unix.file_descr -> frame
 (** Read exactly one frame. Raises [End_of_file] on a clean EOF at a frame
-    boundary, {!Truncated} on EOF inside a frame, {!Bad_frame} on garbage. *)
+    boundary, {!Truncated} on EOF inside a frame, {!Bad_frame} on garbage.
+    Interrupted reads ([EINTR]) are retried, never surfaced — a signal must
+    not desync a half-read stream. [deadline] is an absolute
+    [Unix.gettimeofday] time; past it, waiting raises {!Timeout}. *)
 
 val write_frame : Unix.file_descr -> frame -> unit
+(** Write the whole frame. Loops over short writes, retries [EINTR], and
+    waits for writability on a zero-length write — a frame is either fully
+    sent or the call raises; it is never silently truncated. *)

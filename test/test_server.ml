@@ -241,15 +241,17 @@ let gen_response =
           (map abs_float gen_small_float)
           (string_size (int_bound 12))
           gen_snapshot;
-        map2
-          (fun code message -> Protocol.Error { code; message })
+        map3
+          (fun code message retry_after_ms ->
+            Protocol.Error { code; message; retry_after_ms })
           (oneofl
              [
                Protocol.Bad_request; Protocol.Unknown_session;
                Protocol.Unknown_checkpoint; Protocol.Over_quota;
                Protocol.Shutting_down; Protocol.Internal;
              ])
-          (string_size (int_bound 40));
+          (string_size (int_bound 40))
+          (map abs_float gen_small_float);
       ])
 
 let prop_request_roundtrip =
@@ -288,14 +290,63 @@ let test_protocol_rejects_truncated_payload () =
 
 (* ------------------------------------------------------------ scheduler *)
 
+let admitted = function Scheduler.Admitted -> true | Scheduler.Rejected _ -> false
+
 let test_scheduler_quota () =
   let s = Scheduler.create ~executors:1 ~quota:2 () in
-  Alcotest.(check bool) "first" true (Scheduler.try_admit s "a");
-  Alcotest.(check bool) "second" true (Scheduler.try_admit s "a");
-  Alcotest.(check bool) "third is over quota" false (Scheduler.try_admit s "a");
-  Alcotest.(check bool) "other tenant unaffected" true (Scheduler.try_admit s "b");
+  Alcotest.(check bool) "first" true (admitted (Scheduler.try_admit s "a"));
+  Alcotest.(check bool) "second" true (admitted (Scheduler.try_admit s "a"));
+  Alcotest.(check bool) "third is over quota" false
+    (admitted (Scheduler.try_admit s "a"));
+  Alcotest.(check bool) "other tenant unaffected" true
+    (admitted (Scheduler.try_admit s "b"));
   Scheduler.release s "a";
-  Alcotest.(check bool) "slot freed" true (Scheduler.try_admit s "a");
+  Alcotest.(check bool) "slot freed" true (admitted (Scheduler.try_admit s "a"));
+  Scheduler.shutdown s
+
+(* token buckets run on an explicit clock here, so the test is exact: burst
+   at first contact, then one token per 1/rate seconds, capped at burst *)
+let test_scheduler_token_bucket () =
+  let s = Scheduler.create ~executors:1 ~quota:100 ~rate:10.0 ~burst:2.0 () in
+  let t0 = 1000.0 in
+  Alcotest.(check bool) "burst 1" true (admitted (Scheduler.try_admit ~now:t0 s "a"));
+  Alcotest.(check bool) "burst 2" true (admitted (Scheduler.try_admit ~now:t0 s "a"));
+  (match Scheduler.try_admit ~now:t0 s "a" with
+   | Scheduler.Admitted -> Alcotest.fail "third admit should be rate-limited"
+   | Scheduler.Rejected { retry_after_s; _ } ->
+     Alcotest.(check bool) "eta ~ 1/rate" true
+       (Float.abs (retry_after_s -. 0.1) < 1e-9));
+  (* a different tenant has its own full bucket *)
+  Alcotest.(check bool) "tenant b unaffected" true
+    (admitted (Scheduler.try_admit ~now:t0 s "b"));
+  (* after 0.1s one token refilled; after 10s the bucket is full again but
+     capped at burst, not rate * 10 *)
+  Alcotest.(check bool) "refilled one token" true
+    (admitted (Scheduler.try_admit ~now:(t0 +. 0.1001) s "a"));
+  Alcotest.(check bool) "spent again" false
+    (admitted (Scheduler.try_admit ~now:(t0 +. 0.1001) s "a"));
+  let levels = Scheduler.tenant_tokens ~now:(t0 +. 100.0) s in
+  List.iter
+    (fun (_, v) ->
+      Alcotest.(check bool) "level capped at burst" true (Float.abs (v -. 2.0) < 1e-9))
+    levels;
+  Alcotest.(check int) "both tenants reported" 2 (List.length levels);
+  Scheduler.shutdown s
+
+let test_scheduler_rate_limits_independent_of_inflight () =
+  (* tokens are charged on admission and NOT refunded by release: the
+     bucket meters arrival rate, the quota meters concurrency *)
+  let s = Scheduler.create ~executors:1 ~quota:1 ~rate:1000.0 ~burst:5.0 () in
+  let t0 = 0.0 in
+  Alcotest.(check bool) "admit" true (admitted (Scheduler.try_admit ~now:t0 s "a"));
+  Alcotest.(check bool) "second blocked by in-flight quota" false
+    (admitted (Scheduler.try_admit ~now:t0 s "a"));
+  Scheduler.release s "a";
+  Alcotest.(check bool) "slot freed, tokens remain" true
+    (admitted (Scheduler.try_admit ~now:t0 s "a"));
+  let tokens = List.assoc "a" (Scheduler.tenant_tokens ~now:t0 s) in
+  Alcotest.(check bool) "two tokens spent, none refunded" true
+    (Float.abs (tokens -. 3.0) < 1e-9);
   Scheduler.shutdown s
 
 let test_scheduler_serializes_one_key () =
@@ -556,6 +607,285 @@ let test_loopback_rejects_garbage () =
   | Protocol.Error { code = Protocol.Bad_request; _ } -> ()
   | _ -> Alcotest.fail "expected a bad_request error frame"
 
+(* ------------------------------------------------------------ transport *)
+
+(* A signal landing during a blocked read must not kill the frame: a
+   writer thread (with SIGALRM masked, so every tick lands on the reading
+   main thread) dribbles one frame out across many interval-timer firings
+   that interrupt the main thread's blocked reads with EINTR. *)
+let test_read_frame_survives_eintr () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let frame = { Wire.op = 7; payload = String.make 4096 'x' } in
+  let bytes = Wire.frame_to_string frame in
+  let hits = ref 0 in
+  let old = Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> incr hits)) in
+  let writer =
+    Thread.create
+      (fun () ->
+        ignore (Thread.sigmask Unix.SIG_BLOCK [ Sys.sigalrm ]);
+        let n = String.length bytes in
+        let rec go off =
+          if off < n then begin
+            let len = Int.min 256 (n - off) in
+            ignore (Unix.write_substring b bytes off len);
+            Unix.sleepf 0.01;
+            go (off + len)
+          end
+        in
+        (try go 0 with Unix.Unix_error _ -> ());
+        Unix.close b)
+      ()
+  in
+  ignore
+    (Unix.setitimer Unix.ITIMER_REAL
+       { Unix.it_interval = 0.003; it_value = 0.003 });
+  let got =
+    Fun.protect
+      ~finally:(fun () ->
+        ignore
+          (Unix.setitimer Unix.ITIMER_REAL
+             { Unix.it_interval = 0.0; it_value = 0.0 });
+        Sys.set_signal Sys.sigalrm old;
+        Thread.join writer;
+        Unix.close a)
+      (fun () -> Wire.read_frame a)
+  in
+  Alcotest.(check bool) "frame intact across EINTRs" true (got = frame);
+  Alcotest.(check bool) "timer actually ticked during the read" true
+    (!hits > 0)
+
+(* A frame bigger than the socket buffer forces partial writes; the old
+   single-shot write silently truncated here. *)
+let test_write_frame_no_truncation () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.setsockopt_int a Unix.SO_SNDBUF 4096
+   with Unix.Unix_error _ -> ());
+  let frame =
+    { Wire.op = 3; payload = String.init 300_000 (fun i -> Char.chr (i land 0xff)) }
+  in
+  let buf = Buffer.create 300_064 in
+  let reader =
+    Thread.create
+      (fun () ->
+        let tmp = Bytes.create 8192 in
+        let rec go () =
+          match Unix.read b tmp 0 8192 with
+          | 0 -> ()
+          | n ->
+            Buffer.add_subbytes buf tmp 0 n;
+            go ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        in
+        go ())
+      ()
+  in
+  Wire.write_frame a frame;
+  Unix.close a;
+  Thread.join reader;
+  Unix.close b;
+  Alcotest.(check bool) "every byte arrived, frame decodes" true
+    (Wire.frame_of_string (Buffer.contents buf) = frame)
+
+(* Same failure mode one layer up: an HTTP body larger than the socket
+   buffer must come out whole. *)
+let test_http_write_all_large_body () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.setsockopt_int a Unix.SO_SNDBUF 4096
+   with Unix.Unix_error _ -> ());
+  let body =
+    String.concat "" (List.init 20_000 (fun i -> Printf.sprintf "line %d\n" i))
+  in
+  let buf = Buffer.create (String.length body) in
+  let reader =
+    Thread.create
+      (fun () ->
+        let tmp = Bytes.create 8192 in
+        let rec go () =
+          match Unix.read b tmp 0 8192 with
+          | 0 -> ()
+          | n ->
+            Buffer.add_subbytes buf tmp 0 n;
+            go ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        in
+        go ())
+      ()
+  in
+  Leakage_server.Http.write_all a body;
+  Unix.close a;
+  Thread.join reader;
+  Unix.close b;
+  Alcotest.(check int) "byte count" (String.length body)
+    (Buffer.length buf);
+  Alcotest.(check bool) "content identical" true (Buffer.contents buf = body)
+
+(* ------------------------------------------------------- client policy *)
+
+(* a hand-rolled misbehaving server: [behavior] gets the accepted fd *)
+let with_fake_server behavior f =
+  let dir = fresh_dir "fake" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let sock = Filename.concat dir "fake.sock" in
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX sock);
+  Unix.listen lfd 4;
+  let th =
+    Thread.create
+      (fun () ->
+        match Unix.accept lfd with
+        | fd, _ ->
+          (try behavior fd with _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+        | exception Unix.Unix_error _ -> ())
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      Thread.join th)
+    (fun () -> f sock)
+
+let expect_poisoned c =
+  match Client.rpc c Protocol.Ping with
+  | _ -> Alcotest.fail "second rpc on a broken stream must raise Poisoned"
+  | exception Client.Poisoned msg ->
+    Alcotest.(check bool) "error says the connection is poisoned" true
+      (String.length msg >= 19
+      && String.sub msg 0 19 = "connection poisoned")
+
+let test_poisoned_after_timeout () =
+  with_fake_server
+    (fun fd ->
+      ignore (Wire.read_frame fd);
+      (* never answer; block until the client hangs up *)
+      try ignore (Wire.read_frame fd) with _ -> ())
+    (fun sock ->
+      let policy =
+        { Client.default_policy with timeout_ms = Some 80.0 }
+      in
+      let c = Client.connect_unix ~policy sock in
+      (match Client.ping c with
+       | () -> Alcotest.fail "expected a timeout"
+       | exception Wire.Timeout -> ());
+      Alcotest.(check int) "timeout counted" 1 (Client.stats c).Client.timeouts;
+      expect_poisoned c;
+      Client.close c)
+
+let test_poisoned_after_bad_frame () =
+  with_fake_server
+    (fun fd ->
+      ignore (Wire.read_frame fd);
+      ignore (Unix.write_substring fd "XKS1\x01\x01\x00\x00\x00\x00" 0 10))
+    (fun sock ->
+      let c = Client.connect_unix sock in
+      (match Client.ping c with
+       | () -> Alcotest.fail "expected Bad_frame"
+       | exception Wire.Bad_frame _ -> ());
+      expect_poisoned c;
+      Client.close c)
+
+let test_poisoned_after_truncated_reply () =
+  with_fake_server
+    (fun fd ->
+      ignore (Wire.read_frame fd);
+      (* five bytes of a reply, then hang up mid-header *)
+      let s = Wire.frame_to_string (Protocol.encode_response Protocol.Pong) in
+      ignore (Unix.write_substring fd s 0 5))
+    (fun sock ->
+      let c = Client.connect_unix sock in
+      (match Client.ping c with
+       | () -> Alcotest.fail "expected Truncated"
+       | exception (Wire.Truncated | End_of_file) -> ());
+      expect_poisoned c;
+      Client.close c)
+
+let test_connect_tcp_resolves_hostname () =
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen lfd 1;
+  let port =
+    match Unix.getsockname lfd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let th =
+    Thread.create
+      (fun () ->
+        match Unix.accept lfd with
+        | fd, _ -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+        | exception Unix.Unix_error _ -> ())
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      Thread.join th)
+    (fun () ->
+      let c = Client.connect_tcp ~host:"localhost" port in
+      Client.close c)
+
+let test_connect_tcp_unresolvable_host_fails_cleanly () =
+  match Client.connect_tcp ~host:"no-such-host.invalid" 1 with
+  | _ -> Alcotest.fail "expected resolution to fail"
+  | exception Failure msg ->
+    Alcotest.(check bool) "clean failure names the host" true
+      (String.length msg > 0)
+  | exception Unix.Unix_error _ ->
+    Alcotest.fail "unresolvable host must raise Failure, not a raw socket error"
+
+(* ------------------------------------------------------- peer failover *)
+
+let test_registry_adopts_peer_checkpoint () =
+  let peer = fresh_dir "peer" in
+  let sa = fresh_dir "state-a" in
+  let sb = fresh_dir "state-b" in
+  Fun.protect
+    ~finally:(fun () ->
+      rm_rf peer;
+      rm_rf sa;
+      rm_rf sb)
+  @@ fun () ->
+  (* daemon A: edit, checkpoint — the bytes ship into the peer dir too *)
+  let ra = Registry.create ~state_dir:sa ~peer_dir:peer () in
+  let resolved = Registry.resolve ra (spec ()) in
+  let s, _ = Registry.open_session ra resolved ~pattern:"010" in
+  Incremental.apply_batch s.Registry.incr [ Edit.Resize (0, 2.0) ];
+  Registry.checkpoint_to_disk ra s;
+  Alcotest.(check int) "checkpoint shipped to the peer dir" 1
+    (Array.length (Sys.readdir peer));
+  (* stale copy in B's own state dir, dated well into the past: the
+     fresher peer version must win *)
+  let name = (Sys.readdir peer).(0) in
+  let stale = Filename.concat sb name in
+  let text =
+    let ic = open_in_bin (Filename.concat peer name) in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let oc = open_out_bin stale in
+  output_string oc text;
+  close_out oc;
+  Unix.utimes stale 1000.0 1000.0;
+  (* A moves on and checkpoints again; then A is gone, as a kill would be *)
+  Incremental.apply_batch s.Registry.incr
+    [ Edit.Resize (2, 3.0); Edit.Set_input (1, true) ];
+  Registry.checkpoint_to_disk ra s;
+  Incremental.refresh s.Registry.incr;
+  let want = Incremental.totals s.Registry.incr in
+  (* daemon B: different state dir, same peer dir *)
+  let rb = Registry.create ~state_dir:sb ~peer_dir:peer () in
+  let resolved2 = Registry.resolve rb (spec ()) in
+  let s2, status = Registry.open_session rb resolved2 ~pattern:"" in
+  Alcotest.(check string) "open adopts the peer checkpoint" "restored"
+    (Protocol.session_status_name status);
+  Alcotest.(check string) "vector comes from A's state, not the stale copy"
+    "010"
+    (Logic.vector_to_string (Incremental.pattern s2.Registry.incr));
+  Incremental.refresh s2.Registry.incr;
+  Alcotest.check components "adopted state is A's newest checkpoint" want
+    (Incremental.totals s2.Registry.incr)
+
 let () =
   Alcotest.run "server"
     [
@@ -584,6 +914,10 @@ let () =
       ( "scheduler",
         [
           Alcotest.test_case "tenant quota" `Quick test_scheduler_quota;
+          Alcotest.test_case "token bucket" `Quick
+            test_scheduler_token_bucket;
+          Alcotest.test_case "bucket vs in-flight" `Quick
+            test_scheduler_rate_limits_independent_of_inflight;
           Alcotest.test_case "per-key order" `Quick
             test_scheduler_serializes_one_key;
           Alcotest.test_case "drains on shutdown" `Quick
@@ -595,6 +929,30 @@ let () =
             test_registry_restores_last_checkpoint;
           Alcotest.test_case "idle LRU eviction" `Quick
             test_registry_evicts_idle_lru;
+          Alcotest.test_case "peer checkpoint adoption" `Quick
+            test_registry_adopts_peer_checkpoint;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "read_frame survives EINTR" `Quick
+            test_read_frame_survives_eintr;
+          Alcotest.test_case "write_frame partial writes" `Quick
+            test_write_frame_no_truncation;
+          Alcotest.test_case "http write_all large body" `Quick
+            test_http_write_all_large_body;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "poisoned after timeout" `Quick
+            test_poisoned_after_timeout;
+          Alcotest.test_case "poisoned after bad frame" `Quick
+            test_poisoned_after_bad_frame;
+          Alcotest.test_case "poisoned after truncated reply" `Quick
+            test_poisoned_after_truncated_reply;
+          Alcotest.test_case "tcp hostname resolution" `Quick
+            test_connect_tcp_resolves_hostname;
+          Alcotest.test_case "unresolvable host" `Quick
+            test_connect_tcp_unresolvable_host_fails_cleanly;
         ] );
       ( "loopback",
         [
